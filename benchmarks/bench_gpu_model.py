@@ -1,0 +1,48 @@
+"""Future-work projection: LD on a SIMT GPU (paper Section IX).
+
+The paper's conclusion proposes GPU acceleration and leaves open "whether
+the underlying LD arithmetics can be efficiently handled by the ALUs".
+The roofline model in :mod:`repro.machine.gpu` answers it for a
+paper-contemporary Kepler card: CUDA's per-lane ``__popcll`` removes the
+x86 extract/insert bottleneck, so LD is bandwidth-bound at thin shapes and
+compute-bound once enough words per SNP amortize the traffic — with
+order-of-magnitude projected speedups over the scalar-CPU model either
+way.
+"""
+
+from repro.machine.gpu import TESLA_K40, estimate_ld_gpu
+
+SHAPES = {
+    "Dataset A (10k x 2,504)": (10000, 10000, (2504 + 63) // 64),
+    "Dataset B (10k x 10k)": (10000, 10000, (10000 + 63) // 64),
+    "Dataset C (10k x 100k)": (10000, 10000, (100000 + 63) // 64),
+}
+
+
+def test_gpu_projection_table(benchmark):
+    def run():
+        return {
+            name: estimate_ld_gpu(m, n, k) for name, (m, n, k) in SHAPES.items()
+        }
+
+    results = benchmark(run)
+    print(f"\n=== Future work - GPU roofline ({TESLA_K40.name}) ===")
+    print(f"{'shape':>24} | {'bound':>8} | {'seconds':>9} | speedup vs scalar CPU")
+    for name, est in results.items():
+        print(
+            f"{name:>24} | {est.bound:>8} | {est.seconds:>9.3f} | "
+            f"{est.speedup_vs_cpu:>6.1f}x"
+        )
+
+    # The paper's premise: significant improvement is available.
+    assert all(est.speedup_vs_cpu > 3.0 for est in results.values())
+    # The memory-bound pressure ("LD computations are memory-bound") is
+    # relative: the thinner the packed k dimension, the closer the memory
+    # roof looms; the thick Dataset C is safely compute-bound.
+    def pressure(est):
+        return est.memory_seconds / est.compute_seconds
+
+    assert pressure(results["Dataset A (10k x 2,504)"]) > pressure(
+        results["Dataset C (10k x 100k)"]
+    )
+    assert results["Dataset C (10k x 100k)"].bound == "compute"

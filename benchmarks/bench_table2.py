@@ -1,0 +1,27 @@
+"""Table II: PLINK 1.9 vs OmegaPlus vs GEMM on Dataset B (10,000 samples).
+
+Paper: simulated panel, 10,000 SNPs x 10,000 sequences. Here: the 1/50-scale
+stand-in (200 samples x 300 SNPs). Shape criteria: same ordering as Table I
+with larger GEMM-vs-PLINK factors (paper: 8.3-12.5x) as the sample dimension
+grows — more packed words per SNP amortize the GEMM's per-pair overhead.
+"""
+
+from benchmarks.tablecommon import run_table_comparison
+
+#: Execution-time rows of the paper's Table II (seconds).
+PAPER_TABLE_2 = {
+    "PLINK": {1: 49.20, 2: 39.11, 4: 23.98, 8: 13.60, 12: 9.78},
+    "OmegaPlus": {1: 23.71, 2: 14.32, 4: 7.79, 8: 5.34, 12: 4.67},
+    "GEMM": {1: 5.36, 2: 3.16, 4: 2.01, 8: 1.44, 12: 1.17},
+}
+
+
+def test_table2_dataset_b(benchmark, dataset_b_bench):
+    measured = run_table_comparison(
+        benchmark,
+        dataset_b_bench,
+        "Table II - Dataset B (10,000-sample shape)",
+        PAPER_TABLE_2,
+    )
+    assert measured["PLINK"] / measured["GEMM"] > 8.0
+    assert measured["OmegaPlus"] / measured["GEMM"] > 3.5

@@ -1,0 +1,144 @@
+"""Shared machinery for the benchmark harness.
+
+Every table and figure of the paper's evaluation has one ``bench_*.py``
+file; run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Wall-clock comparisons run at *reduced scale* (the pure-Python baselines are
+~10³× slower than the C tools they stand in for; full-shape PLINK would take
+hours) and the harness prints, side by side: the measured rows, the paper's
+published rows, and the shape criteria that must hold (who wins, by roughly
+what factor). Thread columns beyond one worker come from the calibrated
+multicore model (this container exposes a single vCPU) — see DESIGN.md's
+substitution table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding.bitmatrix import BitMatrix
+from repro.encoding.genotypes import GenotypeMatrix, genotypes_from_haplotypes
+from repro.machine.cpu import IVY_BRIDGE_2S
+from repro.machine.multicore import ImplementationProfile, MulticoreModel
+from repro.simulate.datasets import simulate_sfs_panel
+
+#: SNP count shared by the wall-clock table benches (paper: 10,000).
+BENCH_SNPS = 300
+
+#: Sample counts of datasets A / B / C, scaled by 1/50 (paper: 2,504 /
+#: 10,000 / 100,000). Kept even so haplotypes pair into diploid genotypes.
+BENCH_SAMPLES = {"A": 50, "B": 200, "C": 2000}
+
+#: Thread counts reported in the paper's Tables I-III.
+TABLE_THREADS = (1, 2, 4, 8, 12)
+
+#: Calibrated scaling profiles (see repro.machine.multicore): utilization
+#: from the paper's %-of-peak results, bandwidth/sync from its Table III.
+PROFILES = {
+    "GEMM": ImplementationProfile("GEMM", utilization=0.88, bandwidth_cap=39.0),
+    "PLINK": ImplementationProfile("PLINK", utilization=0.20, bandwidth_cap=9.5),
+    "OmegaPlus": ImplementationProfile(
+        "OmegaPlus", utilization=0.45, bandwidth_cap=92.0
+    ),
+}
+
+MULTICORE = MulticoreModel(machine=IVY_BRIDGE_2S)
+
+
+def make_dataset(name: str, seed: int = 77) -> BitMatrix:
+    """Scaled-down stand-in for the paper's dataset *name* (A/B/C)."""
+    rng = np.random.default_rng(seed + ord(name))
+    return simulate_sfs_panel(BENCH_SAMPLES[name], BENCH_SNPS, rng=rng)
+
+
+def make_genotypes(panel: BitMatrix) -> GenotypeMatrix:
+    """Pair the panel's haplotypes into diploid genotypes for PLINK."""
+    return GenotypeMatrix.from_dense(genotypes_from_haplotypes(panel.to_dense()))
+
+
+def pairwise_count(n_snps: int) -> int:
+    """All-pairs LD count, diagonal included (the paper's N(N+1)/2)."""
+    return n_snps * (n_snps + 1) // 2
+
+
+def print_paper_table(
+    title: str,
+    measured_seconds: dict[str, float],
+    paper_seconds_12t: dict[str, dict[int, float]],
+    n_lds: int,
+) -> None:
+    """Print a Tables I-III style comparison block.
+
+    Parameters
+    ----------
+    measured_seconds:
+        Single-thread wall-clock per implementation (this container).
+    paper_seconds_12t:
+        The paper's execution-time rows, ``{impl: {threads: seconds}}``.
+    n_lds:
+        Pairwise LD computations performed by GEMM/PLINK.
+    """
+    print(f"\n=== {title} ===")
+    print(f"(measured at {BENCH_SNPS} SNPs; paper used 10,000 SNPs — compare "
+          "ratios and ordering, not absolute times)")
+    header = (
+        f"{'threads':>7} | "
+        + " | ".join(f"{name + ' (s)':>14}" for name in measured_seconds)
+        + " | GEMM vs PLINK | GEMM vs OmegaPlus"
+    )
+    print("-- modelled from measured single-thread times --")
+    print(header)
+    rows = {}
+    for t in TABLE_THREADS:
+        times = {
+            name: MULTICORE.time_at(t, PROFILES[name], base)
+            for name, base in measured_seconds.items()
+        }
+        rows[t] = times
+        print(
+            f"{t:>7} | "
+            + " | ".join(f"{times[name]:>14.4f}" for name in measured_seconds)
+            + f" | {times['PLINK'] / times['GEMM']:>13.2f}"
+            + f" | {times['OmegaPlus'] / times['GEMM']:>17.2f}"
+        )
+    print("-- paper's published rows (10,000 SNPs, 2x E5-2620v2) --")
+    print(f"{'threads':>7} | {'PLINK (s)':>14} | {'OmegaPlus (s)':>14} | "
+          f"{'GEMM (s)':>14} | GEMM vs PLINK | GEMM vs OmegaPlus")
+    for t in TABLE_THREADS:
+        p = paper_seconds_12t["PLINK"][t]
+        o = paper_seconds_12t["OmegaPlus"][t]
+        g = paper_seconds_12t["GEMM"][t]
+        print(
+            f"{t:>7} | {p:>14.2f} | {o:>14.2f} | {g:>14.2f} | "
+            f"{p / g:>13.2f} | {o / g:>17.2f}"
+        )
+    print(f"LD values computed (GEMM/PLINK): {n_lds:,} "
+          f"(paper: {pairwise_count(10000):,})")
+
+
+def check_ordering(measured_seconds: dict[str, float]) -> None:
+    """The shape criterion of Tables I-III: GEMM < OmegaPlus < PLINK."""
+    assert measured_seconds["GEMM"] < measured_seconds["OmegaPlus"], (
+        "GEMM must beat the OmegaPlus-style baseline"
+    )
+    assert measured_seconds["OmegaPlus"] < measured_seconds["PLINK"], (
+        "the OmegaPlus-style baseline must beat the PLINK-style baseline"
+    )
+
+
+@pytest.fixture(scope="session")
+def dataset_a_bench() -> BitMatrix:
+    return make_dataset("A")
+
+
+@pytest.fixture(scope="session")
+def dataset_b_bench() -> BitMatrix:
+    return make_dataset("B")
+
+
+@pytest.fixture(scope="session")
+def dataset_c_bench() -> BitMatrix:
+    return make_dataset("C")

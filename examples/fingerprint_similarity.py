@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Chemical-informatics reuse: Tanimoto similarity on the LD kernel (§VII).
+
+The paper's cross-domain adaptation: 2D chemical fingerprints are binary
+vectors, and the Tanimoto coefficient x / (p + q − x) needs exactly the
+AND/POPCNT inner products the LD GEMM mass-produces. This example builds a
+small virtual-screening workflow: a fingerprint database with planted
+structural families, an all-pairs similarity matrix, family retrieval for a
+query, and a similarity-threshold clustering pass.
+
+Run: ``python examples/fingerprint_similarity.py``
+"""
+
+import numpy as np
+
+from repro.analysis.tanimoto import tanimoto_matrix, tanimoto_pair
+from repro.util.timing import Timer
+
+FP_BITS = 1024
+FAMILIES = 8
+PER_FAMILY = 64
+
+
+def make_database(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Fingerprints in structural families: shared scaffold bits + noise."""
+    fingerprints = []
+    labels = []
+    for family in range(FAMILIES):
+        scaffold = rng.random(FP_BITS) < 0.08
+        for _member in range(PER_FAMILY):
+            fp = scaffold.copy()
+            fp ^= rng.random(FP_BITS) < 0.02  # substituent variation
+            fingerprints.append(fp)
+            labels.append(family)
+    return np.array(fingerprints, dtype=np.uint8), np.array(labels)
+
+
+def main() -> None:
+    rng = np.random.default_rng(1912)  # Tanimoto's kanji would not fit
+    db, labels = make_database(rng)
+    print(f"Database: {db.shape[0]} compounds x {FP_BITS}-bit fingerprints, "
+          f"{FAMILIES} structural families")
+
+    timer = Timer()
+    with timer:
+        sim = tanimoto_matrix(db)
+    print(f"All-pairs Tanimoto: {sim.size:,} comparisons in "
+          f"{timer.elapsed * 1e3:.1f} ms "
+          f"({sim.size / timer.elapsed / 1e6:.1f} M cmp/s)")
+
+    same = np.equal.outer(labels, labels)
+    np.fill_diagonal(same, False)
+    within = sim[same].mean()
+    between = sim[~same & ~np.eye(len(labels), dtype=bool)].mean()
+    print(f"  mean similarity within families:  {within:.3f}")
+    print(f"  mean similarity between families: {between:.3f}")
+
+    # Virtual screening: nearest neighbours of one query compound.
+    query = 10
+    neighbours = np.argsort(sim[query])[::-1][1:6]
+    print(f"\nTop-5 neighbours of compound {query} "
+          f"(family {labels[query]}):")
+    for rank, idx in enumerate(neighbours, start=1):
+        check = tanimoto_pair(db[query], db[idx])
+        assert abs(check - sim[query, idx]) < 1e-12
+        print(f"  #{rank}: compound {idx:4d}  T = {sim[query, idx]:.3f}  "
+              f"family {labels[idx]}")
+    recovered = (labels[neighbours] == labels[query]).mean()
+    print(f"  family precision@5: {recovered:.0%}")
+
+    # Leader-style clustering at T >= 0.6.
+    threshold = 0.6
+    unassigned = set(range(len(labels)))
+    clusters = []
+    while unassigned:
+        leader = min(unassigned)
+        members = {j for j in unassigned if sim[leader, j] >= threshold}
+        clusters.append(members)
+        unassigned -= members
+    sizes = sorted((len(c) for c in clusters), reverse=True)
+    print(f"\nLeader clustering at T >= {threshold}: {len(clusters)} clusters, "
+          f"sizes {sizes[:10]}{'...' if len(sizes) > 10 else ''}")
+    print(f"(planted: {FAMILIES} families of {PER_FAMILY})")
+
+
+if __name__ == "__main__":
+    main()

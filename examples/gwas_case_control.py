@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Case/control GWAS end to end: phenotype, association scan, LD clumping.
+
+The paper's opening use case (Section I): LD is what turns a list of
+associated SNPs into localized association *signals* — without it, one
+causal variant shows up as a smear of correlated hits. Workflow:
+
+1. simulate a structured panel (linkage blocks) and plant two causal SNPs;
+2. liability-threshold case/control phenotype;
+3. per-SNP allelic chi-square scan;
+4. LD clumping (PLINK ``--clump``) collapses each smear to its index SNP.
+
+Run: ``python examples/gwas_case_control.py``
+"""
+
+import numpy as np
+
+from repro.analysis.association import (
+    association_scan,
+    ld_clump,
+    simulate_phenotype,
+)
+from repro.simulate.coalescent import simulate_chunked_region
+
+
+def main() -> None:
+    rng = np.random.default_rng(1926)  # Fisher publishes the liability model
+
+    print("Simulating 500 haplotypes over 10 linkage blocks...")
+    sample = simulate_chunked_region(
+        500, n_chunks=10, theta_per_chunk=10.0, rng=rng, chunk_length=10_000.0
+    )
+    panel = sample.haplotypes
+    # Keep common variants (GWAS arrays do the same).
+    freqs = panel.mean(axis=0)
+    common = np.flatnonzero(np.minimum(freqs, 1 - freqs) >= 0.1)
+    panel = panel[:, common]
+    n_snps = panel.shape[1]
+    print(f"  -> {n_snps} common SNPs after MAF >= 0.1 filter")
+
+    causal = np.array([n_snps // 4, 3 * n_snps // 4])
+    effects = np.array([1.2, 0.9])
+    print(f"  planted causal SNPs: {causal.tolist()} "
+          f"(effects {effects.tolist()})")
+
+    is_case = simulate_phenotype(
+        panel, causal, effects, prevalence=0.5, noise_sd=1.0, rng=rng
+    )
+    print(f"  cases: {is_case.sum()}, controls: {(~is_case).sum()}")
+
+    result = association_scan(panel, is_case)
+    alpha = 1e-4
+    hits = result.hits(alpha=alpha)
+    print(f"\nAssociation scan: {hits.size} SNPs below p < {alpha:g}")
+    for snp in hits[:8]:
+        mark = " <== causal" if snp in causal else ""
+        print(f"  SNP {snp:4d}: chi2={result.chi2[snp]:7.2f} "
+              f"p={result.p_values[snp]:.2e} "
+              f"freq case/ctrl {result.case_freq[snp]:.2f}/"
+              f"{result.control_freq[snp]:.2f}{mark}")
+
+    clumps = ld_clump(
+        panel, result.p_values, p_threshold=alpha,
+        r2_threshold=0.3, window=100,
+    )
+    print(f"\nLD clumping: {hits.size} raw hits -> {len(clumps)} clumps")
+    recovered = []
+    for index_snp, members in clumps:
+        is_causal = index_snp in causal
+        near_causal = any(abs(index_snp - c) <= 30 for c in causal)
+        if is_causal or near_causal:
+            recovered.append(index_snp)
+        tag = "causal" if is_causal else (
+            "near-causal" if near_causal else "spurious"
+        )
+        print(f"  index SNP {index_snp:4d} (+{members.size} LD partners) "
+              f"p={result.p_values[index_snp]:.2e}  [{tag}]")
+    print(f"\nSignals localized near planted causals: "
+          f"{len(recovered)}/{len(clumps)} clumps")
+    assert recovered, "at least one planted signal must be recovered"
+
+
+if __name__ == "__main__":
+    main()

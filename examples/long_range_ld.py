@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Long-range LD between two genomic regions (the paper's Figure 4 case).
+
+The two-input GEMM computes all m x n LD values between SNPs of *different*
+regions — the paper's "association studies between distant genes" and
+"long-range LD" use case, where no symmetry exists to exploit. This example
+plants a pair of coevolving loci in otherwise-independent regions and finds
+them with one rectangular cross-LD GEMM.
+
+Run: ``python examples/long_range_ld.py``
+"""
+
+import numpy as np
+
+from repro import ld_cross
+from repro.simulate.coalescent import simulate_chunked_region
+from repro.util.timing import Timer
+
+
+def main() -> None:
+    rng = np.random.default_rng(40)
+    n_samples = 150
+
+    print("Simulating two unlinked regions (e.g. two chromosomes)...")
+    def simulate_region() -> np.ndarray:
+        haps = simulate_chunked_region(
+            n_samples, n_chunks=4, theta_per_chunk=10.0, rng=rng
+        ).haplotypes
+        # Standard association-study filter: drop rare variants. Singletons
+        # trivially reach r² = 1 with any other singleton on the same
+        # carrier, which would swamp the scan with spurious perfect LD.
+        freqs = haps.mean(axis=0)
+        maf = np.minimum(freqs, 1.0 - freqs)
+        return haps[:, maf >= 0.1]
+
+    region_a = simulate_region()
+    region_b = simulate_region()
+
+    # Plant a coevolving pair: a SNP in region B that mirrors one in A
+    # (epistatic interaction maintained by selection, per Rohlfs et al.).
+    source = 5
+    planted = region_a[:, source].copy()
+    noise = rng.random(n_samples) < 0.05
+    planted[noise] ^= 1
+    region_b = np.concatenate([region_b, planted[:, None]], axis=1)
+    target = region_b.shape[1] - 1
+    print(f"  region A: {region_a.shape[1]} SNPs, "
+          f"region B: {region_b.shape[1]} SNPs")
+    print(f"  planted interaction: A[{source}] <-> B[{target}] "
+          "(95% concordant)")
+
+    timer = Timer()
+    with timer:
+        cross = ld_cross(region_a, region_b, undefined=0.0)
+    n_values = cross.size
+    print(f"\nCross-LD GEMM: {cross.shape[0]} x {cross.shape[1]} = "
+          f"{n_values:,} LD values in {timer.elapsed * 1e3:.1f} ms "
+          f"({n_values / timer.elapsed / 1e6:.1f} M LDs/s)")
+
+    flat = cross.ravel()
+    order = np.argsort(flat)[::-1]
+    print("\nTop 5 cross-region pairs by r²:")
+    found = False
+    for rank, idx in enumerate(order[:5], start=1):
+        i, j = divmod(int(idx), cross.shape[1])
+        hit = " <== planted pair" if (i, j) == (source, target) else ""
+        if hit:
+            found = True
+        print(f"  #{rank}: A[{i}] x B[{j}]  r² = {flat[idx]:.4f}{hit}")
+
+    background = np.delete(flat, source * cross.shape[1] + target)
+    print(f"\nbackground cross-region r²: mean {background.mean():.4f}, "
+          f"99.9th pct {np.percentile(background, 99.9):.4f}")
+    print("planted pair recovered:" , found)
+    assert found, "the planted coevolving pair should rank first"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The full Section I workflow: reads → MSA → SNP calling → gap-aware LD.
+
+The paper's introduction describes the preprocessing every LD analysis
+sits on: sequence the individuals, align reads to a reference, call SNPs
+(monomorphic columns are non-informative for LD and are dropped). Real
+pipelines produce *gaps* — missing calls — which the paper's Section VII
+handles with per-SNP validity vectors and masked popcounts.
+
+This example runs that pipeline end to end on simulated sequencing data,
+computes gap-aware LD (four popcount GEMMs), contrasts it with the naive
+treat-gaps-as-ancestral shortcut, and round-trips the call set through VCF.
+
+Run: ``python examples/msa_to_ld_pipeline.py``
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.gaps import masked_ld_matrix
+from repro.core.ldmatrix import ld_matrix
+from repro.io.vcf import read_vcf, write_vcf
+from repro.simulate.msa import simulate_msa_pipeline
+
+
+def main() -> None:
+    rng = np.random.default_rng(88)
+
+    print("Step 1-3: sequencing 40 samples at 6x coverage, 1% error, "
+          "8% dropout; aligning; calling consensus...")
+    result = simulate_msa_pipeline(
+        40, 1500, coverage=6, error_rate=0.01, missing_rate=0.08, rng=rng
+    )
+    gap_fraction = 1.0 - result.mask.valid_counts().sum() / (
+        40 * result.n_snps
+    )
+    print(f"  called {result.n_snps} SNPs from 1500 reference positions")
+    print(f"  genotype error rate vs truth: {result.genotype_error_rate:.4f}")
+    print(f"  missing-call fraction at SNPs: {gap_fraction:.2%}")
+
+    print("\nStep 4a: gap-aware LD (c_ij = c_i & c_j masked popcounts, "
+          "four GEMMs)...")
+    masked_r2 = masked_ld_matrix(result.matrix, result.mask, undefined=0.0)
+
+    print("Step 4b: naive LD treating gaps as ancestral (one GEMM)...")
+    naive_r2 = ld_matrix(result.matrix, undefined=0.0)
+
+    iu = np.triu_indices(result.n_snps, k=1)
+    diff = np.abs(masked_r2[iu] - naive_r2[iu])
+    print(f"  |masked − naive| r²: mean {diff.mean():.4f}, "
+          f"max {diff.max():.4f}")
+    worst = int(np.argmax(diff))
+    i, j = iu[0][worst], iu[1][worst]
+    print(f"  largest distortion at pair ({i}, {j}): "
+          f"masked {masked_r2[i, j]:.3f} vs naive {naive_r2[i, j]:.3f}")
+    print("  -> ignoring gaps biases LD; the masked path fixes it at the "
+          "cost of 4 GEMMs instead of 1.")
+
+    print("\nStep 5: exporting the call set as VCF and re-importing...")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "calls.vcf"
+        haps = result.matrix.to_dense()
+        missing = result.mask.bits.to_dense() == 0
+        write_vcf(path, haps, result.positions.astype(int), ploidy=1,
+                  missing=missing)
+        panel = read_vcf(path)
+        assert np.array_equal(panel.haplotypes, haps)
+        assert np.array_equal(panel.valid, ~missing)
+        size_kb = path.stat().st_size / 1024
+        print(f"  {path.name}: {size_kb:.1f} KiB, round-trip exact")
+
+    print("\nPipeline complete: sequencing -> alignment -> SNP map -> "
+          "packed bit-matrix -> gap-aware LD.")
+
+
+if __name__ == "__main__":
+    main()

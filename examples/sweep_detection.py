@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Selective-sweep detection: the ω statistic on the GEMM LD matrix.
+
+Reproduces the paper's flagship application (Sections I and VI): OmegaPlus
+detects selective sweeps from the LD pattern around a swept site — high LD
+*within* each flank, low LD *across* the site. This example:
+
+1. forward-simulates a hard selective sweep (Wright–Fisher with selection,
+   conditioned on fixation);
+2. scans the region with ω using the GEMM-accelerated path (one blocked
+   GEMM, then cheap reductions);
+3. runs the OmegaPlus-style demand-driven baseline on the same data and
+   compares results and work done.
+
+Run: ``python examples/sweep_detection.py``
+"""
+
+import numpy as np
+
+from repro.analysis.sweeps import sweep_scan
+from repro.baselines.omegaplus import omegaplus_scan
+from repro.simulate.wrightfisher import simulate_sweep
+from repro.util.timing import Timer
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+
+    print("Simulating a hard selective sweep (s = 1.0, midpoint site)...")
+    data = simulate_sweep(
+        80, 81, pop_size=200, burn_in=400, selection=1.0,
+        mut_rate=1e-3, recomb_rate=8e-3, rng=rng,
+    )
+    print(f"  fixed after {data.generations} generations; "
+          f"{data.n_snps} SNPs retained")
+    print(f"  true sweep location: position {data.selected_position:.0f}")
+
+    print("\nGEMM-accelerated omega scan (compute_ld once, then reductions):")
+    gemm_timer = Timer()
+    with gemm_timer:
+        scan = sweep_scan(
+            data.haplotypes, data.positions, grid_size=17, max_window=60
+        )
+    best_split = scan.best_splits[int(np.argmax(scan.omegas))]
+    inferred = data.positions[best_split]
+    print(f"  peak omega = {scan.peak_omega:.2f} "
+          f"(threshold {scan.threshold:.2f})")
+    print(f"  inferred sweep location: position {inferred:.0f} "
+          f"(truth: {data.selected_position:.0f})")
+    for lo, hi in scan.candidate_regions():
+        print(f"  candidate region: [{lo:.0f}, {hi:.0f}]")
+    print(f"  time: {gemm_timer.elapsed * 1e3:.1f} ms")
+
+    print("\nOmegaPlus-style baseline (per-pair LD on demand):")
+    base_timer = Timer()
+    with base_timer:
+        baseline = omegaplus_scan(
+            data.haplotypes, data.positions, grid_size=17, max_window=60
+        )
+    agree = np.allclose(baseline.omegas, scan.omegas, equal_nan=True)
+    n_pairs = data.n_snps * (data.n_snps - 1) // 2
+    print(f"  identical omega values: {agree}")
+    print(f"  pairwise LD evaluations: {baseline.ld_evaluations:,} "
+          f"of {n_pairs:,} possible")
+    print(f"  time: {base_timer.elapsed * 1e3:.1f} ms "
+          f"({base_timer.elapsed / max(gemm_timer.elapsed, 1e-9):.1f}x the GEMM path)")
+
+    # For a profile that varies along the region, scan with a window
+    # narrower than the region (the wide window above sees the whole
+    # region from every grid point, so its profile is flat).
+    local = sweep_scan(
+        data.haplotypes, data.positions, grid_size=17, max_window=15
+    )
+    print("\nLocal-window omega profile (one bar per grid point):")
+    finite = np.where(np.isfinite(local.omegas), local.omegas, 0.0)
+    top = finite.max() or 1.0
+    for pos, omega in zip(local.grid, finite):
+        bar = "#" * int(40 * omega / top)
+        marker = " <== sweep" if abs(pos - data.selected_position) <= 5 else ""
+        print(f"  pos {pos:5.0f} | {bar}{marker}")
+
+
+if __name__ == "__main__":
+    main()

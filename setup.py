@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This container has no network access and no ``wheel`` package, so pip's
+PEP 660 editable install cannot build. ``pip install -e . --no-build-isolation``
+works through this shim via setuptools' legacy ``develop`` path; all project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

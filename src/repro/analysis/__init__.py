@@ -1,0 +1,76 @@
+"""Applications of LD (paper Sections VI–VII).
+
+Everything downstream of the LD kernel:
+
+- :mod:`repro.analysis.omega` — the ω statistic of Kim & Nielsen (2004),
+  the quantity OmegaPlus computes; here accelerated by the GEMM LD matrix.
+- :mod:`repro.analysis.sweeps` — selective-sweep scans built on ω.
+- :mod:`repro.analysis.ldprune` — PLINK-style ``--indep-pairwise`` LD
+  pruning (GWAS preprocessing).
+- :mod:`repro.analysis.decay` — LD decay with physical distance.
+- :mod:`repro.analysis.gaps` — gap-aware LD via validity masks (§VII).
+- :mod:`repro.analysis.fsm_ld` — finite-sites T statistic (Zaykin et al.,
+  Eq. 6 of the paper) over four-bit-plane encodings (§VII).
+- :mod:`repro.analysis.tanimoto` — Tanimoto 2D-fingerprint similarity as the
+  same popcount GEMM (§VII, Eq. 7).
+"""
+
+from repro.analysis.association import (
+    AssociationResult,
+    association_scan,
+    ld_clump,
+    simulate_phenotype,
+)
+from repro.analysis.decay import ld_decay_curve
+from repro.analysis.ehh import EhhCurve, ehh_decay, integrated_ehh
+from repro.analysis.fsm_ld import fsm_ld_matrix, fsm_ld_pair
+from repro.analysis.gaps import masked_ld_matrix, masked_ld_pair
+from repro.analysis.haplotype_blocks import HaplotypeBlock, find_haplotype_blocks
+from repro.analysis.higher_order import third_order_d, third_order_d_window
+from repro.analysis.ihs import IhsResult, ihs_scan, unstandardized_ihs
+from repro.analysis.kinship import kinship_matrix
+from repro.analysis.ldprune import ld_prune
+from repro.analysis.summaries import kelly_zns, mean_abs_d_prime, walls_b
+from repro.analysis.omega import (
+    omega_at_split,
+    omega_max,
+    omega_max_flanks,
+    omega_scan_from_ld,
+)
+from repro.analysis.sweeps import SweepScanResult, sweep_scan
+from repro.analysis.tanimoto import tanimoto_matrix, tanimoto_pair
+
+__all__ = [
+    "AssociationResult",
+    "association_scan",
+    "ld_clump",
+    "simulate_phenotype",
+    "EhhCurve",
+    "ehh_decay",
+    "integrated_ehh",
+    "ld_decay_curve",
+    "fsm_ld_matrix",
+    "fsm_ld_pair",
+    "masked_ld_matrix",
+    "masked_ld_pair",
+    "HaplotypeBlock",
+    "find_haplotype_blocks",
+    "third_order_d",
+    "third_order_d_window",
+    "IhsResult",
+    "ihs_scan",
+    "unstandardized_ihs",
+    "kelly_zns",
+    "mean_abs_d_prime",
+    "walls_b",
+    "ld_prune",
+    "kinship_matrix",
+    "omega_at_split",
+    "omega_max",
+    "omega_max_flanks",
+    "omega_scan_from_ld",
+    "SweepScanResult",
+    "sweep_scan",
+    "tanimoto_matrix",
+    "tanimoto_pair",
+]

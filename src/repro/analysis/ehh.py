@@ -1,0 +1,151 @@
+"""Extended haplotype homozygosity (EHH) from the packed bit matrix.
+
+A second sweep-detection statistic family (Sabeti et al. 2002) built on
+the same packed substrate as LD: starting from a *core* SNP, EHH at
+distance *x* is the probability that two randomly drawn haplotypes
+carrying the same core allele are identical at every SNP between the core
+and *x*::
+
+    EHH(x) = Σ_g C(n_g, 2) / C(n_core, 2)
+
+where *g* ranges over the distinct extended haplotypes at distance *x*.
+A sweeping allele sits on one long shared haplotype, so its EHH decays
+slowly relative to the ancestral allele's — the basis of the iHS family
+of tests and a complement to the ω statistic implemented in
+:mod:`repro.analysis.omega`.
+
+Implementation detail: extended-haplotype classes are refined
+incrementally SNP by SNP outward from the core (a partition-refinement
+pass over the packed columns), so one full decay curve costs O(window ·
+n_samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ldmatrix import as_bitmatrix
+from repro.encoding.bitmatrix import BitMatrix
+
+__all__ = ["EhhCurve", "ehh_decay", "integrated_ehh"]
+
+
+@dataclass(frozen=True)
+class EhhCurve:
+    """EHH values for the two core alleles, outward from a core SNP.
+
+    Attributes
+    ----------
+    distances:
+        SNP-index distances from the core (one direction), starting at 0.
+    ehh_derived, ehh_ancestral:
+        EHH per distance for carriers of the derived / ancestral core
+        allele (NaN when a group has < 2 haplotypes).
+    core:
+        Core SNP index.
+    """
+
+    distances: np.ndarray
+    ehh_derived: np.ndarray
+    ehh_ancestral: np.ndarray
+    core: int
+
+
+def _homozygosity(group_ids: np.ndarray) -> float:
+    """Σ C(n_g, 2) / C(n, 2) over the partition encoded by *group_ids*."""
+    n = group_ids.size
+    if n < 2:
+        return float("nan")
+    _unique, counts = np.unique(group_ids, return_counts=True)
+    pairs = (counts * (counts - 1) // 2).sum()
+    return float(pairs) / (n * (n - 1) // 2)
+
+
+def ehh_decay(
+    data: BitMatrix | np.ndarray,
+    core: int,
+    *,
+    max_distance: int = 50,
+    direction: int = +1,
+) -> EhhCurve:
+    """EHH decay from a core SNP in one direction.
+
+    Parameters
+    ----------
+    data:
+        Dense binary ``(n_samples, n_snps)`` matrix or packed
+        :class:`BitMatrix`.
+    core:
+        Core SNP index.
+    max_distance:
+        Furthest SNP-index distance evaluated.
+    direction:
+        ``+1`` scans right of the core, ``-1`` left.
+    """
+    matrix = as_bitmatrix(data)
+    if not 0 <= core < matrix.n_snps:
+        raise ValueError(f"core {core} out of range for {matrix.n_snps} SNPs")
+    if direction not in (+1, -1):
+        raise ValueError(f"direction must be +1 or -1, got {direction}")
+    if max_distance < 0:
+        raise ValueError(f"max_distance must be >= 0, got {max_distance}")
+    dense = matrix.to_dense()
+    core_allele = dense[:, core]
+    carriers = {
+        "derived": np.flatnonzero(core_allele == 1),
+        "ancestral": np.flatnonzero(core_allele == 0),
+    }
+    # Partition refinement: group id per haplotype, refined per SNP.
+    group_ids = {
+        key: np.zeros(idx.size, dtype=np.int64) for key, idx in carriers.items()
+    }
+    distances = []
+    values: dict[str, list[float]] = {"derived": [], "ancestral": []}
+    for distance in range(max_distance + 1):
+        snp = core + direction * distance
+        if not 0 <= snp < matrix.n_snps:
+            break
+        for key, idx in carriers.items():
+            if distance > 0:
+                alleles = dense[idx, snp].astype(np.int64)
+                group_ids[key] = group_ids[key] * 2 + alleles
+                # Re-compact ids to avoid overflow on long walks.
+                _, group_ids[key] = np.unique(
+                    group_ids[key], return_inverse=True
+                )
+            values[key].append(_homozygosity(group_ids[key]))
+        distances.append(distance)
+    return EhhCurve(
+        distances=np.array(distances, dtype=np.int64),
+        ehh_derived=np.array(values["derived"]),
+        ehh_ancestral=np.array(values["ancestral"]),
+        core=core,
+    )
+
+
+def integrated_ehh(curve: EhhCurve, *, cutoff: float = 0.05) -> tuple[float, float]:
+    """Area under each allele's EHH curve down to *cutoff* (iHH).
+
+    The (unstandardized) ingredients of the iHS statistic: trapezoidal
+    integral of EHH over distance, truncated where EHH drops below
+    *cutoff*. Returns ``(ihh_derived, ihh_ancestral)``.
+    """
+    if not 0 <= cutoff < 1:
+        raise ValueError(f"cutoff must be in [0, 1), got {cutoff}")
+
+    def integrate(values: np.ndarray) -> float:
+        if values.size == 0 or np.isnan(values[0]):
+            return float("nan")
+        keep = values >= cutoff
+        if not keep.any():
+            return 0.0
+        last = int(np.flatnonzero(keep)[-1]) + 1
+        x = curve.distances[:last].astype(np.float64)
+        y = np.nan_to_num(values[:last], nan=0.0)
+        if x.size < 2:
+            return 0.0
+        return float(np.trapezoid(y, x))
+
+    return integrate(curve.ehh_derived), integrate(curve.ehh_ancestral)

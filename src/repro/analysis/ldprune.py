@@ -1,0 +1,87 @@
+"""LD pruning: PLINK-style ``--indep-pairwise`` on the GEMM LD matrix.
+
+GWAS pipelines (paper Section I) thin their SNP sets so that no retained
+pair within a sliding window exceeds an r² threshold — PLINK's
+``--indep-pairwise <window> <step> <r2>``. The pruning decision needs exactly
+the pairwise r² values the GEMM kernel mass-produces, so this is a natural
+downstream consumer: windows are cut from the packed matrix, each window's r²
+block comes from one small GEMM, and the greedy elimination runs on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.ldmatrix import as_bitmatrix, compute_ld
+from repro.encoding.bitmatrix import BitMatrix
+
+__all__ = ["ld_prune"]
+
+
+def ld_prune(
+    data: BitMatrix | np.ndarray,
+    *,
+    window: int = 50,
+    step: int = 5,
+    r2_threshold: float = 0.2,
+    params: BlockingParams = DEFAULT_BLOCKING,
+    kernel: str = "numpy",
+) -> np.ndarray:
+    """Greedy LD pruning, PLINK ``--indep-pairwise`` semantics.
+
+    Slides a *window*-SNP window by *step*; within each window, while any
+    retained pair has r² above the threshold, removes the SNP of the pair
+    with the smaller minor-allele frequency (PLINK's tiebreak).
+
+    Parameters
+    ----------
+    data:
+        Dense binary ``(n_samples, n_snps)`` matrix or packed
+        :class:`BitMatrix`.
+    window:
+        Window size in SNPs.
+    step:
+        Window slide in SNPs.
+    r2_threshold:
+        Maximum allowed pairwise r² among retained SNPs in a window.
+
+    Returns
+    -------
+    Sorted integer indices of the retained SNPs.
+    """
+    if window < 2:
+        raise ValueError(f"window must be >= 2 SNPs, got {window}")
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    if not 0.0 < r2_threshold <= 1.0:
+        raise ValueError(f"r2_threshold must be in (0, 1], got {r2_threshold}")
+    matrix = as_bitmatrix(data)
+    n_snps = matrix.n_snps
+    freqs = matrix.allele_frequencies()
+    maf = np.minimum(freqs, 1.0 - freqs)
+    keep = np.ones(n_snps, dtype=bool)
+
+    start = 0
+    while start < n_snps:
+        stop = min(start + window, n_snps)
+        local = np.flatnonzero(keep[start:stop]) + start
+        if local.size >= 2:
+            block = matrix.select(local)
+            r2 = compute_ld(block, params=params, kernel=kernel).r2(undefined=0.0)
+            np.fill_diagonal(r2, 0.0)
+            alive = np.ones(local.size, dtype=bool)
+            while True:
+                masked = np.where(np.outer(alive, alive), r2, 0.0)
+                worst = np.unravel_index(np.argmax(masked), masked.shape)
+                if masked[worst] <= r2_threshold:
+                    break
+                a, b = worst
+                # Drop the lower-MAF member of the offending pair.
+                victim = a if maf[local[a]] <= maf[local[b]] else b
+                alive[victim] = False
+            keep[local[~alive]] = False
+        if stop == n_snps:
+            break
+        start += step
+    return np.flatnonzero(keep)

@@ -1,0 +1,283 @@
+"""The ω statistic of Kim & Nielsen (2004) — LD signature of selective sweeps.
+
+Selective-sweep theory (paper Section I) predicts that around a recently
+fixed beneficial mutation, LD is *high within* each flank of the selected
+site but *low across* it. The ω statistic quantifies that contrast: for a
+window of S SNPs split after the ℓ-th into a left set L and right set R,
+
+              ( C(ℓ,2) + C(S−ℓ,2) )⁻¹ ( Σ_{i<j∈L} r²_ij + Σ_{i<j∈R} r²_ij )
+    ω(ℓ) =   ─────────────────────────────────────────────────────────────
+              ( ℓ (S−ℓ) )⁻¹  Σ_{i∈L, j∈R} r²_ij
+
+(large ω ⇒ sweep-like pattern). OmegaPlus evaluates ω on a grid of genomic
+positions, maximizing over the split; this module provides those evaluations
+*given* an r² matrix — which is where the paper's GEMM formulation plugs in:
+compute all r² values with one blocked GEMM, then every ω evaluation is a
+cheap reduction. The comparator that computes LD per-pair on demand instead
+lives in :mod:`repro.baselines.omegaplus`.
+
+Sums are taken over within-flank prefix/suffix blocks of the r² matrix, so a
+full ω(ℓ) profile for one window costs O(S²) total via cumulative updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "omega_at_split",
+    "omega_max",
+    "omega_max_flanks",
+    "omega_profile",
+    "omega_scan_from_ld",
+]
+
+
+def _validate_window(r2: np.ndarray) -> np.ndarray:
+    r2 = np.asarray(r2, dtype=np.float64)
+    if r2.ndim != 2 or r2.shape[0] != r2.shape[1]:
+        raise ValueError(f"r2 window must be square, got shape {r2.shape}")
+    return r2
+
+
+def omega_at_split(r2: np.ndarray, ell: int) -> float:
+    """ω for one window and one split (left set = first *ell* SNPs).
+
+    Pairs with undefined r² (NaN, from monomorphic SNPs) contribute zero,
+    matching OmegaPlus's treatment of non-informative sites.
+    """
+    r2 = _validate_window(r2)
+    s = r2.shape[0]
+    if not 2 <= ell <= s - 2:
+        raise ValueError(
+            f"split ell={ell} must leave >=2 SNPs on each side of a {s}-SNP window"
+        )
+    clean = np.nan_to_num(r2, nan=0.0)
+    iu = np.triu_indices(ell, k=1)
+    left_sum = float(clean[:ell, :ell][iu].sum())
+    r = s - ell
+    iu_r = np.triu_indices(r, k=1)
+    right_sum = float(clean[ell:, ell:][iu_r].sum())
+    cross_sum = float(clean[:ell, ell:].sum())
+    n_within = ell * (ell - 1) // 2 + r * (r - 1) // 2
+    numer = (left_sum + right_sum) / n_within
+    denom = cross_sum / (ell * r)
+    if denom == 0.0:
+        # No cross-flank LD at all: OmegaPlus reports 0 rather than infinity
+        # when the numerator is also empty, else a large finite sentinel.
+        return 0.0 if numer == 0.0 else float("inf")
+    return numer / denom
+
+
+def omega_profile(r2: np.ndarray) -> np.ndarray:
+    """ω(ℓ) for every admissible split of one window, via cumulative sums.
+
+    Returns an array of length ``s + 1`` with NaN at inadmissible splits
+    (ℓ < 2 or ℓ > s−2) and ω(ℓ) elsewhere; computed in O(s²) total.
+    """
+    r2 = _validate_window(r2)
+    s = r2.shape[0]
+    out = np.full(s + 1, np.nan)
+    if s < 4:
+        return out
+    clean = np.nan_to_num(r2, nan=0.0)
+    iu = np.triu_indices(s, k=1)
+    total_upper = float(clean[iu].sum())
+    # prefix_within[l] = sum of r2 over pairs inside the first l SNPs;
+    # cross_by_split[l] = sum over pairs straddling the split, updated
+    # incrementally as each SNP moves from the right set to the left.
+    prefix_within = np.zeros(s + 1)
+    cross = 0.0
+    cross_by_split = np.zeros(s + 1)
+    for ell in range(1, s + 1):
+        new = ell - 1  # SNP moving from the right set to the left set
+        col_with_left = float(clean[:new, new].sum())
+        row_with_right = float(clean[new, ell:].sum())
+        prefix_within[ell] = prefix_within[ell - 1] + col_with_left
+        # Moving SNP `new` left: its pairs with the remaining right set join
+        # the cross term; its pairs with the previous left set leave it.
+        cross = cross - col_with_left + row_with_right
+        cross_by_split[ell] = cross
+    for ell in range(2, s - 1):
+        r = s - ell
+        left_sum = prefix_within[ell]
+        right_sum = total_upper - prefix_within[ell] - cross_by_split[ell]
+        n_within = ell * (ell - 1) // 2 + r * (r - 1) // 2
+        numer = (left_sum + right_sum) / n_within
+        denom = cross_by_split[ell] / (ell * r)
+        if denom == 0.0:
+            out[ell] = 0.0 if numer == 0.0 else float("inf")
+        else:
+            out[ell] = numer / denom
+    return out
+
+
+def omega_max(r2: np.ndarray) -> tuple[float, int]:
+    """Maximum ω over all admissible splits of one window.
+
+    Returns ``(omega, best_ell)``; ``(0.0, 0)`` when the window is too small
+    (fewer than 4 SNPs).
+    """
+    profile = omega_profile(r2)
+    if np.all(np.isnan(profile)):
+        return 0.0, 0
+    best = int(np.nanargmax(profile))
+    return float(profile[best]), best
+
+
+def omega_max_flanks(
+    r2: np.ndarray,
+    center: int,
+    *,
+    min_flank: int = 2,
+    max_flank: int | None = None,
+) -> tuple[float, int, int]:
+    """Maximize ω over *both* flank extents around a fixed boundary.
+
+    This is OmegaPlus's actual search: the boundary (candidate sweep
+    location) sits between SNPs ``center − 1`` and ``center``; the left
+    flank is the last ``l`` SNPs before it, the right flank the first
+    ``r`` after it, and ω is maximized over ``l, r ∈ [min_flank,
+    max_flank]`` independently — unlike :func:`omega_max`, which fixes
+    both flanks to exhaust a window and only moves the boundary.
+
+    All ``(l, r)`` combinations are evaluated in O(L·R) total via
+    incremental within-flank and cross-flank sums.
+
+    Returns
+    -------
+    ``(omega, best_l, best_r)``; ``(0.0, 0, 0)`` when no admissible
+    combination exists.
+    """
+    r2 = _validate_window(r2)
+    s = r2.shape[0]
+    if not 0 <= center <= s:
+        raise ValueError(f"center {center} out of range for {s} SNPs")
+    if min_flank < 2:
+        raise ValueError(f"min_flank must be >= 2, got {min_flank}")
+    clean = np.nan_to_num(r2, nan=0.0)
+    max_l = center if max_flank is None else min(center, max_flank)
+    max_r = s - center if max_flank is None else min(s - center, max_flank)
+    if max_l < min_flank or max_r < min_flank:
+        return 0.0, 0, 0
+
+    # within_left[l] = Σ pairs inside the last l SNPs before the boundary.
+    within_left = np.zeros(max_l + 1)
+    for l in range(2, max_l + 1):
+        new = center - l  # SNP joining the left flank
+        within_left[l] = within_left[l - 1] + clean[
+            new, new + 1 : center
+        ].sum()
+    within_right = np.zeros(max_r + 1)
+    for r in range(2, max_r + 1):
+        new = center + r - 1
+        within_right[r] = within_right[r - 1] + clean[
+            center : new, new
+        ].sum()
+    # cross[l, r] built from cumulative row sums of the cross block.
+    cross_rows = np.cumsum(
+        clean[center - max_l : center, center : center + max_r][::-1],
+        axis=1,
+    )  # cross_rows[l-1, r-1] = Σ_{j<r} r2[center-l, center+j]
+    cross = np.zeros((max_l + 1, max_r + 1))
+    cross[1:, 1:] = np.cumsum(cross_rows, axis=0)
+
+    best = (0.0, 0, 0)
+    for l in range(min_flank, max_l + 1):
+        for r in range(min_flank, max_r + 1):
+            n_within = l * (l - 1) // 2 + r * (r - 1) // 2
+            numer = (within_left[l] + within_right[r]) / n_within
+            denom = cross[l, r] / (l * r)
+            if denom == 0.0:
+                omega = 0.0 if numer == 0.0 else float("inf")
+            else:
+                omega = numer / denom
+            if omega > best[0]:
+                best = (float(omega), l, r)
+    return best
+
+
+def evaluate_grid_point(
+    r2_window: np.ndarray,
+    local_center: int,
+    search: str,
+    max_window: int,
+) -> tuple[float, int]:
+    """Shared grid-point evaluation for both scan paths.
+
+    Returns ``(omega, local_split)`` where the split is the local index of
+    the last left-flank SNP (−1 when inadmissible). ``search="split"``
+    exhausts the window and moves the boundary (:func:`omega_max`);
+    ``search="flanks"`` fixes the boundary at the grid position and
+    maximizes over both flank extents (:func:`omega_max_flanks`,
+    OmegaPlus's search).
+    """
+    if search == "split":
+        omega, ell = omega_max(r2_window)
+        return omega, (ell - 1) if ell else -1
+    if search == "flanks":
+        omega, left, _right = omega_max_flanks(
+            r2_window, local_center, max_flank=max_window
+        )
+        return omega, (local_center - 1) if left else -1
+    raise ValueError(f"unknown search {search!r}; choose 'split' or 'flanks'")
+
+
+def omega_scan_from_ld(
+    r2_full: np.ndarray,
+    positions: np.ndarray,
+    grid: np.ndarray,
+    *,
+    max_window: int = 100,
+    search: str = "split",
+) -> tuple[np.ndarray, np.ndarray]:
+    """ω over a grid of genomic positions, from a precomputed r² matrix.
+
+    This is the GEMM-accelerated OmegaPlus workflow: one blocked GEMM
+    produces ``r2_full``; each grid evaluation then maximizes ω over the
+    ≤``2·max_window``-SNP window centred at the grid position.
+
+    Parameters
+    ----------
+    r2_full:
+        All-pairs r² matrix of the region (``(n_snps, n_snps)``).
+    positions:
+        Monotonic genomic coordinates of the SNPs (length ``n_snps``).
+    grid:
+        Genomic coordinates at which to evaluate ω.
+    max_window:
+        Maximum SNPs per flank.
+    search:
+        ``"split"`` (default; exhaust the window, move the boundary) or
+        ``"flanks"`` (fix the boundary at the grid position, maximize over
+        both flank extents — OmegaPlus's search).
+
+    Returns
+    -------
+    ``(omegas, best_splits)`` arrays aligned with *grid*; the split is
+    reported as the global index of the last left-flank SNP (−1 when the
+    local window was too small to evaluate).
+    """
+    r2_full = np.asarray(r2_full, dtype=np.float64)
+    positions = np.asarray(positions, dtype=np.float64)
+    if r2_full.shape != (positions.size, positions.size):
+        raise ValueError(
+            f"r2 shape {r2_full.shape} does not match {positions.size} positions"
+        )
+    if np.any(np.diff(positions) < 0):
+        raise ValueError("positions must be sorted ascending")
+    grid = np.asarray(grid, dtype=np.float64)
+    omegas = np.zeros(grid.size)
+    splits = np.full(grid.size, -1, dtype=np.int64)
+    for g, center in enumerate(grid):
+        mid = int(np.searchsorted(positions, center))
+        lo = max(0, mid - max_window)
+        hi = min(positions.size, mid + max_window)
+        window = r2_full[lo:hi, lo:hi]
+        omega, local_split = evaluate_grid_point(
+            window, mid - lo, search, max_window
+        )
+        omegas[g] = omega
+        if local_split >= 0:
+            splits[g] = lo + local_split
+    return omegas, splits

@@ -1,0 +1,106 @@
+"""Classical window-level LD summary statistics on the GEMM matrix.
+
+Population-genetics scans rarely report raw pairwise matrices; they reduce
+windows to scalar summaries. All of these are cheap reductions of the LD
+matrix the blocked GEMM mass-produces:
+
+- **Kelly's ZnS** (Kelly 1997): mean r² over all SNP pairs of a window —
+  the most widely used LD summary, elevated under sweeps and structure.
+- **Wall's B and Q** (Wall 1999): the fraction of *adjacent* SNP pairs
+  that are congruent (no recombination evidence: only 2 or 3 of the 4
+  possible two-locus haplotypes present), and its partition variant.
+- **Mean |D'|**: the haplotype-structure summary used in block detection.
+
+Each function accepts the full region and optional window bounds, so a
+sliding-window scan is a loop of O(window²) reductions over one GEMM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ldmatrix import as_bitmatrix, compute_ld
+from repro.encoding.bitmatrix import BitMatrix
+
+__all__ = ["kelly_zns", "mean_abs_d_prime", "walls_b"]
+
+
+def _window(matrix: BitMatrix, start: int | None, stop: int | None) -> BitMatrix:
+    lo = 0 if start is None else start
+    hi = matrix.n_snps if stop is None else stop
+    if not 0 <= lo < hi <= matrix.n_snps:
+        raise ValueError(
+            f"window [{lo}, {hi}) invalid for {matrix.n_snps} SNPs"
+        )
+    return matrix.slice_snps(lo, hi)
+
+
+def kelly_zns(
+    data: BitMatrix | np.ndarray,
+    *,
+    start: int | None = None,
+    stop: int | None = None,
+) -> float:
+    """Kelly's ZnS: mean pairwise r² over the window (NaN pairs excluded).
+
+    NaN when the window has fewer than 2 SNPs with defined r².
+    """
+    matrix = _window(as_bitmatrix(data), start, stop)
+    if matrix.n_snps < 2:
+        return float("nan")
+    r2 = compute_ld(matrix).r2()
+    iu = np.triu_indices(matrix.n_snps, k=1)
+    values = r2[iu]
+    values = values[~np.isnan(values)]
+    return float(values.mean()) if values.size else float("nan")
+
+
+def mean_abs_d_prime(
+    data: BitMatrix | np.ndarray,
+    *,
+    start: int | None = None,
+    stop: int | None = None,
+) -> float:
+    """Mean |D'| over all defined pairs of the window."""
+    matrix = _window(as_bitmatrix(data), start, stop)
+    if matrix.n_snps < 2:
+        return float("nan")
+    dp = compute_ld(matrix).d_prime()
+    iu = np.triu_indices(matrix.n_snps, k=1)
+    values = np.abs(dp[iu])
+    values = values[~np.isnan(values)]
+    return float(values.mean()) if values.size else float("nan")
+
+
+def walls_b(
+    data: BitMatrix | np.ndarray,
+    *,
+    start: int | None = None,
+    stop: int | None = None,
+) -> float:
+    """Wall's B: fraction of adjacent SNP pairs that are *congruent*.
+
+    A pair is congruent when at most 3 of the 4 possible two-locus
+    haplotypes (00, 01, 10, 11) are observed — i.e. the four-gamete test
+    finds no recombination between them. Computed from the packed words:
+    the four haplotype counts come from one AND plus the marginals.
+
+    NaN for windows with fewer than 2 SNPs.
+    """
+    matrix = _window(as_bitmatrix(data), start, stop)
+    n = matrix.n_snps
+    if n < 2:
+        return float("nan")
+    words = matrix.words
+    counts = matrix.allele_counts()
+    n_samples = matrix.n_samples
+    congruent = 0
+    for i in range(n - 1):
+        c11 = int(np.bitwise_count(words[i] & words[i + 1]).sum())
+        c10 = int(counts[i]) - c11
+        c01 = int(counts[i + 1]) - c11
+        c00 = n_samples - c11 - c10 - c01
+        observed = sum(1 for c in (c00, c01, c10, c11) if c > 0)
+        if observed <= 3:
+            congruent += 1
+    return congruent / (n - 1)

@@ -1,0 +1,94 @@
+"""Tanimoto 2D-fingerprint similarity as the same popcount GEMM (§VII, Eq. 7).
+
+The paper's "adapting for other domains" example: chemical compounds
+represented as binary fingerprint vectors compare via the Tanimoto
+coefficient
+
+    T(A, B) = x / (p + q − x)
+
+with ``p = POPCNT(A)``, ``q = POPCNT(B)``, ``x = POPCNT(A & B)`` — the same
+AND/POPCNT inner product as the LD haplotype count, so the all-pairs
+similarity matrix is one blocked popcount GEMM plus an elementwise map.
+
+Fingerprints are stored one-per-row and packed with the same Figure 2 layout
+(each fingerprint plays the role of one SNP; fingerprint bits play the role
+of samples).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.gemm import popcount_gemm, popcount_gram
+from repro.encoding.bitmatrix import BitMatrix
+
+__all__ = ["pack_fingerprints", "tanimoto_matrix", "tanimoto_pair"]
+
+
+def pack_fingerprints(fingerprints: np.ndarray | BitMatrix) -> BitMatrix:
+    """Pack a dense ``(n_fingerprints, n_bits)`` 0/1 matrix for the kernel."""
+    if isinstance(fingerprints, BitMatrix):
+        return fingerprints
+    return BitMatrix.from_snp_vectors(np.asarray(fingerprints))
+
+
+def tanimoto_pair(a_bits: np.ndarray, b_bits: np.ndarray) -> float:
+    """Tanimoto coefficient of two dense binary vectors (Eq. 7).
+
+    Two all-zero fingerprints have similarity 1.0 by the usual convention
+    (they are identical); a zero against a non-zero gives 0.0.
+    """
+    a = np.asarray(a_bits).astype(bool)
+    b = np.asarray(b_bits).astype(bool)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(
+            f"fingerprints must be 1-D of equal length, got {a.shape} and {b.shape}"
+        )
+    p = int(a.sum())
+    q = int(b.sum())
+    x = int((a & b).sum())
+    if p + q == 0:
+        return 1.0
+    return x / (p + q - x)
+
+
+def tanimoto_matrix(
+    fingerprints: np.ndarray | BitMatrix,
+    others: np.ndarray | BitMatrix | None = None,
+    *,
+    params: BlockingParams = DEFAULT_BLOCKING,
+    kernel: str = "numpy",
+) -> np.ndarray:
+    """All-pairs Tanimoto similarity via the blocked popcount GEMM.
+
+    Parameters
+    ----------
+    fingerprints:
+        Dense ``(n, n_bits)`` binary matrix or pre-packed
+        :class:`BitMatrix` (one fingerprint per "SNP" row).
+    others:
+        Optional second set for the rectangular database-vs-queries case;
+        must use the same bit width.
+
+    Returns
+    -------
+    ``(n, n)`` or ``(n, m)`` float matrix of similarities in [0, 1].
+    """
+    a = pack_fingerprints(fingerprints)
+    p = a.allele_counts().astype(np.float64)
+    if others is None:
+        x = popcount_gram(a.words, params=params, kernel=kernel)
+        q = p
+    else:
+        b = pack_fingerprints(others)
+        if b.n_samples != a.n_samples:
+            raise ValueError(
+                f"fingerprint widths differ: {a.n_samples} vs {b.n_samples} bits"
+            )
+        x = popcount_gemm(a.words, b.words, params=params, kernel=kernel)
+        q = b.allele_counts().astype(np.float64)
+    union = p[:, None] + q[None, :] - x
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sim = np.where(union > 0, x / union, 1.0)
+    return sim

@@ -1,0 +1,31 @@
+"""Baseline LD implementations the paper compares against (Section VI).
+
+Three comparators, re-implemented from scratch so the performance comparison
+can be regenerated:
+
+- :mod:`repro.baselines.naive` — the per-pair vector-operation formulation of
+  the paper's Section II-B pseudocode (what you get *without* casting LD as a
+  matrix multiplication).
+- :mod:`repro.baselines.plink` — a PLINK 1.9-style kernel: 2-bit packed
+  *genotypes*, per-pair mask/AND/POPCNT extraction of the 3×3 genotype
+  table, dosage-correlation r², full N(N+1)/2 traversal.
+- :mod:`repro.baselines.omegaplus` — an OmegaPlus-style scan: ω-statistic
+  sweep detection that computes only the region-restricted LD values each ω
+  evaluation needs, with the 64-bit popcount inner step.
+
+All three share the per-pair traversal style that the paper identifies as the
+inefficiency; the GEMM path in :mod:`repro.core` replaces it wholesale.
+"""
+
+from repro.baselines.naive import naive_ld_matrix, naive_ld_matrix_scalar
+from repro.baselines.omegaplus import OmegaPlusResult, omegaplus_scan
+from repro.baselines.plink import plink_pairwise_counts, plink_r2_matrix
+
+__all__ = [
+    "naive_ld_matrix",
+    "naive_ld_matrix_scalar",
+    "OmegaPlusResult",
+    "omegaplus_scan",
+    "plink_pairwise_counts",
+    "plink_r2_matrix",
+]

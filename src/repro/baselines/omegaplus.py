@@ -1,0 +1,174 @@
+"""OmegaPlus-style comparator: ω scan with on-demand per-pair LD.
+
+OmegaPlus (Alachiotis, Stamatakis & Pavlidis 2012) detects selective sweeps
+by maximizing the ω statistic on a grid of genomic positions. Its LD engine
+is *demand-driven*: only the r² values inside some evaluation's window are
+ever computed (the paper's Section VI notes it performed 49.4 M of the 50 M
+pairwise computations on dataset A for this reason), with each value produced
+by a popcount inner loop over the pair's packed words — the paper further
+upgraded it to the same 64-bit popcount the GEMM kernel uses (footnote 5).
+
+This module reproduces that engine shape:
+
+- LD values are computed per pair (one AND+POPCNT pass over the two SNPs'
+  words) the first time a window needs them, then cached, so work matches
+  OmegaPlus's "compute only what ω needs, once";
+- the scan reports how many pairwise LD evaluations were actually performed,
+  regenerating the paper's 49.4 M / 49.9 M vs 50 M accounting;
+- ω maximization over splits reuses :mod:`repro.analysis.omega`.
+
+The GEMM-accelerated equivalent — one blocked GEMM, then cheap ω reductions
+— is :func:`repro.analysis.omega.omega_scan_from_ld`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.omega import evaluate_grid_point
+from repro.core.ldmatrix import as_bitmatrix
+from repro.encoding.bitmatrix import BitMatrix
+
+__all__ = ["OmegaPlusResult", "PairwiseLDCache", "omegaplus_scan"]
+
+
+class PairwiseLDCache:
+    """Demand-driven per-pair r² evaluator over a packed genomic matrix.
+
+    Each first request for a pair runs one AND + POPCNT pass over the pair's
+    packed words (the OmegaPlus inner kernel); repeats hit the cache. The
+    evaluation counter is the scan's work metric.
+    """
+
+    def __init__(self, matrix: BitMatrix):
+        if matrix.n_samples == 0:
+            raise ValueError("LD undefined for zero samples")
+        self._words = matrix.words
+        self._inv_n = 1.0 / matrix.n_samples
+        self._freqs = matrix.allele_frequencies()
+        self._cache: dict[tuple[int, int], float] = {}
+        self.evaluations = 0
+
+    def r2(self, i: int, j: int) -> float:
+        """r² between SNPs *i* and *j* (NaN when undefined)."""
+        key = (i, j) if i <= j else (j, i)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        self.evaluations += 1
+        joint = int(np.bitwise_count(self._words[i] & self._words[j]).sum())
+        p, q = self._freqs[i], self._freqs[j]
+        denom = p * q * (1.0 - p) * (1.0 - q)
+        if denom <= 0.0:
+            value = float("nan")
+        else:
+            d = joint * self._inv_n - p * q
+            value = d * d / denom
+        self._cache[key] = value
+        return value
+
+    def window_matrix(self, lo: int, hi: int) -> np.ndarray:
+        """r² submatrix for SNPs ``[lo, hi)``, filling cache misses per pair."""
+        size = hi - lo
+        out = np.zeros((size, size), dtype=np.float64)
+        for a in range(size):
+            for b in range(a + 1, size):
+                out[a, b] = out[b, a] = self.r2(lo + a, lo + b)
+        return out
+
+
+@dataclass(frozen=True)
+class OmegaPlusResult:
+    """Output of an OmegaPlus-style scan.
+
+    Attributes
+    ----------
+    grid:
+        Genomic coordinates of the evaluation grid.
+    omegas:
+        Maximized ω per grid position.
+    best_splits:
+        Global SNP index of the best left-flank end per position (−1 where
+        the window was too small).
+    ld_evaluations:
+        Number of distinct pairwise LD values actually computed — the
+        paper's "49.4 M of 50 M" accounting.
+    """
+
+    grid: np.ndarray
+    omegas: np.ndarray
+    best_splits: np.ndarray
+    ld_evaluations: int
+
+    @property
+    def peak_position(self) -> float:
+        """Grid coordinate of the maximum ω (sweep candidate location)."""
+        return float(self.grid[int(np.argmax(self.omegas))])
+
+
+def omegaplus_scan(
+    data: BitMatrix | np.ndarray,
+    positions: np.ndarray | None = None,
+    *,
+    grid_size: int = 10,
+    max_window: int = 100,
+    search: str = "split",
+) -> OmegaPlusResult:
+    """ω-statistic sweep scan with demand-driven per-pair LD (OmegaPlus style).
+
+    Parameters
+    ----------
+    data:
+        Dense binary ``(n_samples, n_snps)`` matrix or packed
+        :class:`BitMatrix`.
+    positions:
+        Monotonic genomic coordinates per SNP; defaults to SNP indices.
+    grid_size:
+        Number of equally spaced evaluation positions spanning the region.
+    max_window:
+        Maximum SNPs per flank of each evaluation window.
+    search:
+        ``"split"`` or ``"flanks"`` — see
+        :func:`repro.analysis.omega.evaluate_grid_point`.
+    """
+    matrix = as_bitmatrix(data)
+    n_snps = matrix.n_snps
+    if positions is None:
+        positions = np.arange(n_snps, dtype=np.float64)
+    else:
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.size != n_snps:
+            raise ValueError(
+                f"got {positions.size} positions for {n_snps} SNPs"
+            )
+        if np.any(np.diff(positions) < 0):
+            raise ValueError("positions must be sorted ascending")
+    if grid_size <= 0:
+        raise ValueError(f"grid_size must be positive, got {grid_size}")
+    if n_snps == 0:
+        empty = np.array([])
+        return OmegaPlusResult(empty, empty, empty.astype(np.int64), 0)
+
+    cache = PairwiseLDCache(matrix)
+    grid = np.linspace(positions[0], positions[-1], grid_size)
+    omegas = np.zeros(grid_size)
+    splits = np.full(grid_size, -1, dtype=np.int64)
+    for g, center in enumerate(grid):
+        mid = int(np.searchsorted(positions, center))
+        lo = max(0, mid - max_window)
+        hi = min(n_snps, mid + max_window)
+        window = cache.window_matrix(lo, hi)
+        omega, local_split = evaluate_grid_point(
+            window, mid - lo, search, max_window
+        )
+        omegas[g] = omega
+        if local_split >= 0:
+            splits[g] = lo + local_split
+    return OmegaPlusResult(
+        grid=grid,
+        omegas=omegas,
+        best_splits=splits,
+        ld_evaluations=cache.evaluations,
+    )

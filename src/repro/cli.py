@@ -1,0 +1,292 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Wraps the library the way the tools it reproduces are driven — file in,
+file out:
+
+===========  ================================================================
+command      what it does
+===========  ================================================================
+simulate     generate a haplotype panel (SFS / coalescent / sweep) → ms/VCF
+ld           all-pairs or banded LD matrix from ms/VCF/FASTA → .npy/.tsv
+scan         ω-statistic selective-sweep scan → .tsv
+prune        PLINK-style LD pruning → kept SNP indices
+blocks       haplotype-block partition → .tsv
+decay        LD-decay curve → .tsv
+model        machine-model report (%-of-peak, SIMD analysis, GPU roofline)
+===========  ================================================================
+
+Every command takes ``--seed`` where randomness is involved and prints a
+one-line summary to stdout; data goes to the ``--out`` path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.decay import ld_decay_curve
+from repro.analysis.haplotype_blocks import find_haplotype_blocks
+from repro.analysis.ldprune import ld_prune
+from repro.analysis.sweeps import sweep_scan
+from repro.core.ldmatrix import ld_matrix
+from repro.core.windowed import banded_ld
+from repro.encoding.bitmatrix import BitMatrix
+from repro.io.fasta import call_snps_from_alignment, read_fasta
+from repro.io.msformat import read_ms, write_ms
+from repro.io.vcf import read_vcf, write_vcf
+from repro.machine.gpu import TESLA_K40, estimate_ld_gpu
+from repro.machine.perfmodel import estimate_gemm_performance
+from repro.machine.simd import analyze_simd_benefit
+from repro.simulate.coalescent import simulate_chunked_region
+from repro.simulate.datasets import simulate_sfs_panel
+from repro.simulate.wrightfisher import simulate_sweep
+
+__all__ = ["main"]
+
+
+def load_panel(path: str | Path) -> tuple[BitMatrix, np.ndarray]:
+    """Load a haplotype panel from .ms, .vcf, or .fasta by extension."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".ms":
+        replicate = read_ms(path)[0]
+        return (
+            BitMatrix.from_dense(replicate.haplotypes),
+            replicate.positions.astype(np.float64),
+        )
+    if suffix == ".vcf" or path.name.lower().endswith(".vcf.gz"):
+        panel = read_vcf(path)
+        return panel.to_bitmatrix(), panel.positions.astype(np.float64)
+    if suffix in (".fa", ".fasta"):
+        chars, _names = read_fasta(path)
+        calls = call_snps_from_alignment(chars)
+        return calls.matrix, calls.positions
+    raise SystemExit(
+        f"unsupported input format {suffix!r}; use .ms, .vcf, or .fasta"
+    )
+
+
+def _save_matrix(matrix: np.ndarray, out: Path) -> None:
+    if out.suffix == ".npy":
+        np.save(out, matrix)
+    elif out.suffix == ".tsv":
+        np.savetxt(out, matrix, delimiter="\t", fmt="%.6g")
+    else:
+        raise SystemExit(f"unsupported output format {out.suffix!r}; use .npy/.tsv")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    positions: np.ndarray
+    if args.kind == "sfs":
+        panel = simulate_sfs_panel(args.samples, args.snps, rng=rng)
+        haps = panel.to_dense()
+        positions = np.arange(args.snps, dtype=np.float64)
+    elif args.kind == "coalescent":
+        sample = simulate_chunked_region(
+            args.samples, n_chunks=args.chunks, theta_per_chunk=args.theta,
+            rng=rng, chunk_length=1000.0,
+        )
+        haps, positions = sample.haplotypes, sample.positions
+    else:  # sweep
+        result = simulate_sweep(
+            args.samples, args.snps | 1, pop_size=max(2 * args.samples, 100),
+            selection=1.0, mut_rate=1e-3, recomb_rate=8e-3, rng=rng,
+        )
+        haps, positions = result.haplotypes, result.positions
+    out = Path(args.out)
+    if out.suffix == ".ms":
+        span = positions.max() if positions.size and positions.max() > 0 else 1.0
+        write_ms(out, [(haps, positions / span)])
+    elif out.suffix == ".vcf":
+        ploidy = 2 if haps.shape[0] % 2 == 0 else 1
+        write_vcf(out, haps, np.arange(haps.shape[1]) * 100 + 1, ploidy=ploidy)
+    else:
+        raise SystemExit(f"unsupported output format {out.suffix!r}; use .ms/.vcf")
+    print(f"simulate: wrote {haps.shape[0]} haplotypes x {haps.shape[1]} SNPs "
+          f"({args.kind}) to {out}")
+    return 0
+
+
+def _cmd_ld(args: argparse.Namespace) -> int:
+    panel, _positions = load_panel(args.input)
+    if args.drop_monomorphic:
+        panel = panel.drop_monomorphic()
+    if args.maf > 0.0:
+        freqs = panel.allele_frequencies()
+        keep = np.minimum(freqs, 1.0 - freqs) >= args.maf
+        panel = panel.select(np.flatnonzero(keep))
+    if args.window:
+        band = banded_ld(panel, window=args.window, stat=args.stat)
+        matrix = band.values
+        kind = f"banded (window {args.window}, diagonal-major)"
+    else:
+        matrix = ld_matrix(panel, stat=args.stat, n_threads=args.threads)
+        kind = "full"
+    out = Path(args.out)
+    _save_matrix(matrix, out)
+    print(f"ld: {kind} {args.stat} matrix {matrix.shape} over "
+          f"{panel.n_snps} SNPs x {panel.n_samples} samples -> {out}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    panel, positions = load_panel(args.input)
+    scan = sweep_scan(
+        panel, positions, grid_size=args.grid_size, max_window=args.max_window,
+    )
+    out = Path(args.out)
+    table = np.column_stack([scan.grid, scan.omegas, scan.best_splits])
+    np.savetxt(
+        out, table, delimiter="\t", fmt="%.6g",
+        header="position\tomega\tbest_split", comments="",
+    )
+    print(f"scan: peak omega {scan.peak_omega:.3f} at position "
+          f"{scan.peak_position:.1f} ({args.grid_size} grid points) -> {out}")
+    return 0
+
+
+def _cmd_prune(args: argparse.Namespace) -> int:
+    panel, _positions = load_panel(args.input)
+    kept = ld_prune(
+        panel, window=args.window, step=args.step,
+        r2_threshold=args.r2_threshold,
+    )
+    out = Path(args.out)
+    np.savetxt(out, kept, fmt="%d")
+    print(f"prune: kept {kept.size} of {panel.n_snps} SNPs "
+          f"(r2 < {args.r2_threshold}) -> {out}")
+    return 0
+
+
+def _cmd_blocks(args: argparse.Namespace) -> int:
+    panel, _positions = load_panel(args.input)
+    blocks = find_haplotype_blocks(
+        panel, window=args.window, r2_threshold=args.r2_threshold,
+        min_fraction=args.min_fraction,
+    )
+    out = Path(args.out)
+    rows = [(b.start, b.stop, b.n_snps, b.mean_r2) for b in blocks]
+    np.savetxt(
+        out, np.array(rows, dtype=float).reshape(-1, 4), delimiter="\t",
+        fmt="%.6g", header="start\tstop\tn_snps\tmean_r2", comments="",
+    )
+    covered = sum(b.n_snps for b in blocks)
+    print(f"blocks: {len(blocks)} blocks covering {covered} of "
+          f"{panel.n_snps} SNPs -> {out}")
+    return 0
+
+
+def _cmd_decay(args: argparse.Namespace) -> int:
+    panel, positions = load_panel(args.input)
+    curve = ld_decay_curve(panel, positions, n_bins=args.bins)
+    out = Path(args.out)
+    table = np.column_stack([curve.bin_centers, curve.mean_r2, curve.counts])
+    np.savetxt(
+        out, table, delimiter="\t", fmt="%.6g",
+        header="distance\tmean_r2\tn_pairs", comments="",
+    )
+    print(f"decay: {args.bins} bins, half-decay distance "
+          f"{curve.half_decay_distance():.4g} -> {out}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    k_words = (args.samples + 63) // 64
+    est = estimate_gemm_performance(args.snps, args.snps, k_words)
+    print(f"model: {args.snps} SNPs x {args.samples} samples "
+          f"({k_words} words/SNP) on the Haswell model")
+    print(f"  scalar kernel: {est.percent_of_peak:.1f} % of the 3-ops/cycle "
+          f"peak, {est.seconds:.3f} s projected")
+    print("  SIMD analysis (Section V):")
+    for analysis in analyze_simd_benefit():
+        print(f"    {analysis.config.name:>18}: "
+              f"{analysis.speedup_vs_scalar:5.2f}x vs scalar")
+    gpu = estimate_ld_gpu(args.snps, args.snps, k_words)
+    print(f"  GPU roofline ({TESLA_K40.name}): {gpu.bound}-bound, "
+          f"{gpu.seconds:.4f} s, {gpu.speedup_vs_cpu:.1f}x vs scalar CPU")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GEMM-based linkage disequilibrium toolkit (IPPS'16 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="generate a haplotype panel")
+    p.add_argument("--kind", choices=("sfs", "coalescent", "sweep"), default="sfs")
+    p.add_argument("--samples", type=int, default=100)
+    p.add_argument("--snps", type=int, default=500,
+                   help="SNP count (sfs) or site count (sweep)")
+    p.add_argument("--theta", type=float, default=10.0,
+                   help="per-chunk theta (coalescent)")
+    p.add_argument("--chunks", type=int, default=5,
+                   help="independent loci (coalescent)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help=".ms or .vcf output")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("ld", help="compute an LD matrix")
+    p.add_argument("input", help=".ms/.vcf/.fasta panel")
+    p.add_argument("--stat", choices=("r2", "D", "Dprime", "H"), default="r2")
+    p.add_argument("--window", type=int, default=0,
+                   help="banded mode: max pair distance in SNPs (0 = full)")
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--maf", type=float, default=0.0,
+                   help="drop SNPs below this minor-allele frequency")
+    p.add_argument("--drop-monomorphic", action="store_true")
+    p.add_argument("--out", required=True, help=".npy or .tsv output")
+    p.set_defaults(func=_cmd_ld)
+
+    p = sub.add_parser("scan", help="omega-statistic sweep scan")
+    p.add_argument("input")
+    p.add_argument("--grid-size", type=int, default=25)
+    p.add_argument("--max-window", type=int, default=100)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser("prune", help="LD pruning (PLINK --indep-pairwise)")
+    p.add_argument("input")
+    p.add_argument("--window", type=int, default=50)
+    p.add_argument("--step", type=int, default=5)
+    p.add_argument("--r2-threshold", type=float, default=0.2)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_prune)
+
+    p = sub.add_parser("blocks", help="haplotype-block partition")
+    p.add_argument("input")
+    p.add_argument("--window", type=int, default=50)
+    p.add_argument("--r2-threshold", type=float, default=0.5)
+    p.add_argument("--min-fraction", type=float, default=0.7)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_blocks)
+
+    p = sub.add_parser("decay", help="LD-decay curve")
+    p.add_argument("input")
+    p.add_argument("--bins", type=int, default=20)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_decay)
+
+    p = sub.add_parser("model", help="machine-model performance report")
+    p.add_argument("--snps", type=int, default=4096)
+    p.add_argument("--samples", type=int, default=10000)
+    p.set_defaults(func=_cmd_model)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

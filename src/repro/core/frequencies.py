@@ -1,0 +1,71 @@
+"""Allele and haplotype frequencies as linear-algebra operations (Section II-A).
+
+Equations 3 and 4 of the paper:
+
+    P_i   = s_iᵀ s_i / N_seq          (allele frequency; popcount of SNP i)
+    P_ij  = s_iᵀ s_j / N_seq          (haplotype frequency; joint popcount)
+
+Over the bit-packed representation both reduce to popcounts of AND-ed word
+streams; the all-pairs haplotype-frequency matrix ``H = (1/N_seq) GᵀG`` is
+the GEMM of Section II-B, delegated to :mod:`repro.core.gemm`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.gemm import popcount_gemm, popcount_gram
+from repro.encoding.bitmatrix import BitMatrix
+
+__all__ = [
+    "allele_frequencies",
+    "haplotype_frequencies",
+    "haplotype_frequencies_cross",
+]
+
+
+def allele_frequencies(matrix: BitMatrix) -> np.ndarray:
+    """Per-SNP derived-allele frequencies ``p`` (Equation 3)."""
+    return matrix.allele_frequencies()
+
+
+def haplotype_frequencies(
+    matrix: BitMatrix,
+    *,
+    params: BlockingParams = DEFAULT_BLOCKING,
+    kernel: str = "numpy",
+) -> np.ndarray:
+    """All-pairs haplotype-frequency matrix ``H = (1/N_seq) GᵀG`` (Section II-B).
+
+    Exploits symmetry: only the N(N+1)/2 lower-triangle counts are computed
+    and mirrored.
+    """
+    if matrix.n_samples == 0:
+        raise ValueError("haplotype frequencies undefined for zero samples")
+    counts = popcount_gram(matrix.words, params=params, kernel=kernel)
+    return counts / float(matrix.n_samples)
+
+
+def haplotype_frequencies_cross(
+    a: BitMatrix,
+    b: BitMatrix,
+    *,
+    params: BlockingParams = DEFAULT_BLOCKING,
+    kernel: str = "numpy",
+) -> np.ndarray:
+    """Haplotype frequencies between SNPs of two genomic matrices.
+
+    The two-input case of the paper's Figure 4 (long-range LD, distant-gene
+    association): all ``m × n`` frequencies are computed, with no symmetry to
+    exploit. Both matrices must cover the same samples.
+    """
+    if a.n_samples != b.n_samples:
+        raise ValueError(
+            f"sample counts differ: {a.n_samples} vs {b.n_samples}; "
+            "cross-LD requires the same sample set"
+        )
+    if a.n_samples == 0:
+        raise ValueError("haplotype frequencies undefined for zero samples")
+    counts = popcount_gemm(a.words, b.words, params=params, kernel=kernel)
+    return counts / float(a.n_samples)

@@ -1,0 +1,100 @@
+"""Genotype-domain r² as popcount GEMMs (closing the paper's PLINK gap).
+
+The paper's comparison notes a scope difference: "the focus of PLINK 1.9
+is on genotypes, whereas the focus of OmegaPlus and GEMM is on alleles"
+(Section VI) — and then beats PLINK on *allele*-domain work. This module
+shows the gap is not fundamental: PLINK's own statistic — the squared
+Pearson correlation of diploid dosages X, Y ∈ {0, 1, 2} — also reduces to
+popcount GEMMs over the 2-bit genotype encoding's bit planes.
+
+With per-variant planes (one bit per individual)
+
+    C = carrier  (dosage ≥ 1 :  het or hom-alt)
+    H = hom-alt  (dosage = 2)
+    V = valid    (genotype present)
+
+and dosage ``X = C + H`` as an integer identity on indicator bits, every
+moment the correlation needs is a joint popcount over a pair's jointly
+valid samples:
+
+    n      = |V_i ∧ V_j|                                gram(V)
+    ΣX     = |C_i ∧ V_j| + |H_i ∧ V_j|                  gemm(C,V), gemm(H,V)
+    ΣX²    = |C_i ∧ V_j| + 3·|H_i ∧ V_j|                (X² = C + 3H)
+    ΣXY    = |C_i∧C_j| + |C_i∧H_j| + |H_i∧C_j| + |H_i∧H_j|
+                                                        gram(C), gemm(C,H), gram(H)
+
+— six distinct GEMMs for the full N(N+1)/2 genotype-r² matrix, versus
+PLINK's per-pair traversal. The masking trick mirrors the paper's own
+gap-aware extension (Section VII): planes are pre-ANDed with V, so
+``C_i ∧ V_j = C_i ∧ (V_i ∧ V_j)`` automatically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.plink import PlinkPlanes, prepare_planes
+from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.gemm import popcount_gemm, popcount_gram
+from repro.encoding.genotypes import GenotypeMatrix
+
+__all__ = ["genotype_r2_matrix"]
+
+
+def genotype_r2_matrix(
+    genotypes: GenotypeMatrix,
+    *,
+    params: BlockingParams = DEFAULT_BLOCKING,
+    kernel: str = "numpy",
+    undefined: float = np.nan,
+) -> np.ndarray:
+    """All-pairs genotype (dosage) r² via six blocked popcount GEMMs.
+
+    Numerically identical to the per-pair PLINK baseline
+    (:func:`repro.baselines.plink.plink_r2_matrix`), including
+    missing-data handling: every moment is computed over each pair's
+    jointly valid individuals.
+
+    Parameters
+    ----------
+    genotypes:
+        Packed 2-bit genotype matrix.
+    undefined:
+        Fill for pairs with zero dosage variance on either side (or no
+        jointly valid individuals).
+    """
+    planes: PlinkPlanes = prepare_planes(genotypes)
+    c = planes.carrier  # already masked by validity
+    h = planes.homalt
+    v = planes.valid
+
+    def gemm(a, b):
+        return popcount_gemm(a, b, params=params, kernel=kernel).astype(
+            np.float64
+        )
+
+    def gram(a):
+        return popcount_gram(a, params=params, kernel=kernel).astype(np.float64)
+
+    n = gram(v)
+    cv = gemm(c, v)   # cv[i, j] = |C_i ∧ V_j| = Σ over joint-valid of (X_i ≥ 1)
+    hv = gemm(h, v)
+    cc = gram(c)
+    hh = gram(h)
+    ch = gemm(c, h)   # ch[i, j] = |C_i ∧ H_j|
+
+    sum_x = cv + hv              # row variant's dosage sum, per column pair
+    sum_y = cv.T + hv.T          # column variant's dosage sum
+    sum_x2 = cv + 3.0 * hv       # X² = C + 3H on indicator bits
+    sum_y2 = cv.T + 3.0 * hv.T
+    sum_xy = cc + ch + ch.T + hh  # (C_i+H_i)(C_j+H_j) expanded
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        mean_x = sum_x / n
+        mean_y = sum_y / n
+        var_x = sum_x2 / n - mean_x**2
+        var_y = sum_y2 / n - mean_y**2
+        cov = sum_xy / n - mean_x * mean_y
+        denom = var_x * var_y
+        r2 = np.where((n > 0) & (denom > 0), cov * cov / denom, undefined)
+    return r2

@@ -1,0 +1,72 @@
+"""Operand packing for the blocked LD GEMM (GotoBLAS layers, Figure 1).
+
+GotoBLAS packs each cache block of A and each cache panel of B into
+contiguous buffers laid out in *micro-panel* order, so that the micro-kernel
+streams both operands with unit stride:
+
+- the packed A block stores ``mr``-row slivers back to back: element order is
+  ``(row-sliver, k, row-within-sliver)``;
+- the packed B panel stores ``nr``-column slivers back to back: element order
+  is ``(col-sliver, k, col-within-sliver)``.
+
+Slivers at the fringe (when the block size is not a multiple of ``mr``/``nr``)
+are zero-padded to full width — zero words are inert under AND/POPCNT, so the
+micro-kernel never needs a fringe case, mirroring how BLIS handles edge tiles.
+
+Elements here are ``uint64`` packed-allele words; the layout math is identical
+to the double-precision original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pack_block_a", "pack_panel_b", "micropanel_a", "micropanel_b"]
+
+
+def pack_block_a(a_words: np.ndarray, mr: int) -> np.ndarray:
+    """Pack an ``(m, k)`` block of A into micro-panel order.
+
+    Returns an array of shape ``(ceil(m / mr), k, mr)`` — sliver-major,
+    then k, then row-within-sliver — zero-padded in the last sliver.
+    The micro-kernel reads ``packed[s, p, :]`` as the ``mr`` A-words of
+    rank-1-update step ``p``; those reads are unit-stride.
+    """
+    a_words = np.asarray(a_words, dtype=np.uint64)
+    if a_words.ndim != 2:
+        raise ValueError(f"A block must be 2-D, got shape {a_words.shape}")
+    m, k = a_words.shape
+    n_slivers = (m + mr - 1) // mr
+    packed = np.zeros((n_slivers, k, mr), dtype=np.uint64)
+    for s in range(n_slivers):
+        rows = a_words[s * mr : (s + 1) * mr]
+        packed[s, :, : rows.shape[0]] = rows.T
+    return packed
+
+
+def pack_panel_b(b_words: np.ndarray, nr: int) -> np.ndarray:
+    """Pack a ``(k, n)`` panel of B into micro-panel order.
+
+    Returns shape ``(ceil(n / nr), k, nr)`` — sliver-major, then k, then
+    column-within-sliver — zero-padded in the last sliver.
+    """
+    b_words = np.asarray(b_words, dtype=np.uint64)
+    if b_words.ndim != 2:
+        raise ValueError(f"B panel must be 2-D, got shape {b_words.shape}")
+    k, n = b_words.shape
+    n_slivers = (n + nr - 1) // nr
+    packed = np.zeros((n_slivers, k, nr), dtype=np.uint64)
+    for s in range(n_slivers):
+        cols = b_words[:, s * nr : (s + 1) * nr]
+        packed[s, :, : cols.shape[1]] = cols
+    return packed
+
+
+def micropanel_a(packed_a: np.ndarray, sliver: int) -> np.ndarray:
+    """The ``(k, mr)`` A micro-panel for one row sliver."""
+    return packed_a[sliver]
+
+
+def micropanel_b(packed_b: np.ndarray, sliver: int) -> np.ndarray:
+    """The ``(k, nr)`` B micro-panel for one column sliver."""
+    return packed_b[sliver]

@@ -1,0 +1,34 @@
+"""Encoding substrate: bit-packed genomic matrices and related encodings.
+
+Implements the storage schemes the paper builds on:
+
+- :class:`~repro.encoding.bitmatrix.BitMatrix` — the bit-packed SNP-major
+  binary matrix of Figure 2 (one bit per allele under the infinite-sites
+  model, SNPs padded with zeros to a multiple of 64 samples).
+- :class:`~repro.encoding.genotypes.GenotypeMatrix` — PLINK-style 2-bit
+  genotype encoding used by the PLINK 1.9 baseline (Section VI).
+- :class:`~repro.encoding.masks.ValidityMask` — per-SNP valid-state bit
+  vectors for alignment gaps / missing data (Section VII).
+- :class:`~repro.encoding.fsm.FiniteSitesMatrix` — the four-bit-plane
+  encoding for finite-sites models (Section VII).
+"""
+
+from repro.encoding.bitmatrix import WORD_BITS, BitMatrix, pack_bits, unpack_bits
+from repro.encoding.fsm import DNA_STATES, FiniteSitesMatrix
+from repro.encoding.genotypes import (
+    GenotypeMatrix,
+    genotypes_from_haplotypes,
+)
+from repro.encoding.masks import ValidityMask
+
+__all__ = [
+    "WORD_BITS",
+    "BitMatrix",
+    "pack_bits",
+    "unpack_bits",
+    "GenotypeMatrix",
+    "genotypes_from_haplotypes",
+    "ValidityMask",
+    "FiniteSitesMatrix",
+    "DNA_STATES",
+]

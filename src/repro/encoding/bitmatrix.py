@@ -1,0 +1,254 @@
+"""Bit-packed SNP-major genomic matrix (the paper's Figure 2 layout).
+
+Under the infinite-sites model every SNP has exactly two allelic states, so
+one bit per (sample, SNP) cell suffices: ``0`` encodes the ancestral state and
+``1`` the derived state (Section II-A). The paper stores each SNP as a run of
+consecutive unsigned 64-bit integers, padding each SNP with zero bits when the
+sample count is not a multiple of 64 (Section IV-A, Figure 2); zero padding is
+what makes ``POPCNT(s_i & s_j)`` exact despite the padding, since padded
+positions can never contribute a set bit.
+
+:class:`BitMatrix` reproduces that layout: ``words`` is a C-contiguous
+``(n_snps, n_words)`` array of ``uint64``, SNP-major so that the packed words
+of one SNP are contiguous in memory — exactly the property the GotoBLAS-style
+panel packing in :mod:`repro.core.packing` relies on. Bit ``b`` of word ``w``
+of SNP ``s`` holds the allele of sample ``64*w + b`` at SNP ``s``
+(little-endian bit numbering, matching x86 ``POPCNT`` semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_binary
+
+__all__ = ["WORD_BITS", "BitMatrix", "pack_bits", "unpack_bits"]
+
+#: Number of sample bits per packed machine word (the paper uses the 64-bit
+#: POPCNT variant; see its footnote 3).
+WORD_BITS = 64
+
+
+def words_for_samples(n_samples: int) -> int:
+    """Number of 64-bit words needed to store *n_samples* bits."""
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be non-negative, got {n_samples}")
+    return (n_samples + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(dense: np.ndarray) -> np.ndarray:
+    """Pack a binary ``(n_samples, n_snps)`` matrix into SNP-major uint64 words.
+
+    Returns a ``(n_snps, n_words)`` ``uint64`` array with zero padding in the
+    high bits of the last word of each SNP when ``n_samples % 64 != 0``.
+    """
+    dense = check_binary(dense, "genomic matrix")
+    n_samples, n_snps = dense.shape
+    n_words = words_for_samples(n_samples)
+    # Transpose to SNP-major, pad the sample axis to a byte multiple, then
+    # pack little-endian so bit k of the word stream is sample k.
+    snp_major = np.ascontiguousarray(dense.T)
+    padded_bits = n_words * WORD_BITS
+    if padded_bits != n_samples:
+        pad = np.zeros((n_snps, padded_bits - n_samples), dtype=np.uint8)
+        snp_major = np.concatenate([snp_major, pad], axis=1)
+    packed_bytes = np.packbits(snp_major, axis=1, bitorder="little")
+    return np.ascontiguousarray(packed_bytes).view(np.uint64).reshape(n_snps, n_words)
+
+
+def unpack_bits(words: np.ndarray, n_samples: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: recover the dense ``(n_samples, n_snps)`` matrix."""
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError(f"words must be 2-D (n_snps, n_words), got {words.shape}")
+    n_snps, n_words = words.shape
+    if not 0 <= n_samples <= n_words * WORD_BITS:
+        raise ValueError(
+            f"n_samples={n_samples} incompatible with {n_words} words per SNP"
+        )
+    as_bytes = np.ascontiguousarray(words).view(np.uint8).reshape(n_snps, -1)
+    bits = np.unpackbits(as_bytes, axis=1, bitorder="little")[:, :n_samples]
+    return np.ascontiguousarray(bits.T)
+
+
+@dataclass(frozen=True)
+class BitMatrix:
+    """A bit-packed binary genomic matrix, SNP-major (Figure 2 of the paper).
+
+    Attributes
+    ----------
+    words:
+        ``(n_snps, n_words)`` C-contiguous ``uint64`` array; row *i* holds the
+        packed sample bits of SNP *i*, zero-padded past ``n_samples``.
+    n_samples:
+        Number of valid sample bits per SNP (the rest of the last word is
+        guaranteed zero).
+    """
+
+    words: np.ndarray
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        words = np.ascontiguousarray(self.words, dtype=np.uint64)
+        if words.ndim != 2:
+            raise ValueError(f"words must be 2-D (n_snps, n_words), got {words.shape}")
+        n_words = words.shape[1]
+        if not 0 <= self.n_samples <= n_words * WORD_BITS:
+            raise ValueError(
+                f"n_samples={self.n_samples} does not fit {n_words} words per SNP"
+            )
+        # Enforce the zero-padding invariant the popcount kernel depends on.
+        tail_bits = self.n_samples % WORD_BITS
+        if n_words and self.n_samples < n_words * WORD_BITS:
+            full_words = self.n_samples // WORD_BITS
+            if tail_bits:
+                mask = np.uint64((1 << tail_bits) - 1)
+                if np.any(words[:, full_words] & ~mask):
+                    raise ValueError("padding bits of the partial word must be zero")
+                trailing = words[:, full_words + 1 :]
+            else:
+                trailing = words[:, full_words:]
+            if trailing.size and np.any(trailing):
+                raise ValueError("padding words past n_samples must be zero")
+        object.__setattr__(self, "words", words)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "BitMatrix":
+        """Pack a dense binary ``(n_samples, n_snps)`` matrix (samples are rows)."""
+        dense = check_binary(dense, "genomic matrix")
+        return cls(words=pack_bits(dense), n_samples=dense.shape[0])
+
+    @classmethod
+    def from_snp_vectors(cls, snps: np.ndarray) -> "BitMatrix":
+        """Pack a dense binary ``(n_snps, n_samples)`` matrix (SNPs are rows)."""
+        snps = np.asarray(snps)
+        if snps.ndim != 2:
+            raise ValueError(f"snps must be 2-D, got shape {snps.shape}")
+        return cls.from_dense(snps.T)
+
+    @classmethod
+    def zeros(cls, n_samples: int, n_snps: int) -> "BitMatrix":
+        """An all-ancestral matrix of the given logical shape."""
+        return cls(
+            words=np.zeros((n_snps, words_for_samples(n_samples)), dtype=np.uint64),
+            n_samples=n_samples,
+        )
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def n_snps(self) -> int:
+        """Number of SNPs (columns of the logical genomic matrix)."""
+        return self.words.shape[0]
+
+    @property
+    def n_words(self) -> int:
+        """Packed 64-bit words per SNP, including padding."""
+        return self.words.shape[1]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Logical ``(n_samples, n_snps)`` shape of the genomic matrix."""
+        return (self.n_samples, self.n_snps)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of packed storage."""
+        return self.words.nbytes
+
+    # -- conversions -------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Unpack to the dense ``(n_samples, n_snps)`` 0/1 ``uint8`` matrix."""
+        return unpack_bits(self.words, self.n_samples)
+
+    def snp(self, index: int) -> np.ndarray:
+        """Dense 0/1 vector (length ``n_samples``) of one SNP."""
+        row = self.words[index : index + 1]
+        return unpack_bits(row, self.n_samples)[:, 0]
+
+    # -- statistics used throughout the library -----------------------------
+
+    def allele_counts(self) -> np.ndarray:
+        """Derived-allele count per SNP: ``POPCNT(s_i)`` (Equation 3 numerator)."""
+        return np.bitwise_count(self.words).sum(axis=1, dtype=np.int64)
+
+    def allele_frequencies(self) -> np.ndarray:
+        """Derived-allele frequency per SNP: ``p_i = s_iᵀ s_i / N_seq`` (Eq. 3)."""
+        if self.n_samples == 0:
+            raise ValueError("allele frequencies undefined for zero samples")
+        return self.allele_counts() / float(self.n_samples)
+
+    def is_polymorphic(self) -> np.ndarray:
+        """Boolean per SNP: segregating in the sample (0 < count < n_samples).
+
+        Monomorphic sites are non-informative for LD (Section I); callers use
+        this to drop them before pairwise computation.
+        """
+        counts = self.allele_counts()
+        return (counts > 0) & (counts < self.n_samples)
+
+    def drop_monomorphic(self) -> "BitMatrix":
+        """A new matrix keeping only polymorphic SNPs."""
+        return self.select(np.flatnonzero(self.is_polymorphic()))
+
+    def filter_maf(self, min_maf: float) -> "BitMatrix":
+        """A new matrix keeping SNPs with minor-allele frequency ≥ *min_maf*.
+
+        The standard association-study prefilter: rare variants have little
+        LD information and produce spurious perfect-r² pairs.
+        """
+        if not 0.0 <= min_maf <= 0.5:
+            raise ValueError(f"min_maf must be in [0, 0.5], got {min_maf}")
+        freqs = self.allele_frequencies()
+        maf = np.minimum(freqs, 1.0 - freqs)
+        return self.select(np.flatnonzero(maf >= min_maf))
+
+    # -- structural operations ----------------------------------------------
+
+    def select(self, snp_indices: np.ndarray) -> "BitMatrix":
+        """A new matrix with the given SNPs (in the given order)."""
+        idx = np.asarray(snp_indices)
+        return BitMatrix(
+            words=np.ascontiguousarray(self.words[idx]), n_samples=self.n_samples
+        )
+
+    def slice_snps(self, start: int, stop: int) -> "BitMatrix":
+        """A new matrix over the half-open SNP range ``[start, stop)``."""
+        return BitMatrix(
+            words=np.ascontiguousarray(self.words[start:stop]),
+            n_samples=self.n_samples,
+        )
+
+    def concat_snps(self, other: "BitMatrix") -> "BitMatrix":
+        """Concatenate SNP sets of two matrices over the same samples."""
+        if other.n_samples != self.n_samples:
+            raise ValueError(
+                f"sample counts differ: {self.n_samples} vs {other.n_samples}"
+            )
+        return BitMatrix(
+            words=np.concatenate([self.words, other.words], axis=0),
+            n_samples=self.n_samples,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitMatrix):
+            return NotImplemented
+        return (
+            self.n_samples == other.n_samples
+            and self.words.shape == other.words.shape
+            and bool(np.array_equal(self.words, other.words))
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass with arrays: identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"BitMatrix(n_samples={self.n_samples}, n_snps={self.n_snps}, "
+            f"n_words={self.n_words})"
+        )

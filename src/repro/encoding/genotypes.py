@@ -1,0 +1,216 @@
+"""PLINK-style 2-bit genotype encoding (substrate for the PLINK 1.9 baseline).
+
+The paper's comparison (Section VI) notes that PLINK 1.9 works on *genotypes*
+— diploid individuals with 0/1/2 copies of the alternate allele (plus a
+missing state) — whereas the GEMM approach works on haploid alleles. PLINK
+packs genotypes at 2 bits each, in the same encoding its ``.bed`` file format
+uses:
+
+====  =======================
+bits  meaning
+====  =======================
+00    homozygous reference (0 copies)
+01    missing
+10    heterozygous (1 copy)
+11    homozygous alternate (2 copies)
+====  =======================
+
+PLINK 1.9's pairwise-r² kernel derives per-pair haplotype-count surrogates
+from this packed form with mask/AND/POPCNT word operations; our baseline
+(:mod:`repro.baselines.plink`) consumes :class:`GenotypeMatrix` the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GenotypeMatrix", "genotypes_from_haplotypes", "MISSING"]
+
+#: Sentinel value for a missing genotype in the dense 0/1/2 representation.
+MISSING = -1
+
+#: Genotype value -> PLINK 2-bit code.
+_GENO_TO_CODE = {0: 0b00, MISSING: 0b01, 1: 0b10, 2: 0b11}
+#: PLINK 2-bit code -> genotype value.
+_CODE_TO_GENO = np.array([0, MISSING, 1, 2], dtype=np.int8)
+
+#: Genotypes packed per 64-bit word.
+GENOS_PER_WORD = 32
+
+
+@dataclass(frozen=True)
+class GenotypeMatrix:
+    """Packed 2-bit genotypes, variant-major like a PLINK ``.bed`` file.
+
+    Attributes
+    ----------
+    words:
+        ``(n_variants, n_words)`` ``uint64``; variant *i*'s genotypes occupy
+        bit-pairs ``(2j, 2j+1)`` of its word stream for individual *j*.
+        Padding bit-pairs past ``n_individuals`` encode homozygous reference
+        (``00``), which contributes nothing to any popcount-based kernel.
+    n_individuals:
+        Number of valid genotype slots per variant.
+    """
+
+    words: np.ndarray
+    n_individuals: int
+
+    def __post_init__(self) -> None:
+        words = np.ascontiguousarray(self.words, dtype=np.uint64)
+        if words.ndim != 2:
+            raise ValueError(f"words must be 2-D, got shape {words.shape}")
+        needed = words_for_individuals(self.n_individuals)
+        if words.shape[1] != needed:
+            raise ValueError(
+                f"expected {needed} words for {self.n_individuals} individuals, "
+                f"got {words.shape[1]}"
+            )
+        object.__setattr__(self, "words", words)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, genotypes: np.ndarray) -> "GenotypeMatrix":
+        """Pack a dense ``(n_individuals, n_variants)`` matrix of {0,1,2,-1}."""
+        dense = np.asarray(genotypes)
+        if dense.ndim != 2:
+            raise ValueError(f"genotypes must be 2-D, got shape {dense.shape}")
+        valid = np.isin(dense, (0, 1, 2, MISSING))
+        if not valid.all():
+            bad = np.unique(np.asarray(dense)[~valid])
+            raise ValueError(f"invalid genotype values {bad!r}; expected 0/1/2/-1")
+        n_individuals, n_variants = dense.shape
+        codes = np.empty(dense.shape, dtype=np.uint64)
+        for geno, code in _GENO_TO_CODE.items():
+            codes[dense == geno] = code
+        n_words = words_for_individuals(n_individuals)
+        words = np.zeros((n_variants, n_words), dtype=np.uint64)
+        variant_major = codes.T  # (n_variants, n_individuals)
+        for j in range(n_individuals):
+            w, slot = divmod(j, GENOS_PER_WORD)
+            words[:, w] |= variant_major[:, j] << np.uint64(2 * slot)
+        return cls(words=words, n_individuals=n_individuals)
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def n_variants(self) -> int:
+        """Number of variants (SNPs)."""
+        return self.words.shape[0]
+
+    @property
+    def n_words(self) -> int:
+        """Packed 64-bit words per variant."""
+        return self.words.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of packed storage."""
+        return self.words.nbytes
+
+    # -- conversions -------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        """Unpack to a dense ``(n_individuals, n_variants)`` int8 matrix."""
+        n = self.n_individuals
+        dense = np.empty((self.n_variants, n), dtype=np.int8)
+        three = np.uint64(0b11)
+        for j in range(n):
+            w, slot = divmod(j, GENOS_PER_WORD)
+            code = (self.words[:, w] >> np.uint64(2 * slot)) & three
+            dense[:, j] = _CODE_TO_GENO[code.astype(np.intp)]
+        return np.ascontiguousarray(dense.T)
+
+    # -- bit-plane views used by the PLINK kernel ----------------------------
+
+    def high_bits(self) -> np.ndarray:
+        """Per-variant words holding only the high bit of each genotype pair.
+
+        For the PLINK encoding the high bit is set for het (``10``) and
+        hom-alt (``11``) genotypes — i.e. "carries at least one alt allele".
+        Returned compacted so bit *j* of the output stream corresponds to
+        individual *j* (one bit per individual, ready for popcount kernels).
+        """
+        return self._compact_plane(shift=1)
+
+    def low_bits(self) -> np.ndarray:
+        """Per-variant compacted low bits (set for missing ``01`` and hom-alt ``11``)."""
+        return self._compact_plane(shift=0)
+
+    def _compact_plane(self, shift: int) -> np.ndarray:
+        """Extract one bit of every 2-bit pair and compact two words into one."""
+        plane = (self.words >> np.uint64(shift)) & np.uint64(0x5555555555555555)
+        # plane now has the selected bit of pair j at bit position 2j.
+        compact_half = _compact_even_bits(plane)
+        # Each half-filled word covers 32 individuals; merge pairs into full
+        # 64-bit words so downstream popcount kernels see one bit/individual.
+        n_variants, n_words = compact_half.shape
+        out_words = (n_words + 1) // 2
+        out = np.zeros((n_variants, out_words), dtype=np.uint64)
+        out[:, : n_words // 2] = compact_half[:, 0 : 2 * (n_words // 2) : 2] | (
+            compact_half[:, 1::2] << np.uint64(32)
+        )
+        if n_words % 2:
+            out[:, -1] = compact_half[:, -1]
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"GenotypeMatrix(n_individuals={self.n_individuals}, "
+            f"n_variants={self.n_variants})"
+        )
+
+
+def words_for_individuals(n_individuals: int) -> int:
+    """64-bit words needed to hold *n_individuals* 2-bit genotypes."""
+    if n_individuals < 0:
+        raise ValueError(f"n_individuals must be non-negative, got {n_individuals}")
+    return (n_individuals + GENOS_PER_WORD - 1) // GENOS_PER_WORD
+
+
+def _compact_even_bits(words: np.ndarray) -> np.ndarray:
+    """Compact bits at even positions (0,2,4,...) into the low 32 bits.
+
+    Classic parallel bit-extract ("unzip") over uint64 arrays: input bit
+    ``2k`` moves to output bit ``k``; odd input bits must already be zero.
+    """
+    x = words.astype(np.uint64)
+    masks = (
+        np.uint64(0x3333333333333333),
+        np.uint64(0x0F0F0F0F0F0F0F0F),
+        np.uint64(0x00FF00FF00FF00FF),
+        np.uint64(0x0000FFFF0000FFFF),
+        np.uint64(0x00000000FFFFFFFF),
+    )
+    shifts = (1, 2, 4, 8, 16)
+    for mask, shift in zip(masks, shifts):
+        x = (x | (x >> np.uint64(shift))) & mask
+    return x
+
+
+def genotypes_from_haplotypes(haplotypes: np.ndarray) -> np.ndarray:
+    """Pair consecutive haplotypes into diploid genotypes.
+
+    Parameters
+    ----------
+    haplotypes:
+        Dense binary ``(n_haplotypes, n_snps)`` matrix with an even number of
+        rows; rows ``2i`` and ``2i+1`` form individual ``i``.
+
+    Returns
+    -------
+    Dense ``(n_haplotypes // 2, n_snps)`` matrix of alt-allele counts 0/1/2.
+    """
+    haps = np.asarray(haplotypes)
+    if haps.ndim != 2:
+        raise ValueError(f"haplotypes must be 2-D, got shape {haps.shape}")
+    if haps.shape[0] % 2:
+        raise ValueError(
+            f"need an even number of haplotypes to form diploids, got {haps.shape[0]}"
+        )
+    if not np.isin(haps, (0, 1)).all():
+        raise ValueError("haplotypes must be binary")
+    return (haps[0::2].astype(np.int8) + haps[1::2].astype(np.int8)).astype(np.int8)

@@ -1,0 +1,106 @@
+"""Validity masks for alignment gaps and missing data (paper Section VII).
+
+The paper's gap-aware extension attaches to every SNP ``s_i`` a second bit
+vector ``c_i`` marking which samples carry a *valid* allelic state (1) versus
+a gap / missing call (0). For a SNP pair ``(i, j)`` the joint validity is
+``c_ij = c_i & c_j``, and all inner products are computed over the masked
+vectors, e.g. the haplotype count becomes ``POPCNT(c_ij & s_i & s_j)`` and the
+per-pair allele counts become ``POPCNT(c_ij & s_i)`` / ``POPCNT(c_ij & s_j)``
+with the per-pair sample size ``POPCNT(c_ij)``.
+
+A :class:`ValidityMask` is structurally a :class:`~repro.encoding.bitmatrix
+.BitMatrix` over the same (samples × SNPs) grid; this module adds the
+mask-specific constructors and invariants (a mask bit of a padded sample is
+always zero, so masked popcounts stay exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding.bitmatrix import BitMatrix
+
+__all__ = ["ValidityMask"]
+
+
+@dataclass(frozen=True)
+class ValidityMask:
+    """Per-(sample, SNP) validity bits, packed like the genomic matrix.
+
+    Attributes
+    ----------
+    bits:
+        A :class:`BitMatrix` whose set bits mark valid states.
+    """
+
+    bits: BitMatrix
+
+    @classmethod
+    def from_dense(cls, valid: np.ndarray) -> "ValidityMask":
+        """Pack a dense boolean/0-1 ``(n_samples, n_snps)`` validity matrix."""
+        return cls(bits=BitMatrix.from_dense(np.asarray(valid).astype(np.uint8)))
+
+    @classmethod
+    def all_valid(cls, n_samples: int, n_snps: int) -> "ValidityMask":
+        """A mask marking every (sample, SNP) cell valid."""
+        dense = np.ones((n_samples, n_snps), dtype=np.uint8)
+        return cls.from_dense(dense)
+
+    @classmethod
+    def from_missing(cls, dense_with_missing: np.ndarray, missing: int = -1) -> tuple[
+        "ValidityMask", np.ndarray
+    ]:
+        """Split a matrix containing *missing* sentinels into (mask, clean data).
+
+        Missing cells become 0 in the returned data (so they are inert in
+        AND/POPCNT kernels) and 0 in the mask.
+        """
+        arr = np.asarray(dense_with_missing)
+        if arr.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got shape {arr.shape}")
+        is_missing = arr == missing
+        clean = np.where(is_missing, 0, arr).astype(np.uint8)
+        if not np.isin(clean, (0, 1)).all():
+            raise ValueError("non-missing entries must be binary 0/1")
+        return cls.from_dense(~is_missing), clean
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples covered by the mask."""
+        return self.bits.n_samples
+
+    @property
+    def n_snps(self) -> int:
+        """Number of SNPs covered by the mask."""
+        return self.bits.n_snps
+
+    @property
+    def words(self) -> np.ndarray:
+        """Packed ``(n_snps, n_words)`` validity words."""
+        return self.bits.words
+
+    # -- mask algebra --------------------------------------------------------
+
+    def valid_counts(self) -> np.ndarray:
+        """Valid samples per SNP: ``POPCNT(c_i)``."""
+        return self.bits.allele_counts()
+
+    def pair_valid_words(self, i: int, j: int) -> np.ndarray:
+        """Packed joint-validity words ``c_ij = c_i & c_j`` for one SNP pair."""
+        return self.words[i] & self.words[j]
+
+    def apply(self, data: BitMatrix) -> BitMatrix:
+        """Zero out invalid cells of *data*: ``s_i & c_i`` per SNP."""
+        if data.shape != (self.n_samples, self.n_snps):
+            raise ValueError(
+                f"mask shape {(self.n_samples, self.n_snps)} does not match "
+                f"data shape {data.shape}"
+            )
+        return BitMatrix(words=data.words & self.words, n_samples=data.n_samples)
+
+    def __repr__(self) -> str:
+        return f"ValidityMask(n_samples={self.n_samples}, n_snps={self.n_snps})"

@@ -1,0 +1,24 @@
+"""Dataset I/O substrate: the formats LD tooling consumes and produces.
+
+- :mod:`repro.io.msformat` — Hudson ``ms`` simulator output (the format of
+  the paper's simulated Datasets B/C and of OmegaPlus's default input).
+- :mod:`repro.io.vcf` — a minimal VCF 4.x subset (the format of the
+  1000 Genomes Dataset A), haploid or phased-diploid GT fields with
+  missing-data support.
+- :mod:`repro.io.plinkbed` — PLINK binary ``.bed``/``.bim``/``.fam``
+  triples (the format PLINK 1.9 operates on), byte-compatible with
+  PLINK's SNP-major 2-bit encoding.
+"""
+
+from repro.io.msformat import read_ms, write_ms
+from repro.io.plinkbed import read_plink_bed, write_plink_bed
+from repro.io.vcf import read_vcf, write_vcf
+
+__all__ = [
+    "read_ms",
+    "write_ms",
+    "read_plink_bed",
+    "write_plink_bed",
+    "read_vcf",
+    "write_vcf",
+]

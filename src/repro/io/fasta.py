@@ -1,0 +1,152 @@
+"""FASTA alignments and SNP calling from character MSAs.
+
+Feeds the front of the paper's workflow (Section I): a multiple-sequence
+alignment arrives as FASTA; SNP calling keeps the polymorphic columns.
+Biallelic columns map onto the infinite-sites bit matrix (+ validity mask
+for gaps/ambiguity); columns with three or more states go to the
+finite-sites path (Section VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.encoding.bitmatrix import BitMatrix
+from repro.encoding.fsm import DNA_STATES, FiniteSitesMatrix
+from repro.encoding.masks import ValidityMask
+
+__all__ = ["SnpCallResult", "call_snps_from_alignment", "read_fasta", "write_fasta"]
+
+
+def write_fasta(
+    path: str | Path,
+    sequences: np.ndarray,
+    names: list[str] | None = None,
+    *,
+    line_width: int = 70,
+) -> None:
+    """Write a character alignment ``(n_samples, length)`` as FASTA."""
+    seqs = np.asarray(sequences)
+    if seqs.ndim != 2:
+        raise ValueError(f"sequences must be 2-D, got shape {seqs.shape}")
+    n = seqs.shape[0]
+    if names is None:
+        names = [f"seq{i}" for i in range(n)]
+    if len(names) != n:
+        raise ValueError(f"{len(names)} names for {n} sequences")
+    lines = []
+    for name, row in zip(names, seqs):
+        lines.append(f">{name}")
+        text = "".join(row.tolist())
+        for start in range(0, len(text), line_width):
+            lines.append(text[start : start + line_width])
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_fasta(path: str | Path) -> tuple[np.ndarray, list[str]]:
+    """Read an aligned FASTA into ``(characters, names)``.
+
+    All records must have equal length (it is an alignment, not a read
+    set); mixed lengths raise.
+    """
+    names: list[str] = []
+    chunks: list[list[str]] = []
+    current: list[str] | None = None
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            names.append(line[1:].split()[0] if len(line) > 1 else f"seq{len(names)}")
+            current = []
+            chunks.append(current)
+        else:
+            if current is None:
+                raise ValueError(f"line {lineno}: sequence data before any '>'")
+            current.append(line)
+    if not names:
+        raise ValueError(f"no FASTA records in {path}")
+    seqs = ["".join(c) for c in chunks]
+    lengths = {len(s) for s in seqs}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"unaligned FASTA: record lengths {sorted(lengths)} differ"
+        )
+    chars = np.array([list(s) for s in seqs], dtype="U1")
+    return chars, names
+
+
+@dataclass(frozen=True)
+class SnpCallResult:
+    """SNP calls from a character alignment.
+
+    Attributes
+    ----------
+    matrix:
+        Packed binary matrix over the *biallelic* SNP columns (0 =
+        majority allele, 1 = minority allele), invalid cells zeroed.
+    mask:
+        Validity mask over the biallelic columns (gaps/ambiguity = 0).
+    positions:
+        Alignment coordinates of the biallelic columns.
+    multiallelic:
+        :class:`FiniteSitesMatrix` over the columns with ≥3 states (for
+        the Section VII finite-sites path); ``None`` when there are none.
+    multiallelic_positions:
+        Alignment coordinates of those columns.
+    """
+
+    matrix: BitMatrix
+    mask: ValidityMask
+    positions: np.ndarray
+    multiallelic: FiniteSitesMatrix | None
+    multiallelic_positions: np.ndarray
+
+
+def call_snps_from_alignment(chars: np.ndarray) -> SnpCallResult:
+    """Call SNPs from an aligned character matrix ``(n_samples, length)``.
+
+    Columns with exactly two observed nucleotide states (among valid,
+    unambiguous calls) become bit-matrix SNPs — majority state 0, minority
+    state 1 (the ancestral state is unknown without an outgroup, so the
+    frequency convention stands in, as common in practice). Columns with
+    three or four states are returned as a finite-sites matrix.
+    Monomorphic and all-invalid columns are dropped.
+    """
+    chars = np.asarray(chars)
+    if chars.ndim != 2:
+        raise ValueError(f"alignment must be 2-D, got shape {chars.shape}")
+    upper = np.char.upper(chars.astype("U1"))
+    valid = np.isin(upper, list(DNA_STATES))
+
+    n_states = np.zeros(upper.shape[1], dtype=int)
+    for state in DNA_STATES:
+        n_states += ((upper == state) & valid).any(axis=0).astype(int)
+
+    biallelic_cols = np.flatnonzero(n_states == 2)
+    multi_cols = np.flatnonzero(n_states >= 3)
+
+    n_samples = upper.shape[0]
+    dense = np.zeros((n_samples, biallelic_cols.size), dtype=np.uint8)
+    mask_dense = np.zeros_like(dense)
+    for out_col, col in enumerate(biallelic_cols):
+        column = upper[:, col]
+        col_valid = valid[:, col]
+        states, counts = np.unique(column[col_valid], return_counts=True)
+        minority = states[int(np.argmin(counts))]
+        dense[:, out_col] = ((column == minority) & col_valid).astype(np.uint8)
+        mask_dense[:, out_col] = col_valid.astype(np.uint8)
+
+    multiallelic = None
+    if multi_cols.size:
+        multiallelic = FiniteSitesMatrix.from_characters(upper[:, multi_cols])
+    return SnpCallResult(
+        matrix=BitMatrix.from_dense(dense),
+        mask=ValidityMask.from_dense(mask_dense),
+        positions=biallelic_cols.astype(np.float64),
+        multiallelic=multiallelic,
+        multiallelic_positions=multi_cols.astype(np.float64),
+    )

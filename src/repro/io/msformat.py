@@ -1,0 +1,182 @@
+"""Hudson ``ms`` output format (Hudson 2002): reader and writer.
+
+The lingua franca of coalescent simulators and the input format of
+OmegaPlus. One file holds a command-line echo, a seed line, and one or more
+replicates::
+
+    ms 4 2 -t 5.0
+    12345 23456 34567
+
+    //
+    segsites: 3
+    positions: 0.1234 0.5678 0.9012
+    010
+    110
+    001
+    000
+
+    //
+    segsites: 0
+
+Each haplotype row is a string of ``0``/``1`` characters over the
+replicate's segregating sites; positions are fractions of the locus.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["MsReplicate", "read_ms", "write_ms"]
+
+
+@dataclass(frozen=True)
+class MsReplicate:
+    """One ``ms`` replicate: haplotypes ``(n_samples, segsites)`` + positions."""
+
+    haplotypes: np.ndarray
+    positions: np.ndarray
+
+    @property
+    def segsites(self) -> int:
+        """Number of segregating sites."""
+        return self.haplotypes.shape[1]
+
+
+def write_ms(
+    path: str | Path,
+    replicates: list[MsReplicate] | list[tuple[np.ndarray, np.ndarray]],
+    *,
+    command: str | None = None,
+    seeds: tuple[int, int, int] = (1, 2, 3),
+) -> None:
+    """Write replicates in ``ms`` format.
+
+    Parameters
+    ----------
+    path:
+        Output file.
+    replicates:
+        :class:`MsReplicate` objects or ``(haplotypes, positions)`` tuples.
+    command:
+        Command-line echo for the header; synthesized when omitted.
+    seeds:
+        The three-seed line ``ms`` emits.
+    """
+    normalized: list[MsReplicate] = []
+    for rep in replicates:
+        if isinstance(rep, MsReplicate):
+            normalized.append(rep)
+        else:
+            haps, pos = rep
+            normalized.append(
+                MsReplicate(
+                    haplotypes=np.asarray(haps, dtype=np.uint8),
+                    positions=np.asarray(pos, dtype=np.float64),
+                )
+            )
+    if not normalized:
+        raise ValueError("need at least one replicate")
+    sample_counts = {
+        rep.haplotypes.shape[0] for rep in normalized if rep.segsites
+    }
+    if len(sample_counts) > 1:
+        raise ValueError("all replicates must have the same sample count")
+    n_samples = sample_counts.pop() if sample_counts else 0
+    for rep in normalized:
+        if rep.positions.size != rep.segsites:
+            raise ValueError(
+                f"replicate has {rep.segsites} sites but "
+                f"{rep.positions.size} positions"
+            )
+    if command is None:
+        command = f"ms {n_samples} {len(normalized)}"
+    buf = io.StringIO()
+    buf.write(command + "\n")
+    buf.write(" ".join(str(s) for s in seeds) + "\n")
+    for rep in normalized:
+        buf.write("\n//\n")
+        buf.write(f"segsites: {rep.segsites}\n")
+        if rep.segsites:
+            buf.write(
+                "positions: "
+                + " ".join(f"{p:.6f}" for p in rep.positions)
+                + "\n"
+            )
+            for row in rep.haplotypes:
+                buf.write("".join("1" if x else "0" for x in row) + "\n")
+    Path(path).write_text(buf.getvalue())
+
+
+def read_ms(path: str | Path) -> list[MsReplicate]:
+    """Parse an ``ms`` output file into replicates.
+
+    Tolerates the variations real ``ms``-family tools produce: blank lines
+    anywhere, replicates with ``segsites: 0`` (no positions/haplotypes),
+    and arbitrary header content before the first ``//``.
+    """
+    lines = Path(path).read_text().splitlines()
+    replicates: list[MsReplicate] = []
+    idx = 0
+    n = len(lines)
+    while idx < n:
+        if lines[idx].strip() != "//":
+            idx += 1
+            continue
+        idx += 1
+        # segsites line (skip blanks)
+        while idx < n and not lines[idx].strip():
+            idx += 1
+        if idx >= n or not lines[idx].startswith("segsites:"):
+            raise ValueError(f"expected 'segsites:' after '//' (line {idx + 1})")
+        segsites = int(lines[idx].split(":", 1)[1])
+        idx += 1
+        if segsites == 0:
+            replicates.append(
+                MsReplicate(
+                    haplotypes=np.zeros((0, 0), dtype=np.uint8),
+                    positions=np.empty(0),
+                )
+            )
+            continue
+        while idx < n and not lines[idx].strip():
+            idx += 1
+        if idx >= n or not lines[idx].startswith("positions:"):
+            raise ValueError(f"expected 'positions:' (line {idx + 1})")
+        positions = np.array(
+            [float(tok) for tok in lines[idx].split(":", 1)[1].split()]
+        )
+        if positions.size != segsites:
+            raise ValueError(
+                f"positions count {positions.size} != segsites {segsites}"
+            )
+        idx += 1
+        rows = []
+        while idx < n:
+            stripped = lines[idx].strip()
+            if not stripped or stripped == "//":
+                break
+            if set(stripped) - {"0", "1"}:
+                raise ValueError(
+                    f"haplotype line {idx + 1} contains non-binary characters"
+                )
+            if len(stripped) != segsites:
+                raise ValueError(
+                    f"haplotype line {idx + 1} has {len(stripped)} sites, "
+                    f"expected {segsites}"
+                )
+            rows.append([1 if ch == "1" else 0 for ch in stripped])
+            idx += 1
+        if not rows:
+            raise ValueError("replicate with segsites > 0 but no haplotypes")
+        replicates.append(
+            MsReplicate(
+                haplotypes=np.array(rows, dtype=np.uint8), positions=positions
+            )
+        )
+    if not replicates:
+        raise ValueError(f"no '//' replicate delimiters found in {path}")
+    return replicates

@@ -1,0 +1,227 @@
+"""Minimal VCF 4.x subset: enough to round-trip haplotype panels.
+
+Supports what LD computation needs from the 1000-Genomes-style inputs of
+the paper's Dataset A: biallelic SNP records with GT fields, either haploid
+(``0`` / ``1`` / ``.``) or phased diploid (``0|1`` etc., each individual
+contributing two haplotypes), with missing calls mapping to the validity
+mask. Everything else (INFO/FORMAT subtleties, multi-allelic records,
+unphased genotypes) is rejected loudly rather than guessed at.
+
+Files ending in ``.gz`` are read and written gzip-compressed transparently
+(1000 Genomes ships ``.vcf.gz``).
+"""
+
+from __future__ import annotations
+
+import gzip
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+
+def _read_text(path: Path) -> str:
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt") as fh:
+            return fh.read()
+    return path.read_text()
+
+
+def _write_text(path: Path, text: str) -> None:
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt") as fh:
+            fh.write(text)
+    else:
+        path.write_text(text)
+
+from repro.encoding.bitmatrix import BitMatrix
+from repro.encoding.masks import ValidityMask
+
+__all__ = ["VcfPanel", "read_vcf", "write_vcf"]
+
+
+@dataclass(frozen=True)
+class VcfPanel:
+    """Haplotype panel parsed from a VCF.
+
+    Attributes
+    ----------
+    haplotypes:
+        Dense ``(n_haplotypes, n_snps)`` 0/1 matrix; missing calls are 0.
+    valid:
+        Boolean matrix of the same shape; False where the call was missing.
+    positions:
+        POS column values.
+    ids:
+        Record IDs.
+    ploidy:
+        1 (haploid GT) or 2 (phased diploid; consecutive haplotype rows
+        pair into individuals).
+    """
+
+    haplotypes: np.ndarray
+    valid: np.ndarray
+    positions: np.ndarray
+    ids: list[str]
+    ploidy: int
+
+    def to_bitmatrix(self) -> BitMatrix:
+        """Pack haplotypes (missing cells already zeroed)."""
+        return BitMatrix.from_dense(self.haplotypes)
+
+    def to_mask(self) -> ValidityMask:
+        """Validity mask for the gap-aware LD path."""
+        return ValidityMask.from_dense(self.valid.astype(np.uint8))
+
+
+def write_vcf(
+    path: str | Path,
+    haplotypes: np.ndarray,
+    positions: np.ndarray,
+    *,
+    chrom: str = "1",
+    ploidy: int = 2,
+    missing: np.ndarray | None = None,
+) -> None:
+    """Write a haplotype panel as a VCF.
+
+    Parameters
+    ----------
+    haplotypes:
+        Dense ``(n_haplotypes, n_snps)`` 0/1 matrix. With ``ploidy=2`` the
+        haplotype count must be even; rows pair into individuals.
+    positions:
+        Integer-valued POS per SNP (ascending).
+    missing:
+        Optional boolean matrix marking missing calls (written as ``.``).
+    """
+    haps = np.asarray(haplotypes)
+    positions = np.asarray(positions)
+    if haps.ndim != 2:
+        raise ValueError(f"haplotypes must be 2-D, got shape {haps.shape}")
+    n_haps, n_snps = haps.shape
+    if positions.size != n_snps:
+        raise ValueError(f"{positions.size} positions for {n_snps} SNPs")
+    if ploidy not in (1, 2):
+        raise ValueError(f"ploidy must be 1 or 2, got {ploidy}")
+    if ploidy == 2 and n_haps % 2:
+        raise ValueError("diploid output needs an even number of haplotypes")
+    if missing is None:
+        missing = np.zeros(haps.shape, dtype=bool)
+    else:
+        missing = np.asarray(missing, dtype=bool)
+        if missing.shape != haps.shape:
+            raise ValueError("missing mask shape must match haplotypes")
+    n_individuals = n_haps // ploidy
+    lines = [
+        "##fileformat=VCFv4.2",
+        '##FORMAT=<ID=GT,Number=1,Type=String,Description="Genotype">',
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t"
+        + "\t".join(f"sample{i}" for i in range(n_individuals)),
+    ]
+    for s in range(n_snps):
+        fields = [
+            chrom,
+            str(int(positions[s])),
+            f"snp{s}",
+            "A",
+            "T",
+            ".",
+            "PASS",
+            ".",
+            "GT",
+        ]
+        for ind in range(n_individuals):
+            calls = []
+            for h in range(ploidy):
+                row = ind * ploidy + h
+                calls.append("." if missing[row, s] else str(int(haps[row, s])))
+            fields.append("|".join(calls))
+        lines.append("\t".join(fields))
+    _write_text(Path(path), "\n".join(lines) + "\n")
+
+
+def read_vcf(path: str | Path) -> VcfPanel:
+    """Parse a minimal VCF into a haplotype panel.
+
+    Requires biallelic records and consistent GT ploidy; phased separators
+    (``|``) are required for diploid genotypes because LD on haplotypes
+    needs phase (the paper's allele-oriented setting).
+    """
+    positions: list[int] = []
+    ids: list[str] = []
+    hap_rows: list[list[int]] = []
+    valid_rows: list[list[bool]] = []
+    ploidy: int | None = None
+    n_individuals: int | None = None
+    for lineno, raw in enumerate(
+        _read_text(Path(path)).splitlines(), start=1
+    ):
+        line = raw.rstrip("\n")
+        if not line or line.startswith("##"):
+            continue
+        if line.startswith("#CHROM"):
+            header = line.split("\t")
+            if len(header) < 10:
+                raise ValueError("VCF has no sample columns")
+            n_individuals = len(header) - 9
+            continue
+        if n_individuals is None:
+            raise ValueError("VCF data line before #CHROM header")
+        fields = line.split("\t")
+        if len(fields) != 9 + n_individuals:
+            raise ValueError(
+                f"line {lineno}: expected {9 + n_individuals} columns, "
+                f"got {len(fields)}"
+            )
+        ref, alt = fields[3], fields[4]
+        if "," in alt:
+            raise ValueError(f"line {lineno}: multi-allelic records unsupported")
+        if len(ref) != 1 or len(alt) != 1:
+            raise ValueError(f"line {lineno}: only SNP records supported")
+        fmt = fields[8].split(":")
+        if fmt[0] != "GT":
+            raise ValueError(f"line {lineno}: first FORMAT field must be GT")
+        site_calls: list[int] = []
+        site_valid: list[bool] = []
+        for col in fields[9:]:
+            gt = col.split(":", 1)[0]
+            if "/" in gt:
+                raise ValueError(
+                    f"line {lineno}: unphased genotype {gt!r}; haplotype LD "
+                    "requires phased data"
+                )
+            alleles = gt.split("|")
+            if ploidy is None:
+                ploidy = len(alleles)
+                if ploidy not in (1, 2):
+                    raise ValueError(f"line {lineno}: unsupported ploidy {ploidy}")
+            elif len(alleles) != ploidy:
+                raise ValueError(f"line {lineno}: inconsistent ploidy")
+            for allele in alleles:
+                if allele == ".":
+                    site_calls.append(0)
+                    site_valid.append(False)
+                elif allele in ("0", "1"):
+                    site_calls.append(int(allele))
+                    site_valid.append(True)
+                else:
+                    raise ValueError(
+                        f"line {lineno}: unexpected allele {allele!r}"
+                    )
+        positions.append(int(fields[1]))
+        ids.append(fields[2])
+        hap_rows.append(site_calls)
+        valid_rows.append(site_valid)
+    if not hap_rows:
+        raise ValueError(f"no variant records in {path}")
+    assert ploidy is not None
+    haplotypes = np.array(hap_rows, dtype=np.uint8).T
+    valid = np.array(valid_rows, dtype=bool).T
+    return VcfPanel(
+        haplotypes=np.ascontiguousarray(haplotypes),
+        valid=np.ascontiguousarray(valid),
+        positions=np.array(positions, dtype=np.int64),
+        ids=ids,
+        ploidy=ploidy,
+    )

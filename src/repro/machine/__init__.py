@@ -1,0 +1,75 @@
+"""Analytical machine model (substitute for the paper's test hardware).
+
+The paper's %-of-peak results (Figures 3–4), its theoretical-peak definition
+(Section IV-B), its SIMD analysis (Section V), and its thread-scaling plot
+(Figure 5) are all statements about *instruction mix, issue ports, and the
+memory hierarchy* — properties this package models analytically:
+
+- :mod:`repro.machine.isa` — operation classes and SIMD configurations
+  (scalar 64-bit, SSE, AVX2, AVX-512; with and without a hardware
+  vectorized POPCNT).
+- :mod:`repro.machine.cpu` — an issue-port throughput model of one core
+  (ALU ports, the single POPCNT port, the single shuffle port that
+  serializes SIMD extract/insert).
+- :mod:`repro.machine.cache` — a cache-hierarchy traffic model fed by the
+  exact word counts of the blocked GEMM
+  (:func:`repro.core.gemm.gemm_operation_counts`).
+- :mod:`repro.machine.peak` — the paper's theoretical peak: 3 ops/cycle
+  scalar (AND + POPCNT + ADD co-issued).
+- :mod:`repro.machine.perfmodel` — combines the above into cycles and
+  %-of-peak for a given problem shape and blocking (Figures 3–4).
+- :mod:`repro.machine.simd` — the Section V T_SIMD vs T_HW analysis.
+- :mod:`repro.machine.multicore` — dual-socket multicore/SMT scaling
+  (Figure 5 and the thread columns of Tables I–III).
+
+Preset machines matching the paper's two testbeds are in
+:data:`repro.machine.cpu.HASWELL` (3.5 GHz, Figs 3–4) and
+:data:`repro.machine.cpu.IVY_BRIDGE_2S` (2×6-core E5-2620v2, Tables I–III).
+"""
+
+from repro.machine.cache import CacheHierarchy, CacheLevel, MemoryTraffic
+from repro.machine.cpu import CoreModel, HASWELL, IVY_BRIDGE_2S, MachineSpec
+from repro.machine.gpu import GpuEstimate, GpuSpec, TESLA_K40, estimate_ld_gpu
+from repro.machine.isa import AVX2, AVX512, SCALAR64, SSE, SimdConfig
+from repro.machine.multicore import MulticoreModel, scaling_curve
+from repro.machine.peak import ld_theoretical_peak_ops_per_cycle
+from repro.machine.perfmodel import PerfEstimate, estimate_gemm_performance
+from repro.machine.simd import SimdAnalysis, analyze_simd_benefit
+from repro.machine.trace import (
+    Instruction,
+    Op,
+    PipelineResult,
+    microkernel_trace,
+    simulate_pipeline,
+)
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "MemoryTraffic",
+    "GpuEstimate",
+    "GpuSpec",
+    "TESLA_K40",
+    "estimate_ld_gpu",
+    "CoreModel",
+    "HASWELL",
+    "IVY_BRIDGE_2S",
+    "MachineSpec",
+    "AVX2",
+    "AVX512",
+    "SCALAR64",
+    "SSE",
+    "SimdConfig",
+    "MulticoreModel",
+    "scaling_curve",
+    "ld_theoretical_peak_ops_per_cycle",
+    "PerfEstimate",
+    "estimate_gemm_performance",
+    "SimdAnalysis",
+    "analyze_simd_benefit",
+    "Instruction",
+    "Op",
+    "PipelineResult",
+    "microkernel_trace",
+    "simulate_pipeline",
+]

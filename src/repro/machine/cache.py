@@ -1,0 +1,147 @@
+"""Cache-hierarchy traffic model for the blocked LD GEMM.
+
+The GotoBLAS blocking contract (paper Section III, Figure 1) pins each packed
+operand to a cache level: the B micro-panel streams from L1, the packed A
+block from L2, the packed B panel from L3, and packing itself streams from
+DRAM. Given the *exact* word counts of one blocked execution
+(:class:`repro.core.gemm.GemmCounts`), this model charges each class of
+traffic to its level and converts the totals into stall cycles.
+
+The model is deliberately a throughput (bandwidth/latency-amortized) model,
+not a timing simulator: that is the granularity at which the paper reasons
+("data has to be brought into the cache before computation can proceed", the
+84–90 % band, and the dips at non-multiples of the cache sizes), and it is
+the same granularity BLIS's own analytical blocking model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import GemmCounts
+
+__all__ = ["CacheHierarchy", "CacheLevel", "MemoryTraffic"]
+
+_WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One cache level's capacity and sustained word bandwidth.
+
+    Attributes
+    ----------
+    name:
+        Label ("L1", "L2", ...).
+    size_bytes:
+        Capacity.
+    words_per_cycle:
+        Sustained 64-bit words deliverable per cycle to the core.
+    """
+
+    name: str
+    size_bytes: int
+    words_per_cycle: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"{self.name}: size must be positive")
+        if self.words_per_cycle <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """L1/L2/L3 + DRAM bandwidth description of one core's view of memory."""
+
+    l1: CacheLevel
+    l2: CacheLevel
+    l3: CacheLevel
+    dram_words_per_cycle: float
+
+    def __post_init__(self) -> None:
+        if self.dram_words_per_cycle <= 0:
+            raise ValueError("DRAM bandwidth must be positive")
+        if not (self.l1.size_bytes <= self.l2.size_bytes <= self.l3.size_bytes):
+            raise ValueError("cache sizes must be non-decreasing L1 <= L2 <= L3")
+
+
+@dataclass(frozen=True)
+class MemoryTraffic:
+    """Words charged to each memory level for one blocked GEMM execution.
+
+    Attributes
+    ----------
+    l1_words, l2_words, l3_words, dram_words:
+        Word loads served by each level.
+    store_words:
+        Words written back (packing stores + C-tile updates).
+    """
+
+    l1_words: float
+    l2_words: float
+    l3_words: float
+    dram_words: float
+    store_words: float
+
+    def stall_cycles(self, hierarchy: CacheHierarchy) -> float:
+        """Cycles the core waits on memory, assuming level-parallel streams.
+
+        Each level serves its share at its own bandwidth concurrently with
+        compute; the charge is the *excess* beyond what the L1 stream (which
+        the kernel's loads already overlap perfectly) would cost. Stores
+        share DRAM bandwidth.
+        """
+        l2 = self.l2_words / hierarchy.l2.words_per_cycle
+        l3 = self.l3_words / hierarchy.l3.words_per_cycle
+        dram = (self.dram_words + self.store_words) / hierarchy.dram_words_per_cycle
+        return l2 + l3 + dram
+
+
+def charge_blocked_gemm(
+    counts: GemmCounts,
+    params: BlockingParams,
+    hierarchy: CacheHierarchy,
+    *,
+    output_words: int = 0,
+) -> MemoryTraffic:
+    """Charge one blocked execution's traffic to the hierarchy levels.
+
+    Charging rules (the GotoBLAS residency contract):
+
+    - **B micro-panel loads** in the micro-kernel hit L1 (that is what k_c
+      was chosen for) — charged to L1.
+    - **A micro-panel loads** stream from the packed block in L2.
+    - **C-tile updates** revisit every pc iteration and stay cache-resident
+      — both directions charged to L2; only the *final* result
+      (*output_words*, once per C element) is written through to DRAM.
+    - **Packing reads** stream the source operands from DRAM; packing
+      *writes* land in the level the packed buffer is blocked for (A block
+      → L2, B panel → L3).
+    - Mis-blocked configurations spill: an oversized A block pushes its
+      micro-kernel loads to L3; an oversized B panel pushes half its
+      micro-panel reloads to DRAM.
+    """
+    b_panel_fits_l3 = params.b_panel_bytes <= hierarchy.l3.size_bytes
+    a_block_fits_l2 = params.a_block_bytes <= hierarchy.l2.size_bytes
+
+    l1 = float(counts.b_load_words)
+    l2 = (
+        float(counts.a_load_words)
+        + 2.0 * float(counts.c_update_words)  # C read + write-back per visit
+        + float(counts.a_pack_words)  # packed-A writes land in L2
+    )
+    l3 = float(counts.b_pack_words)  # packed-B writes land in L3
+    dram = float(counts.a_pack_words) + float(counts.b_pack_words)  # pack reads
+    stores = float(output_words)
+    if not a_block_fits_l2:
+        # A micro-panels spill to L3.
+        l3 += float(counts.a_load_words)
+        l2 -= float(counts.a_load_words)
+    if not b_panel_fits_l3:
+        # B micro-panel reloads miss L1's backing panel and go to DRAM.
+        dram += float(counts.b_load_words) * 0.5
+    return MemoryTraffic(
+        l1_words=l1, l2_words=l2, l3_words=l3, dram_words=dram, store_words=stores
+    )

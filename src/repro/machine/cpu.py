@@ -1,0 +1,140 @@
+"""Issue-port throughput model of one core, and whole-machine presets.
+
+The paper's performance reasoning (Sections IV-B and V) is a port model:
+
+- the scalar AND, POPCNT, and ADD of one LD step can all issue in the same
+  cycle (hence the 3-ops/cycle theoretical peak);
+- POPCNT executes on exactly **one** port, one 64-bit word per cycle —
+  the structural scalar bottleneck;
+- SIMD AND/ADD process *v* words per instruction, but feeding the scalar
+  POPCNT from a SIMD register costs one EXTRACT per lane and one INSERT per
+  lane, and "extractions and insertions cannot be performed in parallel as
+  they require the same hardware resources" — a single shuffle port.
+
+:meth:`CoreModel.compute_cycles` turns an operation-count triple into the
+port-limited cycle count for a given :class:`~repro.machine.isa.SimdConfig`,
+reproducing the paper's three regimes: scalar = POPCNT-bound, SIMD without
+hardware POPCNT = shuffle-bound (≥2× *worse*), SIMD with hardware POPCNT =
+*v*-times faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cache import CacheHierarchy, CacheLevel
+from repro.machine.isa import SimdConfig
+
+__all__ = ["CoreModel", "MachineSpec", "HASWELL", "IVY_BRIDGE_2S"]
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Per-core issue resources.
+
+    Attributes
+    ----------
+    alu_ports:
+        Ports able to execute scalar/SIMD AND and ADD (logic + arithmetic).
+    popcnt_ports:
+        Ports able to execute the scalar 64-bit POPCNT (1 on all x86 the
+        paper considers).
+    shuffle_ports:
+        Ports able to execute SIMD lane EXTRACT/INSERT (1 on Intel).
+    pack_words_per_cycle:
+        Sustained packing-copy rate (address generation + load/store issue
+        of the packing loops), in words per cycle.
+    kernel_call_overhead:
+        Fixed cycles per micro-kernel invocation (loop setup, pointer
+        arithmetic, branch).
+    """
+
+    alu_ports: int = 2
+    popcnt_ports: int = 1
+    shuffle_ports: int = 1
+    pack_words_per_cycle: float = 2.5
+    kernel_call_overhead: float = 14.0
+
+    def __post_init__(self) -> None:
+        if min(self.alu_ports, self.popcnt_ports, self.shuffle_ports) < 1:
+            raise ValueError("port counts must be >= 1")
+        if self.pack_words_per_cycle <= 0 or self.kernel_call_overhead < 0:
+            raise ValueError("invalid packing/overhead parameters")
+
+    def compute_cycles(
+        self,
+        and_ops: float,
+        popcnt_ops: float,
+        add_ops: float,
+        simd: SimdConfig,
+    ) -> float:
+        """Port-limited cycles to issue the given word-operation counts.
+
+        Operation counts are in 64-bit-word units (one LD step on one word =
+        one of each). Ports drain concurrently; the busiest port bounds the
+        time (a throughput model, matching Section V's ``max(...)`` form).
+        """
+        v = simd.lanes
+        alu_cycles = (and_ops / v + add_ops / v) / self.alu_ports
+        if simd.hw_popcount:
+            popcnt_cycles = popcnt_ops / v / self.popcnt_ports
+            shuffle_cycles = 0.0
+        else:
+            # POPCNT is scalar regardless of register width.
+            popcnt_cycles = popcnt_ops / self.popcnt_ports
+            if simd.needs_extract_insert:
+                # One EXTRACT and one INSERT per 64-bit word, all through
+                # the same shuffle port (Section V-A's serialization).
+                shuffle_cycles = 2.0 * popcnt_ops / self.shuffle_ports
+            else:
+                shuffle_cycles = 0.0
+        return max(alu_cycles, popcnt_cycles, shuffle_cycles)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A whole machine: core model, clock, cache hierarchy, core/SMT counts."""
+
+    name: str
+    frequency_hz: float
+    core: CoreModel
+    caches: CacheHierarchy
+    n_cores: int
+    smt_per_core: int = 2
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.n_cores < 1 or self.smt_per_core < 1:
+            raise ValueError("core/SMT counts must be >= 1")
+
+
+#: The Figs 3–4 testbed: Intel Haswell at 3.5 GHz (Section IV-C). Cache
+#: bandwidths are sustained-streaming calibrations, not datasheet peaks.
+HASWELL = MachineSpec(
+    name="Intel Haswell 3.5 GHz",
+    frequency_hz=3.5e9,
+    core=CoreModel(),
+    caches=CacheHierarchy(
+        l1=CacheLevel("L1d", 32 * 1024, words_per_cycle=8.0),
+        l2=CacheLevel("L2", 256 * 1024, words_per_cycle=2.5),
+        l3=CacheLevel("L3", 8 * 1024 * 1024, words_per_cycle=1.2),
+        dram_words_per_cycle=1.0,
+    ),
+    n_cores=4,
+)
+
+#: The Tables I–III / Fig 5 testbed: dual-socket Xeon E5-2620 v2
+#: (Ivy Bridge, 2 × 6 cores, 2.1 GHz, 128 GB).
+IVY_BRIDGE_2S = MachineSpec(
+    name="2x Intel Xeon E5-2620 v2 (Ivy Bridge) 2.1 GHz",
+    frequency_hz=2.1e9,
+    core=CoreModel(),
+    caches=CacheHierarchy(
+        l1=CacheLevel("L1d", 32 * 1024, words_per_cycle=8.0),
+        l2=CacheLevel("L2", 256 * 1024, words_per_cycle=2.5),
+        l3=CacheLevel("L3", 15 * 1024 * 1024, words_per_cycle=1.2),
+        dram_words_per_cycle=0.8,
+    ),
+    n_cores=12,
+)

@@ -1,0 +1,146 @@
+"""GPU projection for LD — the paper's future-work section, made executable.
+
+The conclusion sketches GPU acceleration: "LD performance can be
+significantly improved by exploiting the high memory bandwidth that
+current GPUs offer, since, like matrix multiplication, LD computations are
+memory-bound [at scale]. The data access pattern suggests that LD is
+well-suited for current SIMT architectures. It remains to explore whether
+the underlying LD arithmetics can be efficiently handled by the ALUs."
+
+This module is the corresponding roofline model:
+
+- **compute roof**: every SIMT lane retires one AND+POPCNT+ADD word-step
+  per cycle when the ISA has a per-lane popcount (CUDA's ``__popcll`` —
+  GPUs, unlike x86 SIMD, *do* have it, which resolves the paper's open
+  question in the affirmative);
+- **memory roof**: with GotoBLAS-style tiling in shared memory, each
+  packed word of A/B is loaded from DRAM once per ``reuse``-sized tile,
+  so traffic is ``8·k·(m + n)·(n_tiles)`` bytes.
+
+The model reports which roof binds and the projected speedup over the
+scalar-CPU model of :mod:`repro.machine.perfmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.cpu import HASWELL, MachineSpec
+from repro.machine.perfmodel import estimate_gemm_performance
+
+__all__ = ["GpuSpec", "GpuEstimate", "TESLA_K40", "estimate_ld_gpu"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """SIMT device description for the roofline.
+
+    Attributes
+    ----------
+    name:
+        Device label.
+    n_sms:
+        Streaming multiprocessors.
+    lanes_per_sm:
+        Concurrent 64-bit word-op lanes per SM (integer-pipe throughput).
+    frequency_hz:
+        Core clock.
+    mem_bandwidth_bytes:
+        Sustained device-memory bandwidth (bytes/second).
+    shared_tile:
+        Square tile side (SNPs) held in shared memory per block; sets the
+        DRAM reuse factor, the GPU analogue of the CPU cache blocking.
+    """
+
+    name: str
+    n_sms: int
+    lanes_per_sm: int
+    frequency_hz: float
+    mem_bandwidth_bytes: float
+    shared_tile: int = 64
+
+    def __post_init__(self) -> None:
+        if min(self.n_sms, self.lanes_per_sm, self.shared_tile) < 1:
+            raise ValueError("GPU resources must be >= 1")
+        if self.frequency_hz <= 0 or self.mem_bandwidth_bytes <= 0:
+            raise ValueError("GPU rates must be positive")
+
+    @property
+    def word_ops_per_second(self) -> float:
+        """Peak AND+POPCNT+ADD word-steps per second across the device."""
+        return self.n_sms * self.lanes_per_sm * self.frequency_hz
+
+
+#: A Kepler-era card contemporary with the paper (2880 CUDA cores; the
+#: 64-bit integer pipe runs at roughly 1/6 of FP32 lane count).
+TESLA_K40 = GpuSpec(
+    name="NVIDIA Tesla K40 (Kepler)",
+    n_sms=15,
+    lanes_per_sm=32,
+    frequency_hz=745e6,
+    mem_bandwidth_bytes=288e9,
+)
+
+
+@dataclass(frozen=True)
+class GpuEstimate:
+    """Roofline outcome for one LD GEMM shape on one GPU.
+
+    Attributes
+    ----------
+    compute_seconds, memory_seconds:
+        Time under each roof; the larger one binds.
+    seconds:
+        max(compute, memory).
+    bound:
+        ``"compute"`` or ``"memory"``.
+    speedup_vs_cpu:
+        Versus the scalar-CPU machine model at the same shape.
+    """
+
+    compute_seconds: float
+    memory_seconds: float
+    seconds: float
+    bound: str
+    speedup_vs_cpu: float
+
+
+def estimate_ld_gpu(
+    m: int,
+    n: int,
+    k_words: int,
+    *,
+    gpu: GpuSpec = TESLA_K40,
+    cpu: MachineSpec = HASWELL,
+) -> GpuEstimate:
+    """Roofline-project one ``(m × k) · (k × n)`` popcount GEMM on a GPU.
+
+    Parameters
+    ----------
+    m, n, k_words:
+        SNP counts and packed words per SNP.
+    gpu, cpu:
+        Device model and the CPU baseline for the speedup figure.
+    """
+    if min(m, n, k_words) <= 0:
+        raise ValueError("dimensions must be positive")
+    word_steps = float(m) * n * k_words
+    compute_seconds = word_steps / gpu.word_ops_per_second
+
+    # Tiled traffic: each tile of C re-reads an (tile x k) strip of A and
+    # B once; total loads = k * 8 bytes * (m * n/tile + n * m/tile).
+    tiles_n = max(1, -(-n // gpu.shared_tile))
+    tiles_m = max(1, -(-m // gpu.shared_tile))
+    bytes_loaded = 8.0 * k_words * (m * tiles_n + n * tiles_m)
+    bytes_stored = 8.0 * m * n
+    memory_seconds = (bytes_loaded + bytes_stored) / gpu.mem_bandwidth_bytes
+
+    seconds = max(compute_seconds, memory_seconds)
+    cpu_seconds = estimate_gemm_performance(m, n, k_words, machine=cpu).seconds
+    return GpuEstimate(
+        compute_seconds=compute_seconds,
+        memory_seconds=memory_seconds,
+        seconds=seconds,
+        bound="compute" if compute_seconds >= memory_seconds else "memory",
+        speedup_vs_cpu=cpu_seconds / seconds,
+    )

@@ -1,0 +1,80 @@
+"""Instruction-set abstractions for the LD kernel's machine model.
+
+The LD inner step is three operations — AND, POPCNT, ADD — over 64-bit
+words (paper Section IV-A). A :class:`SimdConfig` describes how a register
+file exposes them:
+
+- ``lanes`` (the paper's *v*): how many 64-bit words one register holds;
+- ``hw_popcount``: whether a *vectorized* POPCNT exists. On every x86
+  generation the paper considers it does **not** — POPCNT is scalar-only —
+  so exploiting SIMD registers requires one EXTRACT per lane before the
+  scalar POPCNT and one INSERT per lane after it (Section V), both of which
+  contend for the single shuffle port.
+
+The presets cover the paper's discussion: scalar 64-bit, SSE (128-bit,
+v=2), AVX2 (256-bit, v=4), and AVX-512 (512-bit, v=8 — the "already being
+introduced" footnote), plus hypothetical ``with_hw_popcount`` variants for
+the Section V-B what-if.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["AVX2", "AVX512", "SCALAR64", "SSE", "SimdConfig", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class SimdConfig:
+    """One SIMD register configuration.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in reports.
+    width_bits:
+        Register width in bits.
+    hw_popcount:
+        True if POPCNT operates on the full register (the hypothetical
+        hardware of Section V-B); False for real x86, where POPCNT is a
+        64-bit scalar instruction.
+    """
+
+    name: str
+    width_bits: int
+    hw_popcount: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width_bits < 64 or self.width_bits % 64:
+            raise ValueError(
+                f"register width must be a positive multiple of 64 bits, "
+                f"got {self.width_bits}"
+            )
+
+    @property
+    def lanes(self) -> int:
+        """The paper's *v*: 64-bit words per register."""
+        return self.width_bits // 64
+
+    @property
+    def needs_extract_insert(self) -> bool:
+        """True when POPCNT requires per-lane EXTRACT/INSERT round trips.
+
+        Scalar code (one lane) feeds POPCNT directly from general-purpose
+        registers; multi-lane registers without a hardware vector POPCNT
+        must move every lane out and back (Section V).
+        """
+        return self.lanes > 1 and not self.hw_popcount
+
+    def with_hw_popcount(self) -> "SimdConfig":
+        """The same register file with the hypothetical vectorized POPCNT."""
+        return replace(self, name=f"{self.name}+hwpopcnt", hw_popcount=True)
+
+
+SCALAR64 = SimdConfig(name="scalar64", width_bits=64)
+SSE = SimdConfig(name="sse", width_bits=128)
+AVX2 = SimdConfig(name="avx2", width_bits=256)
+AVX512 = SimdConfig(name="avx512", width_bits=512)
+
+#: All real (no hardware vector POPCNT) presets, in increasing width.
+PRESETS = (SCALAR64, SSE, AVX2, AVX512)

@@ -1,0 +1,47 @@
+"""Theoretical peak for LD computation (paper Section IV-B).
+
+The paper rejects wall-clock/LDs-per-second as a machine-independent metric
+and instead defines the LD analogue of GEMM's 2·v FLOP/cycle peak:
+
+    One LD step = one AND + one POPCNT + one ADD on a 64-bit word.
+    On current x86 all three can issue in the same cycle, but POPCNT is
+    scalar (v = 1), so the theoretical peak is **3 operations per cycle**.
+
+With a hypothetical vectorized POPCNT over *v* lanes the peak becomes
+``3·v`` ops/cycle — the Section V-B target the paper argues hardware should
+provide.
+"""
+
+from __future__ import annotations
+
+from repro.machine.isa import SimdConfig
+
+__all__ = ["ld_theoretical_peak_ops_per_cycle", "gemm_theoretical_peak_flops_per_cycle"]
+
+#: Operations per LD step (AND + POPCNT + ADD).
+OPS_PER_LD_STEP = 3
+
+
+def ld_theoretical_peak_ops_per_cycle(simd: SimdConfig) -> float:
+    """Peak LD operations per cycle for one core under *simd*.
+
+    Scalar and every real SIMD configuration peak at 3 ops/cycle, because
+    the scalar POPCNT serializes the step stream at one word per cycle
+    regardless of register width; a hardware vector POPCNT lifts the peak
+    to ``3·v``.
+    """
+    if simd.hw_popcount:
+        return float(OPS_PER_LD_STEP * simd.lanes)
+    return float(OPS_PER_LD_STEP)
+
+
+def gemm_theoretical_peak_flops_per_cycle(lanes: int, fma: bool = True) -> float:
+    """Classic GEMM peak for context: 2·v FLOP/cycle (Section IV-B's analogy).
+
+    With fused multiply-add issuing on two ports (modern x86), the usual
+    quoted figure doubles; *fma* False gives the paper's plain 2·v form.
+    """
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    base = 2.0 * lanes
+    return base * 2.0 if fma else base

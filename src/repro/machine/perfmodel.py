@@ -1,0 +1,113 @@
+"""End-to-end performance estimation for the blocked LD GEMM (Figs 3–4).
+
+Combines the exact operation/traffic counts of one blocked execution
+(:func:`repro.core.gemm.gemm_operation_counts`) with the issue-port model
+(:class:`repro.machine.cpu.CoreModel`) and the cache-traffic model
+(:mod:`repro.machine.cache`) to produce cycles, achieved ops/cycle, and the
+percentage of the Section IV-B theoretical peak — the paper's Figure 3/4
+y-axis.
+
+The estimate is::
+
+    cycles = compute(port model) + packing(copy loops) + stalls(hierarchy)
+             + kernel-call overhead
+    %peak  = (3 · haplotype-steps) / cycles / peak_ops_per_cycle
+
+where haplotype-steps counts the AND/POPCNT/ADD triples of the *logical*
+problem (padding included, as the hardware would execute it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocking import BlockingParams, MICRO_BLOCKING
+from repro.core.gemm import gemm_operation_counts
+from repro.machine.cache import charge_blocked_gemm
+from repro.machine.cpu import HASWELL, MachineSpec
+from repro.machine.isa import SCALAR64, SimdConfig
+from repro.machine.peak import ld_theoretical_peak_ops_per_cycle
+
+__all__ = ["PerfEstimate", "estimate_gemm_performance"]
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Modelled performance of one blocked LD GEMM execution.
+
+    Attributes
+    ----------
+    cycles:
+        Total modelled core cycles.
+    total_ops:
+        AND+POPCNT+ADD operations executed (the paper's op unit).
+    ops_per_cycle:
+        Achieved operations per cycle.
+    peak_ops_per_cycle:
+        Section IV-B theoretical peak for the SIMD configuration.
+    seconds:
+        Wall-clock at the machine's frequency.
+    """
+
+    cycles: float
+    total_ops: int
+    ops_per_cycle: float
+    peak_ops_per_cycle: float
+    seconds: float
+
+    @property
+    def percent_of_peak(self) -> float:
+        """Achieved performance as a percentage of the theoretical peak."""
+        return 100.0 * self.ops_per_cycle / self.peak_ops_per_cycle
+
+
+def estimate_gemm_performance(
+    m: int,
+    n: int,
+    k_words: int,
+    *,
+    params: BlockingParams = MICRO_BLOCKING,
+    machine: MachineSpec = HASWELL,
+    simd: SimdConfig = SCALAR64,
+    symmetric: bool = False,
+) -> PerfEstimate:
+    """Model one blocked LD GEMM of shape ``(m × k_words) · (k_words × n)``.
+
+    Parameters
+    ----------
+    m, n:
+        SNP counts of the two regions (``m == n`` for Figure 3's Gram case).
+    k_words:
+        Packed 64-bit words per SNP (samples / 64, rounded up).
+    params:
+        Blocking parameters; the register-realistic
+        :data:`~repro.core.blocking.MICRO_BLOCKING` by default.
+    machine, simd:
+        Hardware description and register configuration.
+    symmetric:
+        Model the lower-triangle-only Gram traversal.
+    """
+    counts = gemm_operation_counts(m, n, k_words, params, symmetric=symmetric)
+    core = machine.core
+    compute = core.compute_cycles(
+        counts.and_ops, counts.popcnt_ops, counts.add_ops, simd
+    )
+    packing = (
+        counts.a_pack_words + counts.b_pack_words
+    ) / core.pack_words_per_cycle
+    output_words = m * n if not symmetric else m * (m + 1) // 2
+    traffic = charge_blocked_gemm(
+        counts, params, machine.caches, output_words=output_words
+    )
+    stalls = traffic.stall_cycles(machine.caches)
+    overhead = core.kernel_call_overhead * counts.kernel_calls
+    cycles = compute + packing + stalls + overhead
+    total_ops = counts.total_ops
+    peak = ld_theoretical_peak_ops_per_cycle(simd)
+    return PerfEstimate(
+        cycles=cycles,
+        total_ops=total_ops,
+        ops_per_cycle=total_ops / cycles,
+        peak_ops_per_cycle=peak,
+        seconds=cycles / machine.frequency_hz,
+    )

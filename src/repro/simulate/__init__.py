@@ -1,0 +1,66 @@
+"""Data-generation substrate (stand-in for the paper's datasets).
+
+The paper evaluates on a 1000-Genomes chromosome-1 subset (Dataset A) and
+two simulated panels (Datasets B and C); none are shippable here, so this
+package builds their closest synthetic equivalents:
+
+- :mod:`repro.simulate.coalescent` — Kingman coalescent with infinite-sites
+  mutations (Hudson ``ms``-style samples), including a chunked multi-locus
+  mode approximating recombination between loci.
+- :mod:`repro.simulate.wrightfisher` — exact forward Wright–Fisher with
+  recombination, mutation, and optional positive selection; the sweep
+  generator behind the OmegaPlus/ω examples.
+- :mod:`repro.simulate.datasets` — the paper's Dataset A/B/C shapes
+  (10,000 SNPs × 2,504 / 10,000 / 100,000 samples) with a human-like site
+  frequency spectrum, plus scaled-down variants for wall-clock benches.
+- :mod:`repro.simulate.msa` — the Section I preprocessing workflow:
+  sequencing reads → multiple-sequence alignment → SNP calling, with
+  configurable error and missing-data rates (exercises the gap-aware and
+  finite-sites paths).
+"""
+
+from repro.simulate.coalescent import (
+    CoalescentSample,
+    simulate_chunked_region,
+    simulate_coalescent,
+)
+from repro.simulate.datasets import (
+    DATASET_SHAPES,
+    dataset_A,
+    dataset_B,
+    dataset_C,
+    simulate_sfs_panel,
+)
+from repro.simulate.demography import (
+    Epoch,
+    PopulationHistory,
+    simulate_coalescent_demography,
+)
+from repro.simulate.msa import MSAPipelineResult, simulate_msa_pipeline
+from repro.simulate.recombination import RecombinationMap, simulate_region_with_map
+from repro.simulate.wrightfisher import (
+    WrightFisherResult,
+    simulate_sweep,
+    simulate_wright_fisher,
+)
+
+__all__ = [
+    "CoalescentSample",
+    "simulate_chunked_region",
+    "simulate_coalescent",
+    "DATASET_SHAPES",
+    "dataset_A",
+    "dataset_B",
+    "dataset_C",
+    "simulate_sfs_panel",
+    "Epoch",
+    "PopulationHistory",
+    "simulate_coalescent_demography",
+    "RecombinationMap",
+    "simulate_region_with_map",
+    "MSAPipelineResult",
+    "simulate_msa_pipeline",
+    "WrightFisherResult",
+    "simulate_sweep",
+    "simulate_wright_fisher",
+]

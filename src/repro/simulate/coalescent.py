@@ -1,0 +1,199 @@
+"""Kingman coalescent with infinite-sites mutations (Hudson ``ms``-style).
+
+Generates neutral haplotype samples the way Hudson's ``ms`` does for a
+non-recombining locus:
+
+1. Build the genealogy backwards in time: with *k* active lineages, the
+   next coalescence is exponentially distributed with rate ``k(k−1)/2``
+   (time in units of 2N generations), merging a uniform pair.
+2. Drop mutations on the tree as a Poisson process with rate ``θ/2`` per
+   unit branch length (``θ = 4Nμ`` per locus).
+3. Each mutation is a new segregating site (infinite-sites model, paper
+   Section II-A): the samples below the mutated branch carry the derived
+   state 1, everything else the ancestral state 0. Site positions are
+   uniform on the locus.
+
+Recombination is approximated by :func:`simulate_chunked_region`:
+independent coalescent loci concatenated along a coordinate axis — exact
+free recombination *between* chunks, none *within*. This brackets real
+linkage (LD decays with distance because distant sites sit in different
+chunks) and is the documented substitution for a full ancestral
+recombination graph; the forward simulator
+(:mod:`repro.simulate.wrightfisher`) provides exact within-locus
+recombination when the genealogy matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.encoding.bitmatrix import BitMatrix
+
+__all__ = ["CoalescentSample", "simulate_chunked_region", "simulate_coalescent"]
+
+
+@dataclass(frozen=True)
+class CoalescentSample:
+    """One simulated haplotype sample.
+
+    Attributes
+    ----------
+    haplotypes:
+        Dense binary ``(n_samples, n_snps)`` matrix (0 ancestral, 1 derived).
+    positions:
+        Site coordinates, ascending, within ``[0, region_length)``.
+    tree_height:
+        Time to the most recent common ancestor (2N-generation units); the
+        sum over chunks for chunked regions.
+    """
+
+    haplotypes: np.ndarray
+    positions: np.ndarray
+    tree_height: float
+
+    @property
+    def n_samples(self) -> int:
+        """Number of sampled haplotypes."""
+        return self.haplotypes.shape[0]
+
+    @property
+    def n_snps(self) -> int:
+        """Number of segregating sites."""
+        return self.haplotypes.shape[1]
+
+    def to_bitmatrix(self) -> BitMatrix:
+        """Pack into the Figure 2 layout for the LD kernels."""
+        return BitMatrix.from_dense(self.haplotypes)
+
+
+def _simulate_genealogy(
+    n_samples: int, rng: np.random.Generator
+) -> tuple[list[tuple[int, int, int]], np.ndarray, float]:
+    """Simulate one Kingman genealogy.
+
+    Returns ``(merges, branch_lengths, height)`` where *merges* lists
+    ``(child_a, child_b, parent)`` node triples (leaves are ``0..n−1``,
+    internal nodes continue upward) and *branch_lengths* gives each
+    non-root node's branch to its parent.
+    """
+    n_nodes = 2 * n_samples - 1
+    branch_start = np.zeros(n_nodes)  # birth time of each node's branch
+    branch_lengths = np.zeros(n_nodes)
+    active = list(range(n_samples))
+    merges: list[tuple[int, int, int]] = []
+    time = 0.0
+    next_node = n_samples
+    while len(active) > 1:
+        k = len(active)
+        time += rng.exponential(2.0 / (k * (k - 1)))
+        i, j = rng.choice(k, size=2, replace=False)
+        a, b = active[i], active[j]
+        for child in (a, b):
+            branch_lengths[child] = time - branch_start[child]
+        parent = next_node
+        next_node += 1
+        branch_start[parent] = time
+        merges.append((a, b, parent))
+        active = [node for node in active if node not in (a, b)]
+        active.append(parent)
+    return merges, branch_lengths, time
+
+
+def _leaf_sets(n_samples: int, merges: list[tuple[int, int, int]]) -> list[set[int]]:
+    """Set of descendant leaves below every node."""
+    sets: list[set[int]] = [{leaf} for leaf in range(n_samples)]
+    for a, b, _parent in merges:
+        sets.append(sets[a] | sets[b])
+    return sets
+
+
+def simulate_coalescent(
+    n_samples: int,
+    theta: float,
+    *,
+    rng: np.random.Generator | None = None,
+    region_length: float = 1.0,
+    min_snps: int = 0,
+) -> CoalescentSample:
+    """Simulate one non-recombining locus under the neutral coalescent.
+
+    Parameters
+    ----------
+    n_samples:
+        Haplotypes to sample (≥ 2).
+    theta:
+        Population mutation rate ``4Nμ`` for the locus.
+    rng:
+        Source of randomness (fresh default generator when omitted).
+    region_length:
+        Coordinate span for site positions.
+    min_snps:
+        Re-simulate mutations until at least this many segregating sites
+        appear (conditioning on data, as ``ms -s`` does approximately).
+    """
+    if n_samples < 2:
+        raise ValueError(f"need at least 2 samples, got {n_samples}")
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    rng = rng or np.random.default_rng()
+    merges, branch_lengths, height = _simulate_genealogy(n_samples, rng)
+    sets = _leaf_sets(n_samples, merges)
+    non_root = np.arange(2 * n_samples - 2)
+    lengths = branch_lengths[non_root]
+    total_length = float(lengths.sum())
+    while True:
+        n_mut = int(rng.poisson(theta / 2.0 * total_length))
+        if n_mut >= min_snps:
+            break
+    columns = np.zeros((n_samples, n_mut), dtype=np.uint8)
+    if n_mut:
+        probabilities = lengths / total_length
+        branches = rng.choice(non_root, size=n_mut, p=probabilities)
+        for site, branch in enumerate(branches):
+            for leaf in sets[branch]:
+                columns[leaf, site] = 1
+        # Sites are exchangeable across columns, so sorted uniform draws
+        # serve directly as the (ascending) site coordinates.
+        positions = np.sort(rng.uniform(0.0, region_length, size=n_mut))
+    else:
+        positions = np.empty(0)
+    return CoalescentSample(
+        haplotypes=columns, positions=positions, tree_height=height
+    )
+
+
+def simulate_chunked_region(
+    n_samples: int,
+    n_chunks: int,
+    theta_per_chunk: float,
+    *,
+    rng: np.random.Generator | None = None,
+    chunk_length: float = 1.0,
+) -> CoalescentSample:
+    """Concatenate independent coalescent loci along one coordinate axis.
+
+    Approximates a recombining region: sites within a chunk share a
+    genealogy (full linkage), sites in different chunks are independent
+    (free recombination), so LD decays from within-chunk levels to the
+    independence baseline over one chunk length.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    rng = rng or np.random.default_rng()
+    blocks = []
+    positions = []
+    height = 0.0
+    for chunk in range(n_chunks):
+        sample = simulate_coalescent(
+            n_samples, theta_per_chunk, rng=rng, region_length=chunk_length
+        )
+        blocks.append(sample.haplotypes)
+        positions.append(sample.positions + chunk * chunk_length)
+        height += sample.tree_height
+    return CoalescentSample(
+        haplotypes=np.concatenate(blocks, axis=1),
+        positions=np.concatenate(positions),
+        tree_height=height,
+    )

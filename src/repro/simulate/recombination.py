@@ -1,0 +1,169 @@
+"""Variable recombination maps and hotspot-aware region simulation.
+
+Human recombination is concentrated in hotspots: most crossovers happen in
+narrow intervals, so LD blocks end at hotspots rather than decaying
+uniformly with physical distance. This module models that structure on top
+of the chunked-coalescent approximation:
+
+- :class:`RecombinationMap` is a piecewise-constant rate map over physical
+  coordinates (rates in cM/Mb-like arbitrary units);
+- :func:`simulate_region_with_map` places chunk (independent-locus)
+  boundaries at equal *genetic*-distance steps, so a hotspot produces many
+  short physical chunks (LD broken) and a cold region one long chunk (LD
+  preserved).
+
+Behavioural anchor (tested): pairs at equal physical distance have lower
+LD across a hotspot than within a cold region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulate.coalescent import CoalescentSample, simulate_coalescent
+
+__all__ = ["RecombinationMap", "simulate_region_with_map"]
+
+
+@dataclass(frozen=True)
+class RecombinationMap:
+    """Piecewise-constant recombination-rate map.
+
+    Attributes
+    ----------
+    boundaries:
+        Interval boundaries, ascending, length ``n_intervals + 1``; the map
+        covers ``[boundaries[0], boundaries[-1])``.
+    rates:
+        Rate per physical-distance unit within each interval
+        (length ``n_intervals``).
+    """
+
+    boundaries: np.ndarray
+    rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        boundaries = np.asarray(self.boundaries, dtype=np.float64)
+        rates = np.asarray(self.rates, dtype=np.float64)
+        if boundaries.ndim != 1 or boundaries.size < 2:
+            raise ValueError("need at least one interval (two boundaries)")
+        if np.any(np.diff(boundaries) <= 0):
+            raise ValueError("boundaries must be strictly increasing")
+        if rates.shape != (boundaries.size - 1,):
+            raise ValueError(
+                f"{rates.size} rates for {boundaries.size - 1} intervals"
+            )
+        if np.any(rates < 0) or not np.any(rates > 0):
+            raise ValueError("rates must be non-negative with positive total")
+        object.__setattr__(self, "boundaries", boundaries)
+        object.__setattr__(self, "rates", rates)
+
+    @classmethod
+    def uniform(cls, length: float, rate: float = 1.0) -> "RecombinationMap":
+        """A flat map over ``[0, length)``."""
+        return cls(boundaries=np.array([0.0, length]), rates=np.array([rate]))
+
+    @classmethod
+    def with_hotspot(
+        cls,
+        length: float,
+        *,
+        hotspot_center: float,
+        hotspot_width: float,
+        hotspot_rate: float,
+        background_rate: float = 1.0,
+    ) -> "RecombinationMap":
+        """Flat background with one hotspot interval."""
+        lo = hotspot_center - hotspot_width / 2
+        hi = hotspot_center + hotspot_width / 2
+        if not 0 < lo < hi < length:
+            raise ValueError("hotspot must lie strictly inside the region")
+        return cls(
+            boundaries=np.array([0.0, lo, hi, length]),
+            rates=np.array([background_rate, hotspot_rate, background_rate]),
+        )
+
+    @property
+    def length(self) -> float:
+        """Physical span of the map."""
+        return float(self.boundaries[-1] - self.boundaries[0])
+
+    def genetic_distance(self, a: float, b: float) -> float:
+        """Integrated rate between physical positions *a* and *b*."""
+        lo, hi = sorted((a, b))
+        if lo < self.boundaries[0] or hi > self.boundaries[-1]:
+            raise ValueError("positions outside the map")
+        total = 0.0
+        for left, right, rate in zip(
+            self.boundaries, self.boundaries[1:], self.rates
+        ):
+            overlap = max(0.0, min(hi, right) - max(lo, left))
+            total += overlap * rate
+        return total
+
+    def total_genetic_length(self) -> float:
+        """Integrated rate over the whole map."""
+        return self.genetic_distance(self.boundaries[0], self.boundaries[-1])
+
+    def position_at_genetic(self, target: float) -> float:
+        """Physical position at integrated genetic distance *target* from 0."""
+        if not 0 <= target <= self.total_genetic_length() + 1e-12:
+            raise ValueError("genetic distance outside the map")
+        remaining = target
+        for left, right, rate in zip(
+            self.boundaries, self.boundaries[1:], self.rates
+        ):
+            span = (right - left) * rate
+            if remaining <= span or right == self.boundaries[-1]:
+                if rate == 0:
+                    return float(right)
+                return float(left + remaining / rate)
+            remaining -= span
+        return float(self.boundaries[-1])
+
+
+def simulate_region_with_map(
+    n_samples: int,
+    rec_map: RecombinationMap,
+    *,
+    n_chunks: int = 10,
+    theta_per_chunk: float = 5.0,
+    rng: np.random.Generator | None = None,
+) -> CoalescentSample:
+    """Chunked-coalescent sample with chunk boundaries from the rate map.
+
+    The region is cut into *n_chunks* independent loci of equal *genetic*
+    length; each locus gets its own genealogy and mutations placed uniformly
+    over its *physical* span. Hotspots concentrate genetic length into
+    little physical space, so chunk boundaries pile up there — exactly
+    where real LD blocks break.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    rng = rng or np.random.default_rng()
+    total_gen = rec_map.total_genetic_length()
+    cut_points = [
+        rec_map.position_at_genetic(total_gen * i / n_chunks)
+        for i in range(n_chunks + 1)
+    ]
+    blocks = []
+    positions = []
+    height = 0.0
+    for left, right in zip(cut_points, cut_points[1:]):
+        span = right - left
+        sample = simulate_coalescent(
+            n_samples, theta_per_chunk, rng=rng, region_length=max(span, 1e-9)
+        )
+        blocks.append(sample.haplotypes)
+        positions.append(sample.positions + left)
+        height += sample.tree_height
+    haplotypes = np.concatenate(blocks, axis=1)
+    all_positions = np.concatenate(positions)
+    order = np.argsort(all_positions, kind="stable")
+    return CoalescentSample(
+        haplotypes=np.ascontiguousarray(haplotypes[:, order]),
+        positions=all_positions[order],
+        tree_height=height,
+    )

@@ -1,0 +1,43 @@
+"""Utility substrate: popcount implementations, validation, timing.
+
+The popcount survey mirrors the paper's discussion (Section IV-A and its
+reference [17]) of software population-count implementations versus the
+hardware ``POPCNT`` instruction: on this substrate, :func:`numpy.bitwise_count`
+plays the role of the hardware instruction while the lookup-table and SWAR
+variants reproduce the software alternatives the paper rejects.
+"""
+
+from repro.util.popcount import (
+    POPCOUNT_IMPLEMENTATIONS,
+    popcount_hardware,
+    popcount_lut8,
+    popcount_lut16,
+    popcount_naive,
+    popcount_swar,
+    popcount_u64,
+    scalar_popcount,
+)
+from repro.util.timing import Timer, format_seconds
+from repro.util.validation import (
+    check_binary,
+    check_positive,
+    check_shape_compatible,
+    require,
+)
+
+__all__ = [
+    "POPCOUNT_IMPLEMENTATIONS",
+    "popcount_hardware",
+    "popcount_lut8",
+    "popcount_lut16",
+    "popcount_naive",
+    "popcount_swar",
+    "popcount_u64",
+    "scalar_popcount",
+    "Timer",
+    "format_seconds",
+    "check_binary",
+    "check_positive",
+    "check_shape_compatible",
+    "require",
+]

@@ -1,0 +1,67 @@
+"""Lightweight wall-clock timing used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "format_seconds"]
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall-clock seconds.
+
+    A single :class:`Timer` can be entered repeatedly; ``elapsed`` accumulates
+    across uses, which is how the benchmark drivers time repeated kernel
+    invocations without per-call overhead bookkeeping.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None, "Timer exited without being entered"
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    @property
+    def best(self) -> float:
+        """Fastest single lap (the conventional micro-benchmark statistic)."""
+        if not self.laps:
+            raise ValueError("Timer has no completed laps")
+        return min(self.laps)
+
+    def reset(self) -> None:
+        """Discard accumulated time and laps."""
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with a sensible unit (ns/us/ms/s)."""
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"

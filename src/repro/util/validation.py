@@ -1,0 +1,54 @@
+"""Argument-validation helpers shared across the library.
+
+These helpers keep public entry points strict about their inputs (binary
+matrices, positive sizes, compatible shapes) while keeping the error messages
+uniform. Inner kernels never re-validate — validation happens once at the
+public-API boundary, which matters for the hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["require", "check_binary", "check_positive", "check_shape_compatible"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_binary(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that *matrix* is 2-D and contains only 0/1 values.
+
+    Returns the input as a C-contiguous ``uint8`` array (a view when the
+    input already satisfies that, a copy otherwise).
+    """
+    arr = np.asarray(matrix)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.dtype == np.bool_:
+        arr = arr.astype(np.uint8)
+    if not np.isin(arr, (0, 1)).all():
+        raise ValueError(f"{name} must contain only 0/1 entries (infinite-sites model)")
+    return np.ascontiguousarray(arr, dtype=np.uint8)
+
+
+def check_positive(value: int, name: str) -> int:
+    """Validate that *value* is a positive integer and return it as ``int``."""
+    ivalue = int(value)
+    if ivalue <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return ivalue
+
+
+def check_shape_compatible(
+    a: np.ndarray, b: np.ndarray, axis_a: int, axis_b: int, what: str
+) -> None:
+    """Validate that ``a.shape[axis_a] == b.shape[axis_b]``."""
+    if a.shape[axis_a] != b.shape[axis_b]:
+        raise ValueError(
+            f"incompatible {what}: {a.shape[axis_a]} != {b.shape[axis_b]} "
+            f"(shapes {a.shape} and {b.shape})"
+        )

@@ -1,0 +1,180 @@
+"""Tests for the mini-GWAS module (repro.analysis.association)."""
+
+import numpy as np
+import pytest
+from scipy import stats as sp_stats
+
+from repro.analysis.association import (
+    association_scan,
+    ld_clump,
+    simulate_phenotype,
+)
+
+
+@pytest.fixture
+def panel(rng):
+    return rng.integers(0, 2, size=(400, 30)).astype(np.uint8)
+
+
+class TestSimulatePhenotype:
+    def test_prevalence_respected(self, panel, rng):
+        is_case = simulate_phenotype(
+            panel, np.array([3]), np.array([1.0]), prevalence=0.3, rng=rng
+        )
+        assert is_case.shape == (400,)
+        assert is_case.mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_causal_allele_enriched_in_cases(self, panel, rng):
+        is_case = simulate_phenotype(
+            panel, np.array([5]), np.array([3.0]), noise_sd=0.5, rng=rng
+        )
+        case_freq = panel[is_case, 5].mean()
+        control_freq = panel[~is_case, 5].mean()
+        assert case_freq > control_freq + 0.2
+
+    def test_validation(self, panel, rng):
+        with pytest.raises(ValueError, match="matching 1-D"):
+            simulate_phenotype(panel, np.array([1, 2]), np.array([1.0]), rng=rng)
+        with pytest.raises(ValueError, match="out of range"):
+            simulate_phenotype(panel, np.array([99]), np.array([1.0]), rng=rng)
+        with pytest.raises(ValueError, match="prevalence"):
+            simulate_phenotype(
+                panel, np.array([1]), np.array([1.0]), prevalence=0.0, rng=rng
+            )
+
+
+class TestAssociationScan:
+    def test_matches_scipy_contingency(self, panel, rng):
+        is_case = rng.random(400) < 0.5
+        result = association_scan(panel, is_case)
+        for snp in (0, 7, 29):
+            table = np.array(
+                [
+                    [panel[is_case, snp].sum(), (~panel[is_case, snp].astype(bool)).sum()],
+                    [panel[~is_case, snp].sum(), (~panel[~is_case, snp].astype(bool)).sum()],
+                ]
+            )
+            chi2, p, _dof, _exp = sp_stats.chi2_contingency(
+                table, correction=False
+            )
+            assert result.chi2[snp] == pytest.approx(chi2)
+            assert result.p_values[snp] == pytest.approx(p)
+
+    def test_causal_snp_is_top_hit(self, panel, rng):
+        causal = 12
+        is_case = simulate_phenotype(
+            panel, np.array([causal]), np.array([4.0]), noise_sd=0.3, rng=rng
+        )
+        result = association_scan(panel, is_case)
+        assert int(np.nanargmax(result.chi2)) == causal
+        hits = result.hits(alpha=1e-3)
+        assert hits.size >= 1 and hits[0] == causal
+
+    def test_null_p_values_roughly_uniform(self, rng):
+        panel = rng.integers(0, 2, size=(600, 200)).astype(np.uint8)
+        is_case = rng.random(600) < 0.5
+        result = association_scan(panel, is_case)
+        defined = result.p_values[~np.isnan(result.p_values)]
+        # Under the null, ~5 % of tests land below 0.05.
+        assert (defined < 0.05).mean() == pytest.approx(0.05, abs=0.04)
+
+    def test_monomorphic_snp_is_nan(self, rng):
+        panel = rng.integers(0, 2, size=(100, 3)).astype(np.uint8)
+        panel[:, 1] = 0
+        is_case = rng.random(100) < 0.5
+        result = association_scan(panel, is_case)
+        assert np.isnan(result.chi2[1])
+        assert np.isnan(result.p_values[1])
+
+    def test_frequencies_reported(self, panel, rng):
+        is_case = rng.random(400) < 0.5
+        result = association_scan(panel, is_case)
+        np.testing.assert_allclose(
+            result.case_freq, panel[is_case].mean(axis=0)
+        )
+        np.testing.assert_allclose(
+            result.control_freq, panel[~is_case].mean(axis=0)
+        )
+
+    def test_validation(self, panel):
+        with pytest.raises(ValueError, match="shape"):
+            association_scan(panel, np.zeros(10, dtype=bool))
+        with pytest.raises(ValueError, match="at least one case"):
+            association_scan(panel, np.zeros(400, dtype=bool))
+
+
+class TestLdClump:
+    def test_clumps_absorb_ld_partners(self, rng):
+        n = 500
+        causal = rng.integers(0, 2, n).astype(np.uint8)
+        shadow = causal.copy()
+        shadow[rng.random(n) < 0.05] ^= 1  # high-LD partner
+        independent = rng.integers(0, 2, (n, 3)).astype(np.uint8)
+        panel = np.column_stack([causal, shadow, independent])
+        p_values = np.array([1e-10, 1e-7, 0.5, 0.5, 0.5])
+        clumps = ld_clump(panel, p_values, p_threshold=1e-4, r2_threshold=0.5)
+        assert len(clumps) == 1
+        index, members = clumps[0]
+        assert index == 0
+        assert members.tolist() == [1]
+
+    def test_independent_hits_form_separate_clumps(self, rng):
+        panel = rng.integers(0, 2, size=(500, 6)).astype(np.uint8)
+        p_values = np.array([1e-9, 0.9, 1e-6, 0.9, 0.9, 1e-5])
+        clumps = ld_clump(panel, p_values, p_threshold=1e-4)
+        indexes = [c[0] for c in clumps]
+        assert indexes == [0, 2, 5]  # significance order
+        for _idx, members in clumps:
+            assert members.size == 0
+
+    def test_window_limits_claiming(self, rng):
+        n = 400
+        causal = rng.integers(0, 2, n).astype(np.uint8)
+        cols = [causal]
+        cols += [rng.integers(0, 2, n).astype(np.uint8) for _ in range(10)]
+        cols.append(causal)  # perfect LD but 11 positions away
+        panel = np.stack(cols, axis=1)
+        p_values = np.full(12, 0.9)
+        p_values[0] = 1e-9
+        p_values[11] = 1e-8
+        clumps = ld_clump(
+            panel, p_values, p_threshold=1e-4, r2_threshold=0.5, window=5
+        )
+        # Outside the window: two separate clumps despite perfect LD.
+        assert [c[0] for c in clumps] == [0, 11]
+
+    def test_nan_p_values_ignored(self, rng):
+        panel = rng.integers(0, 2, size=(100, 3)).astype(np.uint8)
+        p_values = np.array([np.nan, 1e-9, np.nan])
+        clumps = ld_clump(panel, p_values)
+        assert [c[0] for c in clumps] == [1]
+
+    def test_validation(self, rng):
+        panel = rng.integers(0, 2, size=(50, 4)).astype(np.uint8)
+        with pytest.raises(ValueError, match="shape"):
+            ld_clump(panel, np.zeros(3))
+        with pytest.raises(ValueError, match="r2_threshold"):
+            ld_clump(panel, np.zeros(4), r2_threshold=0.0)
+
+    def test_end_to_end_gwas(self, rng):
+        """Simulate, scan, clump: the causal SNP leads its clump."""
+        n = 600
+        causal_col = 8
+        base = rng.integers(0, 2, size=(n, 20)).astype(np.uint8)
+        # Give the causal SNP two LD shadows.
+        for offset in (1, 2):
+            shadow = base[:, causal_col].copy()
+            shadow[rng.random(n) < 0.08] ^= 1
+            base[:, causal_col + offset] = shadow
+        is_case = simulate_phenotype(
+            base, np.array([causal_col]), np.array([3.0]),
+            noise_sd=0.4, rng=rng,
+        )
+        result = association_scan(base, is_case)
+        clumps = ld_clump(
+            base, result.p_values, p_threshold=1e-4, r2_threshold=0.4
+        )
+        assert clumps, "the planted signal must reach significance"
+        index, members = clumps[0]
+        assert index == causal_col
+        assert set(members.tolist()) >= {causal_col + 1, causal_col + 2}

@@ -1,0 +1,195 @@
+"""Tests for the bit-packed genomic matrix (repro.encoding.bitmatrix)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.encoding.bitmatrix import (
+    WORD_BITS,
+    BitMatrix,
+    pack_bits,
+    unpack_bits,
+    words_for_samples,
+)
+
+DENSE = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=140),
+        st.integers(min_value=1, max_value=20),
+    ),
+    elements=st.integers(min_value=0, max_value=1),
+)
+
+
+class TestPackRoundtrip:
+    @given(dense=DENSE)
+    @settings(max_examples=60)
+    def test_roundtrip(self, dense):
+        packed = pack_bits(dense)
+        np.testing.assert_array_equal(unpack_bits(packed, dense.shape[0]), dense)
+
+    @given(dense=DENSE)
+    @settings(max_examples=60)
+    def test_padding_bits_are_zero(self, dense):
+        packed = pack_bits(dense)
+        n_samples = dense.shape[0]
+        total = packed.shape[1] * WORD_BITS
+        counts = np.bitwise_count(packed).sum(axis=1)
+        np.testing.assert_array_equal(counts, dense.sum(axis=0))
+        assert total >= n_samples
+
+    def test_exact_word_boundary(self):
+        dense = np.ones((128, 3), dtype=np.uint8)
+        packed = pack_bits(dense)
+        assert packed.shape == (3, 2)
+        assert np.all(packed == np.uint64(0xFFFFFFFFFFFFFFFF))
+
+    def test_bit_order_is_little_endian(self):
+        dense = np.zeros((70, 1), dtype=np.uint8)
+        dense[0, 0] = 1   # sample 0 -> bit 0 of word 0
+        dense[65, 0] = 1  # sample 65 -> bit 1 of word 1
+        packed = pack_bits(dense)
+        assert packed[0, 0] == 1
+        assert packed[0, 1] == 2
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0/1"):
+            pack_bits(np.array([[0, 2]], dtype=np.uint8))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            pack_bits(np.zeros(5, dtype=np.uint8))
+
+    def test_unpack_rejects_bad_sample_count(self):
+        packed = np.zeros((2, 1), dtype=np.uint64)
+        with pytest.raises(ValueError, match="incompatible"):
+            unpack_bits(packed, 65)
+
+
+class TestWordsForSamples:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 0), (1, 1), (63, 1), (64, 1), (65, 2), (128, 2), (129, 3)]
+    )
+    def test_values(self, n, expected):
+        assert words_for_samples(n) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            words_for_samples(-1)
+
+
+class TestBitMatrix:
+    def test_from_dense_shape(self, small_panel):
+        bm = BitMatrix.from_dense(small_panel)
+        assert bm.shape == small_panel.shape
+        assert bm.n_samples == 137
+        assert bm.n_snps == 53
+        assert bm.n_words == 3
+        assert bm.nbytes == 53 * 3 * 8
+
+    def test_to_dense_roundtrip(self, small_panel):
+        bm = BitMatrix.from_dense(small_panel)
+        np.testing.assert_array_equal(bm.to_dense(), small_panel)
+
+    def test_from_snp_vectors(self, small_panel):
+        bm = BitMatrix.from_snp_vectors(small_panel.T)
+        assert bm == BitMatrix.from_dense(small_panel)
+
+    def test_snp_accessor(self, small_panel):
+        bm = BitMatrix.from_dense(small_panel)
+        for idx in (0, 25, 52):
+            np.testing.assert_array_equal(bm.snp(idx), small_panel[:, idx])
+
+    def test_allele_counts_and_frequencies(self, small_panel):
+        bm = BitMatrix.from_dense(small_panel)
+        np.testing.assert_array_equal(bm.allele_counts(), small_panel.sum(axis=0))
+        np.testing.assert_allclose(
+            bm.allele_frequencies(), small_panel.mean(axis=0)
+        )
+
+    def test_is_polymorphic_and_drop(self):
+        dense = np.zeros((10, 4), dtype=np.uint8)
+        dense[:, 1] = 1                  # fixed derived -> monomorphic
+        dense[:5, 2] = 1                 # segregating
+        dense[0, 3] = 1                  # singleton -> segregating
+        bm = BitMatrix.from_dense(dense)
+        np.testing.assert_array_equal(
+            bm.is_polymorphic(), [False, False, True, True]
+        )
+        dropped = bm.drop_monomorphic()
+        assert dropped.n_snps == 2
+        np.testing.assert_array_equal(dropped.to_dense(), dense[:, 2:])
+
+    def test_select_and_slice(self, small_panel):
+        bm = BitMatrix.from_dense(small_panel)
+        sel = bm.select(np.array([5, 1, 20]))
+        np.testing.assert_array_equal(sel.to_dense(), small_panel[:, [5, 1, 20]])
+        sl = bm.slice_snps(10, 20)
+        np.testing.assert_array_equal(sl.to_dense(), small_panel[:, 10:20])
+
+    def test_concat_snps(self, small_panel):
+        bm = BitMatrix.from_dense(small_panel)
+        joined = bm.slice_snps(0, 10).concat_snps(bm.slice_snps(10, 53))
+        assert joined == bm
+
+    def test_concat_rejects_mismatched_samples(self, small_panel):
+        a = BitMatrix.from_dense(small_panel)
+        b = BitMatrix.from_dense(small_panel[:100])
+        with pytest.raises(ValueError, match="sample counts differ"):
+            a.concat_snps(b)
+
+    def test_zeros(self):
+        bm = BitMatrix.zeros(100, 7)
+        assert bm.shape == (100, 7)
+        assert bm.allele_counts().sum() == 0
+
+    def test_filter_maf(self):
+        dense = np.zeros((20, 3), dtype=np.uint8)
+        dense[:10, 0] = 1      # MAF 0.5
+        dense[0, 1] = 1        # MAF 0.05
+        dense[:4, 2] = 1       # MAF 0.2
+        bm = BitMatrix.from_dense(dense)
+        kept = bm.filter_maf(0.1)
+        np.testing.assert_array_equal(kept.to_dense(), dense[:, [0, 2]])
+        assert bm.filter_maf(0.0).n_snps == 3
+
+    def test_filter_maf_rejects_bad_threshold(self, small_panel):
+        bm = BitMatrix.from_dense(small_panel)
+        with pytest.raises(ValueError, match="min_maf"):
+            bm.filter_maf(0.6)
+
+    def test_rejects_dirty_padding(self):
+        words = np.full((1, 2), np.uint64(0xFFFFFFFFFFFFFFFF))
+        with pytest.raises(ValueError, match="padding"):
+            BitMatrix(words=words, n_samples=70)
+
+    def test_rejects_dirty_padding_whole_word(self):
+        words = np.zeros((1, 2), dtype=np.uint64)
+        words[0, 1] = 1
+        with pytest.raises(ValueError, match="padding"):
+            BitMatrix(words=words, n_samples=64)
+
+    def test_rejects_oversized_n_samples(self):
+        with pytest.raises(ValueError, match="fit"):
+            BitMatrix(words=np.zeros((1, 1), dtype=np.uint64), n_samples=65)
+
+    def test_equality(self, small_panel):
+        a = BitMatrix.from_dense(small_panel)
+        b = BitMatrix.from_dense(small_panel)
+        assert a == b
+        flipped = small_panel.copy()
+        flipped[0, 0] ^= 1
+        assert a != BitMatrix.from_dense(flipped)
+        assert a.__eq__(42) is NotImplemented
+
+    def test_repr(self, small_panel):
+        text = repr(BitMatrix.from_dense(small_panel))
+        assert "n_samples=137" in text and "n_snps=53" in text
+
+    def test_zero_sample_frequencies_rejected(self):
+        bm = BitMatrix(words=np.zeros((3, 0), dtype=np.uint64), n_samples=0)
+        with pytest.raises(ValueError, match="zero samples"):
+            bm.allele_frequencies()

@@ -1,0 +1,73 @@
+"""Tests for cache-blocking parameter selection (repro.core.blocking)."""
+
+import pytest
+
+from repro.core.blocking import (
+    DEFAULT_BLOCKING,
+    MICRO_BLOCKING,
+    BlockingParams,
+    select_blocking,
+)
+
+
+class TestBlockingParams:
+    def test_presets_are_internally_consistent(self):
+        for params in (DEFAULT_BLOCKING, MICRO_BLOCKING):
+            assert params.mc % params.mr == 0
+            assert params.nc % params.nr == 0
+
+    @pytest.mark.parametrize("field", ["mc", "nc", "kc", "mr", "nr"])
+    def test_rejects_non_positive(self, field):
+        values = dict(mc=8, nc=8, kc=8, mr=4, nr=4)
+        values[field] = 0
+        with pytest.raises(ValueError, match="positive"):
+            BlockingParams(**values)
+
+    def test_rejects_mc_not_multiple_of_mr(self):
+        with pytest.raises(ValueError, match="multiple of mr"):
+            BlockingParams(mc=10, nc=8, kc=8, mr=4, nr=4)
+
+    def test_rejects_nc_not_multiple_of_nr(self):
+        with pytest.raises(ValueError, match="multiple of nr"):
+            BlockingParams(mc=8, nc=10, kc=8, mr=4, nr=4)
+
+    def test_footprints(self):
+        p = BlockingParams(mc=16, nc=32, kc=64, mr=8, nr=8)
+        assert p.a_block_bytes == 16 * 64 * 8
+        assert p.b_panel_bytes == 64 * 32 * 8
+        assert p.b_micropanel_bytes == 64 * 8 * 8
+
+    def test_describe_mentions_all_parameters(self):
+        text = MICRO_BLOCKING.describe()
+        for token in ("mc=", "nc=", "kc=", "mr=", "nr="):
+            assert token in text
+
+
+class TestSelectBlocking:
+    def test_default_targets_half_caches(self):
+        p = select_blocking()
+        assert p.b_micropanel_bytes <= 32 * 1024 // 2 + p.nr * 8
+        assert p.a_block_bytes <= 256 * 1024 // 2 + p.mr * p.kc * 8
+        assert p.mc % p.mr == 0 and p.nc % p.nr == 0
+
+    def test_bigger_l1_gives_bigger_kc(self):
+        small = select_blocking(l1_bytes=16 * 1024)
+        big = select_blocking(l1_bytes=64 * 1024, l2_bytes=512 * 1024)
+        assert big.kc > small.kc
+
+    def test_nc_cap(self):
+        p = select_blocking(max_nc=256, nr=8)
+        assert p.nc <= 256
+
+    def test_rejects_non_positive_cache(self):
+        with pytest.raises(ValueError, match="positive"):
+            select_blocking(l1_bytes=0)
+
+    def test_rejects_inverted_hierarchy(self):
+        with pytest.raises(ValueError, match="l1 <= l2 <= l3"):
+            select_blocking(l1_bytes=1 << 20, l2_bytes=1 << 10)
+
+    def test_respects_register_tile(self):
+        p = select_blocking(mr=16, nr=4)
+        assert p.mr == 16 and p.nr == 4
+        assert p.mc % 16 == 0 and p.nc % 4 == 0

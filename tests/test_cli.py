@@ -1,0 +1,202 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import load_panel, main
+from repro.io.msformat import write_ms
+from repro.io.vcf import write_vcf
+
+
+@pytest.fixture
+def ms_panel(tmp_path, rng):
+    haps = rng.integers(0, 2, size=(40, 60)).astype(np.uint8)
+    positions = np.sort(rng.random(60))
+    path = tmp_path / "panel.ms"
+    write_ms(path, [(haps, positions)])
+    return path, haps
+
+
+class TestLoadPanel:
+    def test_loads_ms(self, ms_panel):
+        path, haps = ms_panel
+        panel, positions = load_panel(path)
+        np.testing.assert_array_equal(panel.to_dense(), haps)
+        assert positions.size == 60
+
+    def test_loads_vcf(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(10, 5)).astype(np.uint8)
+        path = tmp_path / "panel.vcf"
+        write_vcf(path, haps, np.arange(5) + 1)
+        panel, positions = load_panel(path)
+        np.testing.assert_array_equal(panel.to_dense(), haps)
+
+    def test_loads_fasta(self, tmp_path, rng):
+        from repro.io.fasta import write_fasta
+
+        base = rng.choice(list("ACGT"), size=100)
+        aln = np.tile(base, (12, 1))
+        for col in range(0, 100, 9):
+            carriers = rng.random(12) < 0.5
+            aln[carriers, col] = "T" if base[col] != "T" else "G"
+        path = tmp_path / "aln.fasta"
+        write_fasta(path, aln)
+        panel, positions = load_panel(path)
+        assert panel.n_samples == 12
+        assert panel.n_snps == positions.size > 0
+
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "panel.xyz"
+        path.write_text("")
+        with pytest.raises(SystemExit, match="unsupported input"):
+            load_panel(path)
+
+
+class TestSimulateCommand:
+    @pytest.mark.parametrize("kind", ["sfs", "coalescent"])
+    def test_simulate_to_ms(self, tmp_path, kind, capsys):
+        out = tmp_path / "sim.ms"
+        code = main([
+            "simulate", "--kind", kind, "--samples", "30",
+            "--snps", "40", "--seed", "3", "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert "simulate: wrote 30 haplotypes" in capsys.readouterr().out
+        panel, _ = load_panel(out)
+        assert panel.n_samples == 30
+
+    def test_simulate_to_vcf(self, tmp_path):
+        out = tmp_path / "sim.vcf"
+        assert main([
+            "simulate", "--samples", "20", "--snps", "15",
+            "--seed", "1", "--out", str(out),
+        ]) == 0
+        panel, _ = load_panel(out)
+        assert panel.shape == (20, 15)
+
+    def test_simulate_sweep_kind(self, tmp_path):
+        out = tmp_path / "sweep.ms"
+        assert main([
+            "simulate", "--kind", "sweep", "--samples", "30",
+            "--snps", "21", "--seed", "2", "--out", str(out),
+        ]) == 0
+        panel, _ = load_panel(out)
+        assert panel.n_samples == 30
+
+    def test_rejects_bad_extension(self, tmp_path):
+        with pytest.raises(SystemExit, match="unsupported output"):
+            main(["simulate", "--out", str(tmp_path / "x.bin")])
+
+
+class TestLdCommand:
+    def test_full_matrix_npy(self, ms_panel, tmp_path, capsys):
+        path, haps = ms_panel
+        out = tmp_path / "ld.npy"
+        assert main(["ld", str(path), "--out", str(out)]) == 0
+        matrix = np.load(out)
+        assert matrix.shape == (60, 60)
+        from repro.core.ldmatrix import ld_matrix
+
+        np.testing.assert_allclose(
+            np.nan_to_num(matrix), np.nan_to_num(ld_matrix(haps))
+        )
+        assert "full r2 matrix" in capsys.readouterr().out
+
+    def test_banded_tsv(self, ms_panel, tmp_path):
+        path, _haps = ms_panel
+        out = tmp_path / "band.tsv"
+        assert main([
+            "ld", str(path), "--window", "5", "--out", str(out),
+        ]) == 0
+        band = np.loadtxt(out)
+        assert band.shape == (60, 6)
+
+    def test_maf_and_monomorphic_filters(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(40, 20)).astype(np.uint8)
+        haps[:, 0] = 0          # monomorphic
+        haps[:, 1] = 0
+        haps[0, 1] = 1          # singleton (MAF 1/40)
+        path = tmp_path / "f.ms"
+        write_ms(path, [(haps, np.linspace(0, 1, 20))])
+        out = tmp_path / "f.npy"
+        assert main([
+            "ld", str(path), "--drop-monomorphic", "--maf", "0.1",
+            "--out", str(out),
+        ]) == 0
+        assert np.load(out).shape[0] < 20
+
+    def test_stat_option(self, ms_panel, tmp_path):
+        path, haps = ms_panel
+        out = tmp_path / "d.npy"
+        assert main(["ld", str(path), "--stat", "D", "--out", str(out)]) == 0
+        from repro.core.ldmatrix import ld_matrix
+
+        np.testing.assert_allclose(np.load(out), ld_matrix(haps, stat="D"))
+
+    def test_rejects_unknown_output_format(self, ms_panel, tmp_path):
+        path, _ = ms_panel
+        with pytest.raises(SystemExit, match="unsupported output"):
+            main(["ld", str(path), "--out", str(tmp_path / "m.parquet")])
+
+    def test_threads_option(self, ms_panel, tmp_path):
+        path, haps = ms_panel
+        out = tmp_path / "t.npy"
+        assert main([
+            "ld", str(path), "--threads", "3", "--out", str(out),
+        ]) == 0
+        from repro.core.ldmatrix import ld_matrix
+
+        np.testing.assert_allclose(
+            np.nan_to_num(np.load(out)), np.nan_to_num(ld_matrix(haps))
+        )
+
+
+class TestAnalysisCommands:
+    def test_scan(self, ms_panel, tmp_path, capsys):
+        path, _ = ms_panel
+        out = tmp_path / "scan.tsv"
+        assert main([
+            "scan", str(path), "--grid-size", "5", "--max-window", "20",
+            "--out", str(out),
+        ]) == 0
+        table = np.loadtxt(out, skiprows=1)
+        assert table.shape == (5, 3)
+        assert "peak omega" in capsys.readouterr().out
+
+    def test_prune(self, ms_panel, tmp_path):
+        path, _ = ms_panel
+        out = tmp_path / "kept.txt"
+        assert main([
+            "prune", str(path), "--window", "10", "--step", "2",
+            "--r2-threshold", "0.5", "--out", str(out),
+        ]) == 0
+        kept = np.loadtxt(out, dtype=int, ndmin=1)
+        assert kept.size >= 1
+
+    def test_blocks(self, tmp_path, rng):
+        # Build a panel with one obvious block.
+        base = rng.integers(0, 2, 200).astype(np.uint8)
+        cols = [base.copy() for _ in range(5)]
+        cols += [rng.integers(0, 2, 200).astype(np.uint8) for _ in range(5)]
+        haps = np.stack(cols, axis=1)
+        path = tmp_path / "b.ms"
+        write_ms(path, [(haps, np.linspace(0, 1, 10))])
+        out = tmp_path / "blocks.tsv"
+        assert main(["blocks", str(path), "--out", str(out)]) == 0
+        table = np.loadtxt(out, skiprows=1, ndmin=2)
+        assert table.shape[0] >= 1
+
+    def test_decay(self, ms_panel, tmp_path):
+        path, _ = ms_panel
+        out = tmp_path / "decay.tsv"
+        assert main(["decay", str(path), "--bins", "6", "--out", str(out)]) == 0
+        table = np.loadtxt(out, skiprows=1)
+        assert table.shape == (6, 3)
+
+    def test_model_report(self, capsys):
+        assert main(["model", "--snps", "512", "--samples", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "% of the 3-ops/cycle" in out
+        assert "GPU roofline" in out
+        assert "avx512" in out

@@ -1,0 +1,102 @@
+"""Tests for the coalescent simulator (repro.simulate.coalescent)."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.coalescent import (
+    CoalescentSample,
+    simulate_chunked_region,
+    simulate_coalescent,
+)
+
+
+class TestSimulateCoalescent:
+    def test_basic_shape_and_types(self, rng):
+        sample = simulate_coalescent(25, theta=12.0, rng=rng, min_snps=3)
+        assert sample.n_samples == 25
+        assert sample.n_snps >= 3
+        assert sample.haplotypes.dtype == np.uint8
+        assert set(np.unique(sample.haplotypes)) <= {0, 1}
+
+    def test_positions_sorted_in_range(self, rng):
+        sample = simulate_coalescent(
+            10, theta=20.0, rng=rng, region_length=500.0, min_snps=5
+        )
+        assert np.all(np.diff(sample.positions) >= 0)
+        assert sample.positions.min() >= 0
+        assert sample.positions.max() < 500.0
+
+    def test_every_site_segregates(self, rng):
+        """Mutations on non-root branches always split the sample."""
+        sample = simulate_coalescent(15, theta=30.0, rng=rng, min_snps=10)
+        counts = sample.haplotypes.sum(axis=0)
+        assert np.all(counts >= 1)
+        assert np.all(counts <= 14)
+
+    def test_tree_height_positive(self, rng):
+        sample = simulate_coalescent(8, theta=1.0, rng=rng)
+        assert sample.tree_height > 0
+
+    def test_expected_segsites_tracks_theta(self):
+        """E[S] = θ·Σ 1/i — check within loose statistical bounds."""
+        n, theta, reps = 10, 8.0, 60
+        rng = np.random.default_rng(99)
+        harmonic = sum(1.0 / i for i in range(1, n))
+        expectation = theta * harmonic
+        total = sum(
+            simulate_coalescent(n, theta, rng=rng).n_snps for _ in range(reps)
+        )
+        assert total / reps == pytest.approx(expectation, rel=0.3)
+
+    def test_zero_theta_gives_no_sites(self, rng):
+        sample = simulate_coalescent(5, theta=0.0, rng=rng)
+        assert sample.n_snps == 0
+        assert sample.positions.size == 0
+
+    def test_to_bitmatrix(self, rng):
+        sample = simulate_coalescent(12, theta=10.0, rng=rng, min_snps=2)
+        bm = sample.to_bitmatrix()
+        np.testing.assert_array_equal(bm.to_dense(), sample.haplotypes)
+
+    def test_deterministic_with_seed(self):
+        a = simulate_coalescent(10, theta=5.0, rng=np.random.default_rng(7))
+        b = simulate_coalescent(10, theta=5.0, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a.haplotypes, b.haplotypes)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_rejects_too_few_samples(self, rng):
+        with pytest.raises(ValueError, match="at least 2"):
+            simulate_coalescent(1, theta=1.0, rng=rng)
+
+    def test_rejects_negative_theta(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            simulate_coalescent(5, theta=-1.0, rng=rng)
+
+
+class TestChunkedRegion:
+    def test_chunk_positions_span_region(self, rng):
+        sample = simulate_chunked_region(
+            12, n_chunks=5, theta_per_chunk=6.0, rng=rng, chunk_length=100.0
+        )
+        assert sample.positions.max() < 500.0
+        assert isinstance(sample, CoalescentSample)
+
+    def test_within_chunk_ld_exceeds_between_chunk_ld(self):
+        """The defining property of the chunked approximation."""
+        rng = np.random.default_rng(12)
+        sample = simulate_chunked_region(
+            60, n_chunks=4, theta_per_chunk=10.0, rng=rng, chunk_length=10.0
+        )
+        from repro.core.ldmatrix import ld_matrix
+
+        r2 = ld_matrix(sample.haplotypes, undefined=0.0)
+        chunk = (sample.positions // 10).astype(int)
+        same = np.equal.outer(chunk, chunk)
+        iu = np.triu_indices(sample.n_snps, k=1)
+        within = r2[iu][same[iu]]
+        between = r2[iu][~same[iu]]
+        assert within.mean() > 3 * between.mean()
+
+    def test_rejects_bad_chunk_count(self, rng):
+        with pytest.raises(ValueError, match="n_chunks"):
+            simulate_chunked_region(5, n_chunks=0, theta_per_chunk=1.0, rng=rng)

@@ -1,0 +1,91 @@
+"""Tests for LD decay curves (repro.analysis.decay)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.decay import DecayCurve, ld_decay_curve
+from repro.simulate.coalescent import simulate_chunked_region
+
+
+class TestLdDecayCurve:
+    def test_bin_accounting(self, rng):
+        panel = rng.integers(0, 2, size=(60, 15)).astype(np.uint8)
+        positions = np.arange(15.0) * 10
+        curve = ld_decay_curve(panel, positions, n_bins=7)
+        n_pairs = 15 * 14 // 2
+        # NaN pairs (monomorphic SNPs) are excluded; the rest land in bins.
+        assert curve.counts.sum() <= n_pairs
+        assert curve.bin_edges.size == 8
+        assert curve.mean_r2.size == 7
+
+    def test_mean_values_match_manual_binning(self, rng):
+        panel = rng.integers(0, 2, size=(100, 10)).astype(np.uint8)
+        positions = np.linspace(0, 90, 10)
+        curve = ld_decay_curve(panel, positions, n_bins=3, max_distance=90.0)
+        from repro.core.ldmatrix import ld_matrix
+
+        r2 = ld_matrix(panel)
+        iu = np.triu_indices(10, k=1)
+        dist = np.abs(positions[iu[0]] - positions[iu[1]])
+        vals = r2[iu]
+        ok = ~np.isnan(vals)
+        # Same half-open convention as the implementation: bin b covers
+        # [edges[b], edges[b+1]), with max_distance folded into the last bin.
+        width = 90.0 / 3
+        which = np.minimum((dist / width).astype(int), 2)
+        for b in range(3):
+            sel = ok & (which == b) & (dist <= 90.0)
+            assert curve.counts[b] == sel.sum()
+            if curve.counts[b]:
+                assert curve.mean_r2[b] == pytest.approx(
+                    vals[sel].mean(), rel=1e-6
+                )
+
+    def test_decay_on_linked_blocks(self):
+        """Chunked-coalescent data: within-chunk LD >> between-chunk LD."""
+        rng = np.random.default_rng(11)
+        sample = simulate_chunked_region(
+            50, n_chunks=6, theta_per_chunk=8.0, rng=rng, chunk_length=100.0
+        )
+        curve = ld_decay_curve(
+            sample.haplotypes, sample.positions, n_bins=6, max_distance=600.0
+        )
+        populated = curve.counts > 0
+        first = curve.mean_r2[populated][0]
+        last = curve.mean_r2[populated][-1]
+        assert first > last  # LD decays with distance
+
+    def test_half_decay_distance(self):
+        curve = DecayCurve(
+            bin_edges=np.array([0.0, 1.0, 2.0, 3.0]),
+            mean_r2=np.array([0.8, 0.5, 0.3]),
+            counts=np.array([5, 5, 5]),
+        )
+        assert curve.half_decay_distance() == pytest.approx(2.5)
+
+    def test_half_decay_nan_when_no_drop(self):
+        curve = DecayCurve(
+            bin_edges=np.array([0.0, 1.0, 2.0]),
+            mean_r2=np.array([0.8, 0.7]),
+            counts=np.array([5, 5]),
+        )
+        assert np.isnan(curve.half_decay_distance())
+
+    def test_bin_centers(self):
+        curve = DecayCurve(
+            bin_edges=np.array([0.0, 2.0, 4.0]),
+            mean_r2=np.array([0.5, 0.4]),
+            counts=np.array([1, 1]),
+        )
+        np.testing.assert_allclose(curve.bin_centers, [1.0, 3.0])
+
+    def test_validation(self, rng):
+        panel = rng.integers(0, 2, size=(30, 5)).astype(np.uint8)
+        with pytest.raises(ValueError, match="positions"):
+            ld_decay_curve(panel, np.arange(4.0))
+        with pytest.raises(ValueError, match="n_bins"):
+            ld_decay_curve(panel, np.arange(5.0), n_bins=0)
+        with pytest.raises(ValueError, match="max_distance"):
+            ld_decay_curve(panel, np.arange(5.0), max_distance=-1.0)
+        with pytest.raises(ValueError, match="at least 2"):
+            ld_decay_curve(panel[:, :1], np.arange(1.0))

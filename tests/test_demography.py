@@ -1,0 +1,160 @@
+"""Tests for demographic-history coalescent simulation (repro.simulate.demography)."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.coalescent import simulate_coalescent
+from repro.simulate.demography import (
+    Epoch,
+    PopulationHistory,
+    simulate_coalescent_demography,
+)
+
+
+class TestPopulationHistory:
+    def test_constant(self):
+        history = PopulationHistory.constant()
+        assert history.size_at(0.0) == 1.0
+        assert history.size_at(100.0) == 1.0
+
+    def test_bottleneck_profile(self):
+        history = PopulationHistory.bottleneck(depth=0.1, start=0.05, end=0.5)
+        assert history.size_at(0.0) == 1.0
+        assert history.size_at(0.1) == 0.1
+        assert history.size_at(0.6) == 1.0
+
+    def test_expansion_profile(self):
+        history = PopulationHistory.expansion(factor=10.0, onset=0.1)
+        assert history.size_at(0.05) == 10.0
+        assert history.size_at(0.2) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PopulationHistory(epochs=())
+        with pytest.raises(ValueError, match="start at time 0"):
+            PopulationHistory(epochs=(Epoch(1.0, 1.0),))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PopulationHistory(epochs=(Epoch(0.0, 1.0), Epoch(0.0, 2.0)))
+        with pytest.raises(ValueError, match="positive"):
+            Epoch(0.0, 0.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            Epoch(-1.0, 1.0)
+        with pytest.raises(ValueError, match="0 < start < end"):
+            PopulationHistory.bottleneck(start=0.5, end=0.1)
+        with pytest.raises(ValueError, match="positive"):
+            PopulationHistory.expansion(factor=0.0)
+
+    def test_size_at_rejects_negative_time(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            PopulationHistory.constant().size_at(-1.0)
+
+    def test_coalescence_rate_scales_with_size(self):
+        """Mean waiting time for k=2 equals the relative size."""
+        rng = np.random.default_rng(2)
+        for size in (0.25, 1.0, 4.0):
+            history = PopulationHistory.constant(size)
+            times = [
+                history.draw_coalescence_time(0.0, 2, rng) for _ in range(4000)
+            ]
+            assert np.mean(times) == pytest.approx(size, rel=0.1)
+
+    def test_rate_changes_across_boundary(self):
+        """Waiting times starting inside a small-size epoch are short."""
+        rng = np.random.default_rng(3)
+        history = PopulationHistory(
+            epochs=(Epoch(0.0, 1.0), Epoch(1.0, 0.01))
+        )
+        # Starting after the boundary, rate is 100x: tiny waits.
+        times = [
+            history.draw_coalescence_time(2.0, 2, rng) - 2.0
+            for _ in range(2000)
+        ]
+        assert np.mean(times) == pytest.approx(0.01, rel=0.15)
+
+    def test_draw_rejects_single_lineage(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            PopulationHistory.constant().draw_coalescence_time(
+                0.0, 1, np.random.default_rng(0)
+            )
+
+
+class TestSimulateWithDemography:
+    def test_constant_history_matches_plain_coalescent(self):
+        """Same distribution: compare mean tree heights over replicates."""
+        history = PopulationHistory.constant()
+        rng_a = np.random.default_rng(10)
+        rng_b = np.random.default_rng(11)
+        reps = 200
+        demo_heights = [
+            simulate_coalescent_demography(8, 1.0, history, rng=rng_a).tree_height
+            for _ in range(reps)
+        ]
+        plain_heights = [
+            simulate_coalescent(8, 1.0, rng=rng_b).tree_height
+            for _ in range(reps)
+        ]
+        assert np.mean(demo_heights) == pytest.approx(
+            np.mean(plain_heights), rel=0.15
+        )
+
+    def test_bottleneck_reduces_diversity(self):
+        """Severe recent bottleneck => shorter trees => fewer SNPs."""
+        rng = np.random.default_rng(14)
+        reps, theta = 120, 5.0
+        bottleneck = PopulationHistory(
+            epochs=(Epoch(0.0, 0.02),)  # tiny population throughout
+        )
+        small = np.mean([
+            simulate_coalescent_demography(
+                10, theta, bottleneck, rng=rng
+            ).n_snps
+            for _ in range(reps)
+        ])
+        normal = np.mean([
+            simulate_coalescent_demography(
+                10, theta, PopulationHistory.constant(), rng=rng
+            ).n_snps
+            for _ in range(reps)
+        ])
+        assert small < 0.25 * normal
+
+    def test_expansion_enriches_singletons(self):
+        """Recent expansion => star-like trees => singleton excess."""
+        rng = np.random.default_rng(15)
+        reps, theta = 150, 8.0
+
+        def singleton_fraction(history):
+            singles = total = 0
+            for _ in range(reps):
+                sample = simulate_coalescent_demography(
+                    12, theta, history, rng=rng
+                )
+                if sample.n_snps:
+                    counts = sample.haplotypes.sum(axis=0)
+                    singles += int((counts == 1).sum())
+                    total += sample.n_snps
+            return singles / total
+
+        expanded = singleton_fraction(
+            PopulationHistory.expansion(factor=50.0, onset=0.02)
+        )
+        constant = singleton_fraction(PopulationHistory.constant())
+        assert expanded > constant
+
+    def test_basic_output_contract(self):
+        rng = np.random.default_rng(16)
+        sample = simulate_coalescent_demography(
+            15, 10.0, PopulationHistory.bottleneck(), rng=rng, min_snps=4
+        )
+        assert sample.n_samples == 15
+        assert sample.n_snps >= 4
+        counts = sample.haplotypes.sum(axis=0)
+        assert np.all((counts >= 1) & (counts <= 14))
+        assert np.all(np.diff(sample.positions) >= 0)
+
+    def test_validation(self):
+        history = PopulationHistory.constant()
+        with pytest.raises(ValueError, match="at least 2"):
+            simulate_coalescent_demography(1, 1.0, history)
+        with pytest.raises(ValueError, match="non-negative"):
+            simulate_coalescent_demography(5, -1.0, history)

@@ -1,0 +1,23 @@
+"""Run the doctests embedded in public docstrings.
+
+Keeps the README-style examples in module docstrings honest: if a
+quickstart snippet drifts from the API, this fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.util.timing
+
+MODULES_WITH_DOCTESTS = [repro, repro.util.timing]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

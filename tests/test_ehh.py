@@ -1,0 +1,121 @@
+"""Tests for extended haplotype homozygosity (repro.analysis.ehh)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ehh import ehh_decay, integrated_ehh
+
+
+
+def brute_force_ehh(dense, core, distance, allele, direction=+1):
+    """EHH from the definition: identical extended haplotypes."""
+    carriers = np.flatnonzero(dense[:, core] == allele)
+    n = carriers.size
+    if n < 2:
+        return float("nan")
+    lo = min(core, core + direction * distance)
+    hi = max(core, core + direction * distance)
+    segment = dense[carriers, lo : hi + 1]
+    _, counts = np.unique(segment, axis=0, return_counts=True)
+    pairs = (counts * (counts - 1) // 2).sum()
+    return pairs / (n * (n - 1) // 2)
+
+
+@pytest.fixture
+def panel(rng):
+    return rng.integers(0, 2, size=(60, 25)).astype(np.uint8)
+
+
+class TestEhhDecay:
+    def test_matches_brute_force(self, panel):
+        core = 10
+        curve = ehh_decay(panel, core, max_distance=8)
+        for idx, distance in enumerate(curve.distances):
+            for allele, values in (
+                (1, curve.ehh_derived),
+                (0, curve.ehh_ancestral),
+            ):
+                expected = brute_force_ehh(panel, core, int(distance), allele)
+                got = values[idx]
+                if np.isnan(expected):
+                    assert np.isnan(got)
+                else:
+                    assert got == pytest.approx(expected)
+
+    def test_leftward_direction(self, panel):
+        core = 20
+        curve = ehh_decay(panel, core, max_distance=6, direction=-1)
+        for idx, distance in enumerate(curve.distances):
+            expected = brute_force_ehh(
+                panel, core, int(distance), 1, direction=-1
+            )
+            got = curve.ehh_derived[idx]
+            if np.isnan(expected):
+                assert np.isnan(got)
+            else:
+                assert got == pytest.approx(expected)
+
+    def test_starts_at_one_and_decreases(self, panel):
+        curve = ehh_decay(panel, 5, max_distance=10)
+        assert curve.ehh_derived[0] == pytest.approx(1.0)
+        assert curve.ehh_ancestral[0] == pytest.approx(1.0)
+        # Monotone non-increasing: refinement can only split classes.
+        assert np.all(np.diff(curve.ehh_derived) <= 1e-12)
+        assert np.all(np.diff(curve.ehh_ancestral) <= 1e-12)
+
+    def test_clipped_at_region_edge(self, panel):
+        curve = ehh_decay(panel, 22, max_distance=10)
+        assert curve.distances[-1] == 2  # only 2 SNPs to the right
+
+    def test_identical_haplotypes_hold_ehh_at_one(self):
+        dense = np.tile(np.array([0, 1, 1, 0, 1], dtype=np.uint8), (10, 1))
+        curve = ehh_decay(dense, 1, max_distance=3)
+        np.testing.assert_allclose(curve.ehh_derived, 1.0)
+
+    def test_swept_allele_shows_slow_decay(self):
+        """The statistic's purpose: a derived allele riding one extended
+        haplotype keeps EHH high; the ancestral background does not."""
+        rng = np.random.default_rng(5)
+        n, width = 80, 21
+        core = width // 2
+        background = rng.integers(0, 2, size=(n, width)).astype(np.uint8)
+        swept_haplotype = rng.integers(0, 2, width).astype(np.uint8)
+        carriers = rng.choice(n, size=30, replace=False)
+        dense = background
+        dense[carriers] = swept_haplotype  # carriers share one haplotype
+        dense[:, core] = 0
+        dense[carriers, core] = 1
+        curve = ehh_decay(dense, core, max_distance=8)
+        ihh_derived, ihh_ancestral = integrated_ehh(curve, cutoff=0.0)
+        np.testing.assert_allclose(curve.ehh_derived, 1.0)  # perfect sharing
+        assert ihh_derived > 2.0 * ihh_ancestral
+
+    def test_validation(self, panel):
+        with pytest.raises(ValueError, match="out of range"):
+            ehh_decay(panel, 99)
+        with pytest.raises(ValueError, match="direction"):
+            ehh_decay(panel, 5, direction=0)
+        with pytest.raises(ValueError, match="max_distance"):
+            ehh_decay(panel, 5, max_distance=-1)
+
+
+class TestIntegratedEhh:
+    def test_trapezoid_value(self, panel):
+        curve = ehh_decay(panel, 10, max_distance=6)
+        ihh_d, ihh_a = integrated_ehh(curve, cutoff=0.0)
+        expected_d = np.trapezoid(
+            np.nan_to_num(curve.ehh_derived), curve.distances
+        )
+        assert ihh_d == pytest.approx(expected_d)
+        assert ihh_a >= 0.0
+
+    def test_cutoff_truncates(self, panel):
+        curve = ehh_decay(panel, 10, max_distance=10)
+        full, _ = integrated_ehh(curve, cutoff=0.0)
+        truncated, _ = integrated_ehh(curve, cutoff=0.9)
+        assert truncated <= full
+
+    def test_validation(self, panel):
+        curve = ehh_decay(panel, 10, max_distance=4)
+        with pytest.raises(ValueError, match="cutoff"):
+            integrated_ehh(curve, cutoff=1.5)

@@ -1,0 +1,81 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Each example is executed as a subprocess (the way a user would run it) and
+must exit 0; key lines of its narrative output are asserted so a silent
+regression in an example's logic — not just a crash — fails the suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert "quickstart.py" in present
+    assert len(present) >= 3, "the paper repo ships at least three examples"
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "All-pairs r²" in out
+    assert "SNPs sharing a genealogy are in LD" in out
+
+
+def test_sweep_detection():
+    out = run_example("sweep_detection.py")
+    assert "identical omega values: True" in out
+    assert "inferred sweep location" in out
+
+
+def test_gwas_ld_pruning():
+    out = run_example("gwas_ld_pruning.py")
+    assert "LD decay" in out
+    assert "the input a GWAS association test or PCA would actually use" in out
+
+
+def test_long_range_ld():
+    out = run_example("long_range_ld.py")
+    assert "planted pair recovered: True" in out
+
+
+def test_fingerprint_similarity():
+    out = run_example("fingerprint_similarity.py")
+    assert "family precision@5" in out
+    assert "Leader clustering" in out
+
+
+def test_msa_to_ld_pipeline():
+    out = run_example("msa_to_ld_pipeline.py")
+    assert "round-trip exact" in out
+    assert "gap-aware LD" in out
+
+
+def test_chromosome_scan():
+    out = run_example("chromosome_scan.py")
+    assert "Banded LD" in out
+    assert "blocks spanning a hotspot: 0" in out
+    assert "Streaming sparse extraction" in out
+
+
+def test_gwas_case_control():
+    out = run_example("gwas_case_control.py")
+    assert "LD clumping" in out
+    assert "Signals localized near planted causals" in out

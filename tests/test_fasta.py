@@ -1,0 +1,127 @@
+"""Tests for FASTA I/O and alignment SNP calling (repro.io.fasta)."""
+
+import numpy as np
+import pytest
+
+from repro.io.fasta import (
+    call_snps_from_alignment,
+    read_fasta,
+    write_fasta,
+)
+
+
+class TestFastaRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        chars = rng.choice(list("ACGT-"), size=(6, 150))
+        path = tmp_path / "aln.fasta"
+        write_fasta(path, chars, names=[f"s{i}" for i in range(6)])
+        back, names = read_fasta(path)
+        np.testing.assert_array_equal(back, chars)
+        assert names == [f"s{i}" for i in range(6)]
+
+    def test_line_wrapping(self, tmp_path, rng):
+        chars = rng.choice(list("ACGT"), size=(2, 200))
+        path = tmp_path / "wrap.fa"
+        write_fasta(path, chars, line_width=50)
+        lines = path.read_text().splitlines()
+        assert max(len(x) for x in lines if not x.startswith(">")) == 50
+        back, _ = read_fasta(path)
+        np.testing.assert_array_equal(back, chars)
+
+    def test_default_names(self, tmp_path, rng):
+        chars = rng.choice(list("ACGT"), size=(3, 10))
+        path = tmp_path / "n.fasta"
+        write_fasta(path, chars)
+        _, names = read_fasta(path)
+        assert names == ["seq0", "seq1", "seq2"]
+
+    def test_write_rejects_bad_args(self, tmp_path):
+        with pytest.raises(ValueError, match="2-D"):
+            write_fasta(tmp_path / "x.fa", np.array(list("ACGT")))
+        with pytest.raises(ValueError, match="names"):
+            write_fasta(
+                tmp_path / "x.fa",
+                np.array([["A"], ["C"]]),
+                names=["only-one"],
+            )
+
+    def test_read_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text("ACGT\n")
+        with pytest.raises(ValueError, match="before any"):
+            read_fasta(path)
+        path.write_text("")
+        with pytest.raises(ValueError, match="no FASTA records"):
+            read_fasta(path)
+        path.write_text(">a\nACGT\n>b\nAC\n")
+        with pytest.raises(ValueError, match="unaligned"):
+            read_fasta(path)
+
+
+class TestSnpCalling:
+    def test_biallelic_extraction(self):
+        chars = np.array(
+            [
+                list("AACGA"),
+                list("AACGC"),
+                list("ATCGA"),
+                list("ATCGC"),
+            ]
+        )
+        # col 0: monomorphic A; col 1: A/T biallelic; col 2, 3: monomorphic;
+        # col 4: A/C biallelic.
+        calls = call_snps_from_alignment(chars)
+        np.testing.assert_array_equal(calls.positions, [1, 4])
+        assert calls.matrix.n_snps == 2
+        assert calls.multiallelic is None
+        # Minority convention: equal counts -> argmin picks the first; the
+        # column is a valid 0/1 split either way.
+        col = calls.matrix.to_dense()[:, 0]
+        assert sorted(col.tolist()) == [0, 0, 1, 1]
+
+    def test_minority_state_coded_one(self):
+        chars = np.array([["A"], ["A"], ["A"], ["G"]])
+        calls = call_snps_from_alignment(chars)
+        np.testing.assert_array_equal(calls.matrix.to_dense()[:, 0], [0, 0, 0, 1])
+
+    def test_gaps_masked_not_counted(self):
+        chars = np.array([["A"], ["G"], ["-"], ["N"]])
+        calls = call_snps_from_alignment(chars)
+        assert calls.matrix.n_snps == 1
+        np.testing.assert_array_equal(
+            calls.mask.bits.to_dense()[:, 0], [1, 1, 0, 0]
+        )
+
+    def test_multiallelic_routed_to_fsm(self):
+        chars = np.array([["A", "A"], ["C", "G"], ["G", "A"], ["A", "G"]])
+        # col 0 has 3 states -> FSM; col 1 has 2 -> biallelic.
+        calls = call_snps_from_alignment(chars)
+        assert calls.matrix.n_snps == 1
+        assert calls.multiallelic is not None
+        assert calls.multiallelic.n_snps == 1
+        np.testing.assert_array_equal(calls.multiallelic_positions, [0])
+
+    def test_end_to_end_with_masked_ld(self, tmp_path, rng):
+        """FASTA -> SNP calls -> gap-aware LD, through the file system."""
+        from repro.analysis.gaps import masked_ld_matrix
+
+        base = rng.choice(list("ACGT"), size=200)
+        aln = np.tile(base, (20, 1))
+        # Plant biallelic variation and some gaps.
+        for col in range(0, 200, 7):
+            carriers = rng.random(20) < 0.4
+            alt = "T" if base[col] != "T" else "G"
+            aln[carriers, col] = alt
+        gaps = rng.random(aln.shape) < 0.03
+        aln[gaps] = "-"
+        path = tmp_path / "pipeline.fasta"
+        write_fasta(path, aln)
+        chars, _ = read_fasta(path)
+        calls = call_snps_from_alignment(chars)
+        assert calls.matrix.n_snps > 5
+        r2 = masked_ld_matrix(calls.matrix, calls.mask)
+        assert r2.shape == (calls.matrix.n_snps,) * 2
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            call_snps_from_alignment(np.array(list("ACGT")))

@@ -1,0 +1,91 @@
+"""Tests for the finite-sites four-bit-plane encoding (repro.encoding.fsm)."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.bitmatrix import BitMatrix
+from repro.encoding.fsm import DNA_STATES, FiniteSitesMatrix
+
+
+@pytest.fixture
+def alignment(rng):
+    return rng.choice(list("ACGT-N"), size=(40, 9), p=[0.25, 0.25, 0.2, 0.2, 0.05, 0.05])
+
+
+class TestConstruction:
+    def test_from_characters_shapes(self, alignment):
+        fsm = FiniteSitesMatrix.from_characters(alignment)
+        assert fsm.shape == (40, 9)
+        assert fsm.n_samples == 40 and fsm.n_snps == 9
+
+    def test_planes_are_indicator_matrices(self, alignment):
+        fsm = FiniteSitesMatrix.from_characters(alignment)
+        for state in DNA_STATES:
+            np.testing.assert_array_equal(
+                fsm.plane(state).to_dense(),
+                (np.char.upper(alignment) == state).astype(np.uint8),
+            )
+
+    def test_lowercase_accepted(self):
+        fsm = FiniteSitesMatrix.from_characters(np.array([["a", "c"], ["g", "t"]]))
+        assert fsm.plane("A").to_dense()[0, 0] == 1
+        assert fsm.plane("T").to_dense()[1, 1] == 1
+
+    def test_bytes_accepted(self):
+        chars = np.array([[b"A", b"C"], [b"G", b"T"]], dtype="S1")
+        fsm = FiniteSitesMatrix.from_characters(chars)
+        assert fsm.plane("C").to_dense()[0, 1] == 1
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            FiniteSitesMatrix.from_characters(np.array(["A", "C"]))
+
+    def test_rejects_overlapping_planes(self):
+        plane = BitMatrix.from_dense(np.ones((4, 2), dtype=np.uint8))
+        empty = BitMatrix.zeros(4, 2)
+        with pytest.raises(ValueError, match="overlap"):
+            FiniteSitesMatrix(planes=(plane, plane, empty, empty))
+
+    def test_rejects_mismatched_shapes(self):
+        a = BitMatrix.zeros(4, 2)
+        b = BitMatrix.zeros(5, 2)
+        with pytest.raises(ValueError, match="disagree"):
+            FiniteSitesMatrix(planes=(a, b, a, a))
+
+    def test_plane_lookup_rejects_unknown_state(self, alignment):
+        fsm = FiniteSitesMatrix.from_characters(alignment)
+        with pytest.raises(ValueError, match="unknown DNA state"):
+            fsm.plane("X")
+
+
+class TestDerivedQuantities:
+    def test_validity_mask_marks_acgt_only(self, alignment):
+        fsm = FiniteSitesMatrix.from_characters(alignment)
+        valid = fsm.validity_mask().bits.to_dense().astype(bool)
+        expected = np.isin(np.char.upper(alignment), list(DNA_STATES))
+        np.testing.assert_array_equal(valid, expected)
+
+    def test_state_counts(self, alignment):
+        fsm = FiniteSitesMatrix.from_characters(alignment)
+        counts = fsm.state_counts()
+        assert counts.shape == (9, 4)
+        upper = np.char.upper(alignment)
+        for snp in range(9):
+            for idx, state in enumerate(DNA_STATES):
+                assert counts[snp, idx] == (upper[:, snp] == state).sum()
+
+    def test_n_states(self):
+        chars = np.array([["A", "A", "G"], ["A", "C", "T"], ["A", "C", "-"]])
+        fsm = FiniteSitesMatrix.from_characters(chars)
+        np.testing.assert_array_equal(fsm.n_states(), [1, 2, 2])
+
+    def test_to_characters_roundtrip(self, alignment):
+        fsm = FiniteSitesMatrix.from_characters(alignment)
+        decoded = fsm.to_characters()
+        upper = np.char.upper(alignment)
+        valid = np.isin(upper, list(DNA_STATES))
+        np.testing.assert_array_equal(decoded[valid], upper[valid])
+        assert np.all(decoded[~valid] == "-")
+
+    def test_repr(self, alignment):
+        assert "n_snps=9" in repr(FiniteSitesMatrix.from_characters(alignment))

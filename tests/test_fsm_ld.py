@@ -1,0 +1,92 @@
+"""Tests for finite-sites LD (repro.analysis.fsm_ld)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fsm_ld import fsm_ld_matrix, fsm_ld_pair
+from repro.core.ldmatrix import ld_matrix
+from repro.encoding.fsm import FiniteSitesMatrix
+
+
+@pytest.fixture
+def alignment(rng):
+    return rng.choice(list("ACGT-"), size=(60, 8), p=[0.3, 0.3, 0.2, 0.15, 0.05])
+
+
+class TestPairVsMatrix:
+    def test_matrix_matches_pairs(self, alignment):
+        fsm = FiniteSitesMatrix.from_characters(alignment)
+        matrix = fsm_ld_matrix(fsm)
+        for i in range(8):
+            for j in range(8):
+                pair = fsm_ld_pair(fsm, i, j)
+                if np.isnan(pair):
+                    assert np.isnan(matrix[i, j])
+                else:
+                    assert matrix[i, j] == pytest.approx(pair, abs=1e-9)
+
+    def test_matrix_symmetric(self, alignment):
+        fsm = FiniteSitesMatrix.from_characters(alignment)
+        t = np.nan_to_num(fsm_ld_matrix(fsm))
+        np.testing.assert_allclose(t, t.T, atol=1e-9)
+
+
+class TestBiallelicReduction:
+    def test_reduces_to_n_times_r2_for_two_states(self, rng):
+        """Biallelic gap-free data: T = n·r² (v_i=v_j=2, 4 equal r² terms...).
+
+        For two states the four (a, b) state-pair r² values satisfy
+        r²_AA = r²_AC = r²_CA = r²_CC (complement symmetry), so
+        Σ r² = 4 r² and T = (1·1·n)/(2·2) · 4 r² = n·r².
+        """
+        binary = rng.integers(0, 2, size=(50, 6)).astype(np.uint8)
+        chars = np.where(binary == 1, "C", "A")
+        fsm = FiniteSitesMatrix.from_characters(chars)
+        t = fsm_ld_matrix(fsm)
+        r2 = ld_matrix(binary)
+        n = 50
+        defined = ~np.isnan(r2)
+        np.testing.assert_allclose(t[defined], n * r2[defined], atol=1e-8)
+
+
+class TestUndefinedCases:
+    def test_monomorphic_snp_is_nan(self):
+        chars = np.array([["A", "A"], ["A", "C"], ["A", "C"], ["A", "A"]])
+        fsm = FiniteSitesMatrix.from_characters(chars)
+        t = fsm_ld_matrix(fsm)
+        assert np.isnan(t[0, 0]) and np.isnan(t[0, 1])
+        assert not np.isnan(t[1, 1])
+        assert np.isnan(fsm_ld_pair(fsm, 0, 1))
+
+    def test_disjoint_gap_patterns_no_valid_pairs(self):
+        chars = np.array([["A", "-"], ["C", "-"], ["-", "G"], ["-", "T"]])
+        fsm = FiniteSitesMatrix.from_characters(chars)
+        assert np.isnan(fsm_ld_pair(fsm, 0, 1))
+        t = fsm_ld_matrix(fsm)
+        assert np.isnan(t[0, 1])
+
+    def test_undefined_fill(self):
+        chars = np.array([["A", "A"], ["A", "A"]])
+        fsm = FiniteSitesMatrix.from_characters(chars)
+        t = fsm_ld_matrix(fsm, undefined=-1.0)
+        np.testing.assert_array_equal(t, -1.0)
+
+
+class TestFourStateBehaviour:
+    def test_perfectly_associated_four_state_snps(self, rng):
+        """Two identical 4-state SNPs give the maximal T for their v."""
+        states = rng.choice(list("ACGT"), size=60)
+        chars = np.stack([states, states], axis=1)
+        fsm = FiniteSitesMatrix.from_characters(chars)
+        t = fsm_ld_matrix(fsm)
+        # Self-pair and cross-pair are identical columns: equal T.
+        assert t[0, 1] == pytest.approx(t[0, 0], abs=1e-9)
+        assert t[0, 1] > 0
+
+    def test_independent_four_state_snps_lower_t(self, rng):
+        states_a = rng.choice(list("ACGT"), size=400)
+        states_b = rng.choice(list("ACGT"), size=400)
+        chars = np.stack([states_a, states_a, states_b], axis=1)
+        fsm = FiniteSitesMatrix.from_characters(chars)
+        t = fsm_ld_matrix(fsm)
+        assert t[0, 1] > t[0, 2]  # identical pair far above independent pair

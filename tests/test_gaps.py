@@ -1,0 +1,121 @@
+"""Tests for gap-aware LD (repro.analysis.gaps)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.gaps import masked_ld_matrix, masked_ld_pair
+from repro.core.ldmatrix import ld_matrix
+from repro.encoding.masks import ValidityMask
+from tests.conftest import assert_allclose_nan
+
+
+def brute_force_masked_r2(data, valid, i, j):
+    """Per-pair masked r² straight from the definitions."""
+    both = (valid[:, i] & valid[:, j]).astype(bool)
+    n = int(both.sum())
+    if n == 0:
+        return float("nan")
+    si = data[both, i].astype(float)
+    sj = data[both, j].astype(float)
+    p, q = si.mean(), sj.mean()
+    denom = p * q * (1 - p) * (1 - q)
+    if denom == 0:
+        return float("nan")
+    d = (si * sj).mean() - p * q
+    return d * d / denom
+
+
+@pytest.fixture
+def gapped(rng):
+    data = rng.integers(0, 2, size=(90, 12)).astype(np.uint8)
+    valid = (rng.random((90, 12)) > 0.15).astype(np.uint8)
+    return data, valid
+
+
+class TestMaskedLdPair:
+    def test_matches_brute_force(self, gapped):
+        data, valid = gapped
+        mask = ValidityMask.from_dense(valid)
+        for i, j in [(0, 1), (3, 9), (5, 5), (11, 0)]:
+            got = masked_ld_pair(data * valid, mask, i, j)
+            expected = brute_force_masked_r2(data, valid, i, j)
+            if np.isnan(expected):
+                assert np.isnan(got)
+            else:
+                assert got == pytest.approx(expected)
+
+    def test_all_valid_equals_plain(self, small_panel):
+        mask = ValidityMask.all_valid(*small_panel.shape)
+        plain = ld_matrix(small_panel)
+        for i, j in [(0, 1), (10, 40)]:
+            got = masked_ld_pair(small_panel, mask, i, j)
+            assert got == pytest.approx(plain[i, j], abs=1e-12)
+
+    def test_rejects_shape_mismatch(self, small_panel):
+        mask = ValidityMask.all_valid(10, 5)
+        with pytest.raises(ValueError, match="does not match"):
+            masked_ld_pair(small_panel, mask, 0, 1)
+
+
+class TestMaskedLdMatrix:
+    @pytest.mark.parametrize("stat", ["r2", "D", "H"])
+    def test_matrix_matches_pairs(self, gapped, stat):
+        data, valid = gapped
+        mask = ValidityMask.from_dense(valid)
+        clean = data * valid
+        matrix = masked_ld_matrix(clean, mask, stat=stat)
+        for i in range(0, 12, 3):
+            for j in range(0, 12, 4):
+                pair = masked_ld_pair(clean, mask, i, j, stat=stat)
+                if np.isnan(pair):
+                    assert np.isnan(matrix[i, j])
+                else:
+                    assert matrix[i, j] == pytest.approx(pair)
+
+    def test_all_valid_equals_plain_ld(self, small_panel):
+        mask = ValidityMask.all_valid(*small_panel.shape)
+        assert_allclose_nan(
+            masked_ld_matrix(small_panel, mask),
+            ld_matrix(small_panel),
+            atol=1e-12,
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**31), gap_rate=st.floats(0.0, 0.5))
+    @settings(max_examples=15, deadline=None)
+    def test_property_random_gap_patterns(self, seed, gap_rate):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 2, size=(50, 6)).astype(np.uint8)
+        valid = (rng.random((50, 6)) > gap_rate).astype(np.uint8)
+        mask = ValidityMask.from_dense(valid)
+        matrix = masked_ld_matrix(data * valid, mask)
+        for i in range(6):
+            for j in range(6):
+                expected = brute_force_masked_r2(data, valid, i, j)
+                if np.isnan(expected):
+                    assert np.isnan(matrix[i, j])
+                else:
+                    assert matrix[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_gap_cells_do_not_leak_into_result(self, gapped):
+        """Data bits under gaps must not affect the statistic."""
+        data, valid = gapped
+        mask = ValidityMask.from_dense(valid)
+        scrambled = data.copy()
+        gaps = valid == 0
+        scrambled[gaps] ^= 1  # flip every hidden cell
+        a = masked_ld_matrix(data * valid, mask)
+        b = masked_ld_matrix((scrambled * valid), mask)
+        assert_allclose_nan(a, b, atol=1e-12)
+
+    def test_unknown_stat(self, gapped):
+        data, valid = gapped
+        mask = ValidityMask.from_dense(valid)
+        with pytest.raises(ValueError, match="unknown LD statistic"):
+            masked_ld_matrix(data * valid, mask, stat="Dprime")
+
+    def test_rejects_shape_mismatch(self, small_panel):
+        mask = ValidityMask.all_valid(10, 5)
+        with pytest.raises(ValueError, match="does not match"):
+            masked_ld_matrix(small_panel, mask)

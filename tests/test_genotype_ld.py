@@ -1,0 +1,76 @@
+"""Tests for genotype-domain GEMM r² (repro.core.genotype_ld)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.plink import plink_r2_matrix
+from repro.core.genotype_ld import genotype_r2_matrix
+from repro.encoding.genotypes import GenotypeMatrix, genotypes_from_haplotypes
+from tests.conftest import assert_allclose_nan
+
+
+@pytest.fixture
+def genotypes(rng):
+    haps = rng.integers(0, 2, size=(140, 12)).astype(np.uint8)
+    return GenotypeMatrix.from_dense(genotypes_from_haplotypes(haps))
+
+
+class TestGenotypeR2Matrix:
+    def test_matches_plink_baseline(self, genotypes):
+        gemm_r2 = genotype_r2_matrix(genotypes)
+        plink_r2 = plink_r2_matrix(genotypes)
+        assert_allclose_nan(gemm_r2, plink_r2, atol=1e-10)
+
+    def test_matches_plink_with_missing(self, rng):
+        genos = genotypes_from_haplotypes(
+            rng.integers(0, 2, size=(160, 10)).astype(np.uint8)
+        ).astype(np.int8)
+        genos[rng.random(genos.shape) < 0.15] = -1
+        gm = GenotypeMatrix.from_dense(genos)
+        assert_allclose_nan(
+            genotype_r2_matrix(gm), plink_r2_matrix(gm), atol=1e-10
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_property_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        genos = rng.integers(0, 3, size=(50, 7)).astype(np.int8)
+        genos[rng.random(genos.shape) < 0.1] = -1
+        gm = GenotypeMatrix.from_dense(genos)
+        assert_allclose_nan(
+            genotype_r2_matrix(gm), plink_r2_matrix(gm), atol=1e-9
+        )
+
+    def test_matches_numpy_corrcoef_without_missing(self, genotypes):
+        dense = genotypes.to_dense().astype(float)
+        r2 = genotype_r2_matrix(genotypes)
+        ref = np.corrcoef(dense.T) ** 2
+        defined = ~np.isnan(r2)
+        np.testing.assert_allclose(r2[defined], ref[defined], atol=1e-10)
+
+    def test_symmetric_with_unit_diagonal(self, genotypes):
+        r2 = genotype_r2_matrix(genotypes, undefined=0.0)
+        np.testing.assert_allclose(r2, r2.T, atol=1e-12)
+        dense = genotypes.to_dense()
+        poly = dense.std(axis=0) > 0
+        np.testing.assert_allclose(np.diag(r2)[poly], 1.0)
+
+    def test_undefined_fill(self):
+        genos = np.zeros((12, 2), dtype=np.int8)  # both monomorphic
+        gm = GenotypeMatrix.from_dense(genos)
+        r2 = genotype_r2_matrix(gm, undefined=-3.0)
+        np.testing.assert_array_equal(r2, -3.0)
+
+    def test_scalar_kernel_path(self, rng):
+        from repro.core.blocking import MICRO_BLOCKING
+
+        genos = rng.integers(0, 3, size=(40, 5)).astype(np.int8)
+        gm = GenotypeMatrix.from_dense(genos)
+        assert_allclose_nan(
+            genotype_r2_matrix(gm, params=MICRO_BLOCKING, kernel="scalar"),
+            genotype_r2_matrix(gm),
+            atol=1e-12,
+        )

@@ -1,0 +1,145 @@
+"""Tests for the PLINK 2-bit genotype encoding (repro.encoding.genotypes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.encoding.genotypes import (
+    GENOS_PER_WORD,
+    GenotypeMatrix,
+    MISSING,
+    genotypes_from_haplotypes,
+    words_for_individuals,
+)
+
+GENOS = hnp.arrays(
+    dtype=np.int8,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=70),
+        st.integers(min_value=1, max_value=12),
+    ),
+    elements=st.sampled_from([0, 1, 2, MISSING]),
+)
+
+
+class TestRoundtrip:
+    @given(dense=GENOS)
+    @settings(max_examples=40)
+    def test_roundtrip(self, dense):
+        gm = GenotypeMatrix.from_dense(dense)
+        np.testing.assert_array_equal(gm.to_dense(), dense)
+
+    def test_exact_word_boundary(self):
+        dense = np.full((GENOS_PER_WORD * 2, 3), 2, dtype=np.int8)
+        gm = GenotypeMatrix.from_dense(dense)
+        assert gm.n_words == 2
+        np.testing.assert_array_equal(gm.to_dense(), dense)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="invalid genotype"):
+            GenotypeMatrix.from_dense(np.array([[3]], dtype=np.int8))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            GenotypeMatrix.from_dense(np.zeros(4, dtype=np.int8))
+
+    def test_shape_properties(self):
+        gm = GenotypeMatrix.from_dense(np.zeros((33, 5), dtype=np.int8))
+        assert gm.n_individuals == 33
+        assert gm.n_variants == 5
+        assert gm.n_words == 2
+        assert gm.nbytes == 5 * 2 * 8
+        assert "n_variants=5" in repr(gm)
+
+    def test_construct_rejects_wrong_word_count(self):
+        with pytest.raises(ValueError, match="expected"):
+            GenotypeMatrix(words=np.zeros((2, 3), dtype=np.uint64), n_individuals=10)
+
+
+class TestBitPlanes:
+    @given(dense=GENOS)
+    @settings(max_examples=40)
+    def test_high_bits_mark_carriers(self, dense):
+        gm = GenotypeMatrix.from_dense(dense)
+        high = gm.high_bits()
+        counts = np.bitwise_count(high).sum(axis=1)
+        expected = ((dense == 1) | (dense == 2)).sum(axis=0)
+        np.testing.assert_array_equal(counts, expected)
+
+    @given(dense=GENOS)
+    @settings(max_examples=40)
+    def test_low_bits_mark_missing_or_homalt(self, dense):
+        gm = GenotypeMatrix.from_dense(dense)
+        low = gm.low_bits()
+        counts = np.bitwise_count(low).sum(axis=1)
+        expected = ((dense == MISSING) | (dense == 2)).sum(axis=0)
+        np.testing.assert_array_equal(counts, expected)
+
+    @given(dense=GENOS)
+    @settings(max_examples=40)
+    def test_plane_bit_positions(self, dense):
+        """Bit j of the compacted plane corresponds to individual j."""
+        gm = GenotypeMatrix.from_dense(dense)
+        high = gm.high_bits()
+        n, m = dense.shape
+        for variant in range(min(m, 3)):
+            for ind in range(min(n, 70)):
+                word, bit = divmod(ind, 64)
+                got = bool((high[variant, word] >> np.uint64(bit)) & np.uint64(1))
+                assert got == (dense[ind, variant] in (1, 2))
+
+    def test_plane_width_matches_bitmatrix_width(self):
+        gm = GenotypeMatrix.from_dense(np.zeros((130, 2), dtype=np.int8))
+        assert gm.high_bits().shape == (2, (130 + 63) // 64)
+
+
+class TestWordsForIndividuals:
+    @pytest.mark.parametrize(
+        "n,expected", [(0, 0), (1, 1), (32, 1), (33, 2), (64, 2), (65, 3)]
+    )
+    def test_values(self, n, expected):
+        assert words_for_individuals(n) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            words_for_individuals(-5)
+
+
+class TestGenotypesFromHaplotypes:
+    def test_pairs_consecutive_rows(self):
+        haps = np.array([[0, 1], [1, 1], [0, 0], [1, 0]], dtype=np.uint8)
+        np.testing.assert_array_equal(
+            genotypes_from_haplotypes(haps), [[1, 2], [1, 0]]
+        )
+
+    @given(
+        haps=hnp.arrays(
+            dtype=np.uint8,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=20).map(lambda x: 2 * x),
+                st.integers(min_value=1, max_value=10),
+            ),
+            elements=st.integers(min_value=0, max_value=1),
+        )
+    )
+    @settings(max_examples=30)
+    def test_dosage_sum(self, haps):
+        genos = genotypes_from_haplotypes(haps)
+        np.testing.assert_array_equal(
+            genos.sum(axis=0), haps.sum(axis=0)
+        )
+        assert genos.min() >= 0 and genos.max() <= 2
+
+    def test_rejects_odd_rows(self):
+        with pytest.raises(ValueError, match="even number"):
+            genotypes_from_haplotypes(np.zeros((3, 2), dtype=np.uint8))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="binary"):
+            genotypes_from_haplotypes(np.full((2, 2), 2, dtype=np.uint8))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            genotypes_from_haplotypes(np.zeros(4, dtype=np.uint8))

@@ -1,0 +1,59 @@
+"""Tests for the GPU roofline projection (repro.machine.gpu)."""
+
+import pytest
+
+from repro.machine.gpu import GpuSpec, TESLA_K40, estimate_ld_gpu
+
+
+class TestGpuSpec:
+    def test_word_ops_rate(self):
+        gpu = GpuSpec("x", n_sms=10, lanes_per_sm=32, frequency_hz=1e9,
+                      mem_bandwidth_bytes=1e11)
+        assert gpu.word_ops_per_second == 10 * 32 * 1e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            GpuSpec("x", n_sms=0, lanes_per_sm=1, frequency_hz=1e9,
+                    mem_bandwidth_bytes=1e9)
+        with pytest.raises(ValueError, match="positive"):
+            GpuSpec("x", n_sms=1, lanes_per_sm=1, frequency_hz=0,
+                    mem_bandwidth_bytes=1e9)
+
+
+class TestEstimate:
+    def test_future_work_claim_speedup(self):
+        """The paper expects 'significant' GPU speedups; the K40-era
+        projection against the Haswell scalar model delivers >5x."""
+        est = estimate_ld_gpu(10000, 10000, 1563)  # dataset C shape
+        assert est.speedup_vs_cpu > 5.0
+
+    def test_memory_bound_at_small_k(self):
+        """Thin problems (few words/SNP) are bandwidth-bound — the paper's
+        'LD computations are memory-bound' premise."""
+        est = estimate_ld_gpu(10000, 10000, 2, gpu=TESLA_K40)
+        assert est.bound == "memory"
+
+    def test_compute_bound_with_tiny_bandwidth(self):
+        slow_mem = GpuSpec("slow", n_sms=15, lanes_per_sm=32,
+                           frequency_hz=745e6, mem_bandwidth_bytes=1e6)
+        est = estimate_ld_gpu(1000, 1000, 100, gpu=slow_mem)
+        assert est.bound == "memory"
+        fast_mem = GpuSpec("fast", n_sms=1, lanes_per_sm=1,
+                           frequency_hz=1e6, mem_bandwidth_bytes=1e12)
+        est2 = estimate_ld_gpu(1000, 1000, 100, gpu=fast_mem)
+        assert est2.bound == "compute"
+
+    def test_seconds_is_max_of_roofs(self):
+        est = estimate_ld_gpu(2000, 2000, 64)
+        assert est.seconds == max(est.compute_seconds, est.memory_seconds)
+
+    def test_larger_tile_reduces_memory_time(self):
+        small_tile = GpuSpec("a", 15, 32, 745e6, 288e9, shared_tile=16)
+        big_tile = GpuSpec("b", 15, 32, 745e6, 288e9, shared_tile=128)
+        a = estimate_ld_gpu(4096, 4096, 64, gpu=small_tile)
+        b = estimate_ld_gpu(4096, 4096, 64, gpu=big_tile)
+        assert b.memory_seconds < a.memory_seconds
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="positive"):
+            estimate_ld_gpu(0, 10, 10)

@@ -1,0 +1,84 @@
+"""Tests for haplotype-block partitioning (repro.analysis.haplotype_blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.haplotype_blocks import HaplotypeBlock, find_haplotype_blocks
+from repro.core.windowed import banded_ld
+
+
+def make_block_panel(rng, block_sizes, n_samples=300, noise=0.02):
+    """Panel of near-duplicate SNP runs separated by independent SNPs."""
+    cols = []
+    boundaries = []
+    for size in block_sizes:
+        base = rng.integers(0, 2, n_samples).astype(np.uint8)
+        start = len(cols)
+        for _ in range(size):
+            copy = base.copy()
+            flip = rng.random(n_samples) < noise
+            copy[flip] ^= 1
+            cols.append(copy)
+        boundaries.append((start, len(cols)))
+        # Independent spacer SNP between blocks.
+        cols.append(rng.integers(0, 2, n_samples).astype(np.uint8))
+    return np.stack(cols, axis=1), boundaries
+
+
+class TestFindHaplotypeBlocks:
+    def test_recovers_planted_blocks(self, rng):
+        panel, truth = make_block_panel(rng, [5, 4, 6])
+        blocks = find_haplotype_blocks(
+            panel, window=20, r2_threshold=0.5, min_fraction=0.8
+        )
+        assert len(blocks) == 3
+        for block, (start, stop) in zip(blocks, truth):
+            assert block.start == start
+            assert block.stop == stop
+            assert block.mean_r2 > 0.7
+
+    def test_independent_panel_has_no_blocks(self, rng):
+        panel = rng.integers(0, 2, size=(400, 30)).astype(np.uint8)
+        blocks = find_haplotype_blocks(
+            panel, window=10, r2_threshold=0.5, min_fraction=0.8
+        )
+        assert blocks == []
+
+    def test_min_block_size_filter(self, rng):
+        panel, _ = make_block_panel(rng, [2, 8])
+        blocks = find_haplotype_blocks(
+            panel, window=20, r2_threshold=0.5, min_fraction=0.8,
+            min_block_snps=4,
+        )
+        assert len(blocks) == 1
+        assert blocks[0].n_snps == 8
+
+    def test_blocks_do_not_overlap(self, rng):
+        panel, _ = make_block_panel(rng, [4, 4, 4, 4])
+        blocks = find_haplotype_blocks(panel, window=20, r2_threshold=0.5)
+        for prev, cur in zip(blocks, blocks[1:]):
+            assert prev.stop <= cur.start
+
+    def test_accepts_precomputed_band(self, rng):
+        panel, _ = make_block_panel(rng, [5, 5])
+        band = banded_ld(panel, window=20)
+        a = find_haplotype_blocks(panel, window=20, band=band)
+        b = find_haplotype_blocks(panel, window=20)
+        assert [(x.start, x.stop) for x in a] == [(x.start, x.stop) for x in b]
+
+    def test_rejects_mismatched_band(self, rng):
+        panel, _ = make_block_panel(rng, [5])
+        band = banded_ld(panel, window=3, stat="D")
+        with pytest.raises(ValueError, match="r2 with window"):
+            find_haplotype_blocks(panel, window=10, band=band)
+
+    def test_parameter_validation(self, rng):
+        panel = rng.integers(0, 2, size=(50, 8)).astype(np.uint8)
+        with pytest.raises(ValueError, match="r2_threshold"):
+            find_haplotype_blocks(panel, r2_threshold=0.0)
+        with pytest.raises(ValueError, match="min_fraction"):
+            find_haplotype_blocks(panel, min_fraction=1.5)
+
+    def test_block_dataclass(self):
+        block = HaplotypeBlock(start=3, stop=9, mean_r2=0.8)
+        assert block.n_snps == 6

@@ -1,0 +1,97 @@
+"""Tests for three-locus LD (repro.analysis.higher_order)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.higher_order import third_order_d, third_order_d_window
+
+
+def brute_force_d3(dense: np.ndarray, i: int, j: int, k: int) -> float:
+    """Bennett's D_ijk straight from the definition."""
+    g = dense.astype(float)
+    n = g.shape[0]
+    p = g.mean(axis=0)
+    p_ijk = (g[:, i] * g[:, j] * g[:, k]).sum() / n
+
+    def d(a, b):
+        return (g[:, a] * g[:, b]).sum() / n - p[a] * p[b]
+
+    return (
+        p_ijk
+        - p[i] * d(j, k)
+        - p[j] * d(i, k)
+        - p[k] * d(i, j)
+        - p[i] * p[j] * p[k]
+    )
+
+
+@pytest.fixture
+def panel(rng):
+    return rng.integers(0, 2, size=(90, 10)).astype(np.uint8)
+
+
+class TestThirdOrderD:
+    def test_matches_brute_force(self, panel):
+        triples = np.array([[0, 1, 2], [3, 7, 9], [5, 5, 5], [2, 4, 8]])
+        got = third_order_d(panel, triples)
+        for value, (i, j, k) in zip(got, triples):
+            assert value == pytest.approx(brute_force_d3(panel, i, j, k))
+
+    def test_permutation_symmetric(self, panel):
+        base = third_order_d(panel, np.array([[1, 4, 7]]))[0]
+        for perm in ([4, 1, 7], [7, 4, 1], [1, 7, 4]):
+            assert third_order_d(panel, np.array([perm]))[0] == pytest.approx(base)
+
+    def test_independent_loci_give_zero_expectation(self):
+        """Across many independent triples, D3 averages to ~0."""
+        rng = np.random.default_rng(6)
+        panel = rng.integers(0, 2, size=(4000, 30)).astype(np.uint8)
+        triples = np.array([[3 * t, 3 * t + 1, 3 * t + 2] for t in range(10)])
+        values = third_order_d(panel, triples)
+        assert np.abs(values).max() < 0.02
+
+    def test_constructed_three_way_interaction(self):
+        """XOR-structured loci: pairwise independent, jointly dependent."""
+        rng = np.random.default_rng(8)
+        n = 2000
+        a = rng.integers(0, 2, n).astype(np.uint8)
+        b = rng.integers(0, 2, n).astype(np.uint8)
+        c = (a ^ b).astype(np.uint8)
+        panel = np.stack([a, b, c], axis=1)
+        d3 = third_order_d(panel, np.array([[0, 1, 2]]))[0]
+        # For the XOR triple, |D3| -> p_a p_b (1 - ...) scale; it must be
+        # clearly nonzero while every pairwise D is ~0.
+        from repro.core.ldmatrix import ld_matrix
+
+        pairwise = ld_matrix(panel, stat="D")
+        assert abs(pairwise[0, 1]) < 0.03
+        assert abs(pairwise[0, 2]) < 0.03
+        assert abs(d3) > 0.05
+
+    def test_validation(self, panel):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            third_order_d(panel, np.array([[0, 1]]))
+        with pytest.raises(ValueError, match="out of range"):
+            third_order_d(panel, np.array([[0, 1, 99]]))
+
+
+class TestThirdOrderWindow:
+    def test_matches_explicit_triples(self, panel):
+        cube = third_order_d_window(panel, 2, 8)
+        for i in range(6):
+            for j in range(6):
+                for k in range(6):
+                    expected = brute_force_d3(panel, 2 + i, 2 + j, 2 + k)
+                    assert cube[i, j, k] == pytest.approx(expected, abs=1e-10)
+
+    def test_cube_is_fully_symmetric(self, panel):
+        cube = third_order_d_window(panel, 0, 6)
+        np.testing.assert_allclose(cube, np.transpose(cube, (0, 2, 1)), atol=1e-12)
+        np.testing.assert_allclose(cube, np.transpose(cube, (1, 0, 2)), atol=1e-12)
+        np.testing.assert_allclose(cube, np.transpose(cube, (2, 1, 0)), atol=1e-12)
+
+    def test_validation(self, panel):
+        with pytest.raises(ValueError, match="out of range"):
+            third_order_d_window(panel, 5, 50)
+        with pytest.raises(ValueError, match="out of range"):
+            third_order_d_window(panel, 5, 5)

@@ -1,0 +1,92 @@
+"""Tests for the iHS statistic (repro.analysis.ihs)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ihs import ihs_scan, unstandardized_ihs
+
+
+def make_partial_sweep_panel(rng, n=120, width=41, carriers=50):
+    """Derived allele at the centre rides one long shared haplotype."""
+    dense = rng.integers(0, 2, size=(n, width)).astype(np.uint8)
+    core = width // 2
+    swept = rng.integers(0, 2, width).astype(np.uint8)
+    chosen = rng.choice(n, size=carriers, replace=False)
+    dense[chosen] = swept
+    dense[:, core] = 0
+    dense[chosen, core] = 1
+    return dense, core
+
+
+class TestUnstandardizedIhs:
+    def test_negative_for_swept_derived_allele(self, rng):
+        dense, core = make_partial_sweep_panel(rng)
+        score = unstandardized_ihs(dense, core, max_distance=15)
+        # Long derived haplotype => iHH_D >> iHH_A => ln(A/D) < 0.
+        assert score < -0.5
+
+    def test_symmetric_alleles_near_zero(self, rng):
+        """On exchangeable random data, uiHS has no systematic sign."""
+        values = []
+        for seed in range(12):
+            local = np.random.default_rng(seed)
+            dense = local.integers(0, 2, size=(100, 31)).astype(np.uint8)
+            # Force the core near 50 % so both classes are large.
+            dense[:50, 15] = 1
+            dense[50:, 15] = 0
+            score = unstandardized_ihs(dense, 15, max_distance=10)
+            if not np.isnan(score):
+                values.append(score)
+        assert abs(np.mean(values)) < 0.5
+
+    def test_undefined_for_singleton_core(self, rng):
+        dense = rng.integers(0, 2, size=(40, 11)).astype(np.uint8)
+        dense[:, 5] = 0
+        dense[0, 5] = 1  # one derived carrier
+        assert np.isnan(unstandardized_ihs(dense, 5, max_distance=4))
+
+
+class TestIhsScan:
+    def test_scan_flags_the_sweep(self, rng):
+        dense, core = make_partial_sweep_panel(rng, n=150)
+        result = ihs_scan(dense, maf_min=0.05, max_distance=15, n_freq_bins=4)
+        assert core in result.snps
+        idx = int(np.flatnonzero(result.snps == core)[0])
+        defined = result.ihs[~np.isnan(result.ihs)]
+        if not np.isnan(result.ihs[idx]) and defined.size >= 10:
+            # The swept core should sit in the negative tail.
+            assert result.ihs[idx] < np.percentile(defined, 20)
+        # At minimum the raw score marks it.
+        assert result.uihs[idx] < 0
+
+    def test_maf_filter(self, rng):
+        dense = rng.integers(0, 2, size=(100, 20)).astype(np.uint8)
+        dense[:, 3] = 0
+        dense[0, 3] = 1  # MAF 0.01
+        result = ihs_scan(dense, maf_min=0.05, max_distance=5)
+        assert 3 not in result.snps
+
+    def test_standardized_scores_are_zscores(self, rng):
+        dense = rng.integers(0, 2, size=(120, 60)).astype(np.uint8)
+        result = ihs_scan(
+            dense, maf_min=0.1, max_distance=10, n_freq_bins=3, min_bin_size=5
+        )
+        defined = result.ihs[~np.isnan(result.ihs)]
+        if defined.size >= 20:
+            assert abs(defined.mean()) < 0.5
+            assert 0.5 < defined.std() < 2.0
+
+    def test_extreme_threshold(self, rng):
+        dense = rng.integers(0, 2, size=(80, 30)).astype(np.uint8)
+        result = ihs_scan(dense, maf_min=0.1, max_distance=8)
+        extreme = result.extreme(threshold=1.0)
+        for snp in extreme:
+            idx = int(np.flatnonzero(result.snps == snp)[0])
+            assert abs(result.ihs[idx]) > 1.0
+
+    def test_validation(self, rng):
+        dense = rng.integers(0, 2, size=(40, 10)).astype(np.uint8)
+        with pytest.raises(ValueError, match="maf_min"):
+            ihs_scan(dense, maf_min=0.7)
+        with pytest.raises(ValueError, match="n_freq_bins"):
+            ihs_scan(dense, n_freq_bins=0)

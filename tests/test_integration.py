@@ -1,0 +1,142 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises a realistic multi-module pipeline:
+
+1. simulate → io round-trip → GEMM LD → ω scan, compared against the
+   OmegaPlus baseline on the same data;
+2. simulated sequencing (reads → MSA → SNP calls) → gap-aware LD;
+3. haplotypes → diploid genotypes → PLINK bed round-trip → PLINK baseline,
+   cross-checked against haplotype-level GEMM r² on unambiguous pairs;
+4. the paper's full DLA pipeline identity H − ppᵀ = D at dataset scale;
+5. machine model consistency: modelled seconds for the paper's dataset
+   shapes are ordered by problem size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gaps import masked_ld_matrix
+from repro.analysis.omega import omega_scan_from_ld
+from repro.analysis.sweeps import sweep_scan
+from repro.baselines.naive import naive_ld_matrix
+from repro.baselines.omegaplus import omegaplus_scan
+from repro.baselines.plink import plink_r2_matrix
+from repro.core.ldmatrix import compute_ld, ld_matrix
+from repro.encoding.genotypes import GenotypeMatrix, genotypes_from_haplotypes
+from repro.io.msformat import read_ms, write_ms
+from repro.io.plinkbed import read_plink_bed, write_plink_bed
+from repro.io.vcf import read_vcf, write_vcf
+from repro.machine.perfmodel import estimate_gemm_performance
+from repro.simulate.coalescent import simulate_chunked_region
+from repro.simulate.datasets import dataset_A
+from repro.simulate.msa import simulate_msa_pipeline
+
+
+def test_simulate_io_ld_omega_pipeline(tmp_path):
+    rng = np.random.default_rng(21)
+    sample = simulate_chunked_region(
+        40, n_chunks=3, theta_per_chunk=12.0, rng=rng, chunk_length=50.0
+    )
+    path = tmp_path / "sim.ms"
+    write_ms(path, [(sample.haplotypes, sample.positions / 150.0)])
+    replicate = read_ms(path)[0]
+    np.testing.assert_array_equal(replicate.haplotypes, sample.haplotypes)
+
+    r2 = ld_matrix(replicate.haplotypes)
+    positions = replicate.positions * 150.0
+    grid = np.linspace(positions[0], positions[-1], 6)
+    omegas, _ = omega_scan_from_ld(r2, positions, grid, max_window=20)
+    baseline = omegaplus_scan(
+        replicate.haplotypes, positions, grid_size=6, max_window=20
+    )
+    np.testing.assert_allclose(omegas, baseline.omegas, equal_nan=True)
+    # The baseline computed only a subset of the pairwise values.
+    n = replicate.haplotypes.shape[1]
+    assert baseline.ld_evaluations <= n * (n - 1) // 2
+
+
+def test_msa_pipeline_feeds_gap_aware_ld():
+    rng = np.random.default_rng(9)
+    result = simulate_msa_pipeline(
+        30, 400, coverage=7, error_rate=0.005, missing_rate=0.05, rng=rng
+    )
+    assert result.n_snps >= 2
+    assert result.genotype_error_rate < 0.02
+    r2 = masked_ld_matrix(result.matrix, result.mask)
+    assert r2.shape == (result.n_snps, result.n_snps)
+    finite = r2[~np.isnan(r2)]
+    assert np.all(finite >= -1e-9) and np.all(finite <= 1.0 + 1e-9)
+
+
+def test_haplotypes_to_plink_to_baseline(tmp_path):
+    rng = np.random.default_rng(33)
+    haps = rng.integers(0, 2, size=(160, 8)).astype(np.uint8)
+    genos = genotypes_from_haplotypes(haps)
+    prefix = tmp_path / "panel"
+    write_plink_bed(prefix, GenotypeMatrix.from_dense(genos))
+    ds = read_plink_bed(prefix)
+    geno_r2 = plink_r2_matrix(ds.genotypes)
+    hap_r2 = ld_matrix(haps)
+    # Genotype-dosage r² approximates haplotype r² under random pairing;
+    # at this sample size they correlate strongly.
+    defined = ~np.isnan(geno_r2) & ~np.isnan(hap_r2)
+    iu = np.triu_indices(8, k=1)
+    g = geno_r2[iu][defined[iu]]
+    h = hap_r2[iu][defined[iu]]
+    if g.size >= 5 and g.std() > 1e-6 and h.std() > 1e-6:
+        assert np.corrcoef(g, h)[0, 1] > 0.5
+
+
+def test_vcf_roundtrip_preserves_ld(tmp_path):
+    rng = np.random.default_rng(4)
+    haps = rng.integers(0, 2, size=(40, 10)).astype(np.uint8)
+    path = tmp_path / "panel.vcf"
+    write_vcf(path, haps, np.arange(10) * 100 + 1)
+    panel = read_vcf(path)
+    np.testing.assert_allclose(
+        np.nan_to_num(ld_matrix(panel.haplotypes)),
+        np.nan_to_num(ld_matrix(haps)),
+    )
+
+
+def test_paper_pipeline_identity_at_dataset_scale():
+    """H = GᵀG/N and D = H − ppᵀ on a (scaled) Dataset A panel."""
+    panel = dataset_A(scale=0.02)  # 50 samples x 200 SNPs
+    result = compute_ld(panel)
+    n = panel.n_samples
+    np.testing.assert_allclose(result.h, result.counts / n)
+    np.testing.assert_allclose(
+        result.d, result.h - np.outer(result.p, result.p), atol=1e-12
+    )
+    # Cross-check one corner against the naive baseline.
+    dense = panel.to_dense()[:, :30]
+    np.testing.assert_allclose(
+        np.nan_to_num(result.r2()[:30, :30]),
+        np.nan_to_num(naive_ld_matrix(dense)),
+        atol=1e-12,
+    )
+
+
+def test_sweep_scan_and_omegaplus_agree_on_dataset():
+    panel = dataset_A(scale=0.01)  # 25 samples x 100 SNPs
+    dense = panel.to_dense()
+    ours = sweep_scan(dense, grid_size=4, max_window=30)
+    baseline = omegaplus_scan(dense, grid_size=4, max_window=30)
+    np.testing.assert_allclose(ours.omegas, baseline.omegas, equal_nan=True)
+
+
+def test_machine_model_orders_paper_datasets():
+    """Modelled GEMM time: dataset C > B > A (Tables I-III ordering)."""
+    times = {}
+    for name, k_samples in (("A", 2504), ("B", 10000), ("C", 100000)):
+        est = estimate_gemm_performance(
+            10000, 10000, (k_samples + 63) // 64, symmetric=True
+        )
+        times[name] = est.seconds
+    assert times["C"] > times["B"] > times["A"]
+    # And every estimate stays in the paper's efficiency band.
+    for name, k_samples in (("B", 10000), ("C", 100000)):
+        est = estimate_gemm_performance(
+            10000, 10000, (k_samples + 63) // 64, symmetric=True
+        )
+        assert est.percent_of_peak == pytest.approx(87.0, abs=5.0)

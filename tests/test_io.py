@@ -1,0 +1,256 @@
+"""Tests for the I/O substrate (repro.io: ms, VCF, PLINK bed)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.encoding.genotypes import GenotypeMatrix
+from repro.io.msformat import MsReplicate, read_ms, write_ms
+from repro.io.plinkbed import read_plink_bed, write_plink_bed
+from repro.io.vcf import read_vcf, write_vcf
+
+
+class TestMsFormat:
+    def test_roundtrip(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(12, 9)).astype(np.uint8)
+        pos = np.sort(rng.random(9))
+        path = tmp_path / "out.ms"
+        write_ms(path, [(haps, pos)])
+        reps = read_ms(path)
+        assert len(reps) == 1
+        np.testing.assert_array_equal(reps[0].haplotypes, haps)
+        np.testing.assert_allclose(reps[0].positions, pos, atol=1e-6)
+
+    def test_multiple_replicates_with_empty(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(5, 3)).astype(np.uint8)
+        pos = np.array([0.1, 0.5, 0.9])
+        path = tmp_path / "multi.ms"
+        write_ms(
+            path,
+            [
+                MsReplicate(haplotypes=haps, positions=pos),
+                MsReplicate(
+                    haplotypes=np.zeros((0, 0), dtype=np.uint8),
+                    positions=np.empty(0),
+                ),
+            ],
+        )
+        reps = read_ms(path)
+        assert len(reps) == 2
+        assert reps[1].segsites == 0
+
+    def test_custom_command_line(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(4, 2)).astype(np.uint8)
+        path = tmp_path / "cmd.ms"
+        write_ms(path, [(haps, np.array([0.2, 0.8]))], command="ms 4 1 -t 5.0")
+        assert path.read_text().startswith("ms 4 1 -t 5.0\n")
+
+    def test_seed_line(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(4, 2)).astype(np.uint8)
+        path = tmp_path / "seed.ms"
+        write_ms(path, [(haps, np.array([0.2, 0.8]))], seeds=(11, 22, 33))
+        assert path.read_text().splitlines()[1] == "11 22 33"
+
+    def test_write_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            write_ms(tmp_path / "x.ms", [])
+
+    def test_write_rejects_position_mismatch(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(4, 3)).astype(np.uint8)
+        with pytest.raises(ValueError, match="positions"):
+            write_ms(tmp_path / "x.ms", [(haps, np.array([0.5]))])
+
+    def test_write_rejects_mixed_sample_counts(self, tmp_path, rng):
+        a = rng.integers(0, 2, size=(4, 2)).astype(np.uint8)
+        b = rng.integers(0, 2, size=(5, 2)).astype(np.uint8)
+        pos = np.array([0.1, 0.2])
+        with pytest.raises(ValueError, match="same sample count"):
+            write_ms(tmp_path / "x.ms", [(a, pos), (b, pos)])
+
+    @pytest.mark.parametrize(
+        "body,match",
+        [
+            ("header\n1 2 3\n", "no '//'"),
+            ("h\n\n//\nnonsense\n", "segsites"),
+            ("h\n\n//\nsegsites: 2\nnope\n", "positions"),
+            ("h\n\n//\nsegsites: 2\npositions: 0.1 0.2\n01\n2X\n", "non-binary"),
+            ("h\n\n//\nsegsites: 2\npositions: 0.1 0.2\n011\n", "expected 2"),
+            ("h\n\n//\nsegsites: 1\npositions: 0.1 0.2\n", "positions count"),
+            ("h\n\n//\nsegsites: 2\npositions: 0.1 0.2\n", "no haplotypes"),
+        ],
+    )
+    def test_reader_rejects_malformed(self, tmp_path, body, match):
+        path = tmp_path / "bad.ms"
+        path.write_text(body)
+        with pytest.raises(ValueError, match=match):
+            read_ms(path)
+
+
+class TestVcf:
+    @pytest.mark.parametrize("ploidy", [1, 2])
+    def test_roundtrip(self, tmp_path, rng, ploidy):
+        n_haps = 12
+        haps = rng.integers(0, 2, size=(n_haps, 7)).astype(np.uint8)
+        path = tmp_path / "out.vcf"
+        write_vcf(path, haps, np.arange(7) * 50 + 1, ploidy=ploidy)
+        panel = read_vcf(path)
+        assert panel.ploidy == ploidy
+        np.testing.assert_array_equal(panel.haplotypes, haps)
+        assert np.all(panel.valid)
+        np.testing.assert_array_equal(panel.positions, np.arange(7) * 50 + 1)
+
+    def test_missing_data_roundtrip(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(8, 5)).astype(np.uint8)
+        missing = rng.random((8, 5)) < 0.2
+        haps[missing] = 0
+        path = tmp_path / "m.vcf"
+        write_vcf(path, haps, np.arange(5) + 1, missing=missing)
+        panel = read_vcf(path)
+        np.testing.assert_array_equal(panel.valid, ~missing)
+        np.testing.assert_array_equal(panel.haplotypes, haps)
+
+    def test_gzip_roundtrip(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(10, 6)).astype(np.uint8)
+        path = tmp_path / "panel.vcf.gz"
+        write_vcf(path, haps, np.arange(6) + 1)
+        # The payload really is gzip (magic bytes), and round-trips.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        panel = read_vcf(path)
+        np.testing.assert_array_equal(panel.haplotypes, haps)
+
+    def test_to_bitmatrix_and_mask(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(6, 4)).astype(np.uint8)
+        path = tmp_path / "bm.vcf"
+        write_vcf(path, haps, np.arange(4) + 1)
+        panel = read_vcf(path)
+        np.testing.assert_array_equal(panel.to_bitmatrix().to_dense(), haps)
+        assert panel.to_mask().valid_counts().sum() == haps.size
+
+    def test_write_rejects_odd_diploid(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(5, 3)).astype(np.uint8)
+        with pytest.raises(ValueError, match="even number"):
+            write_vcf(tmp_path / "x.vcf", haps, np.arange(3) + 1, ploidy=2)
+
+    @pytest.mark.parametrize(
+        "record,match",
+        [
+            ("1\t5\ts\tA\tT,G\t.\tPASS\t.\tGT\t0|0", "multi-allelic"),
+            ("1\t5\ts\tAC\tT\t.\tPASS\t.\tGT\t0|0", "SNP records"),
+            ("1\t5\ts\tA\tT\t.\tPASS\t.\tDP:GT\t3:0|0", "must be GT"),
+            ("1\t5\ts\tA\tT\t.\tPASS\t.\tGT\t0/1", "unphased"),
+            ("1\t5\ts\tA\tT\t.\tPASS\t.\tGT\t0|2", "unexpected allele"),
+        ],
+    )
+    def test_reader_rejects_malformed_records(self, tmp_path, record, match):
+        path = tmp_path / "bad.vcf"
+        path.write_text(
+            "##fileformat=VCFv4.2\n"
+            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tsample0\n"
+            + record + "\n"
+        )
+        with pytest.raises(ValueError, match=match):
+            read_vcf(path)
+
+    def test_reader_rejects_no_records(self, tmp_path):
+        path = tmp_path / "empty.vcf"
+        path.write_text(
+            "##fileformat=VCFv4.2\n"
+            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts0\n"
+        )
+        with pytest.raises(ValueError, match="no variant records"):
+            read_vcf(path)
+
+    def test_reader_rejects_data_before_header(self, tmp_path):
+        path = tmp_path / "oops.vcf"
+        path.write_text("1\t5\ts\tA\tT\t.\tPASS\t.\tGT\t0|0\n")
+        with pytest.raises(ValueError, match="before #CHROM"):
+            read_vcf(path)
+
+
+class TestPlinkBed:
+    @given(
+        genos=hnp.arrays(
+            dtype=np.int8,
+            shape=st.tuples(
+                st.integers(min_value=1, max_value=40),
+                st.integers(min_value=1, max_value=8),
+            ),
+            elements=st.sampled_from([0, 1, 2, -1]),
+        )
+    )
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_roundtrip(self, tmp_path, genos):
+        gm = GenotypeMatrix.from_dense(genos)
+        prefix = tmp_path / "panel"
+        write_plink_bed(prefix, gm)
+        ds = read_plink_bed(prefix)
+        np.testing.assert_array_equal(ds.genotypes.to_dense(), genos)
+
+    def test_metadata_roundtrip(self, tmp_path, rng):
+        genos = rng.integers(0, 3, size=(10, 4)).astype(np.int8)
+        gm = GenotypeMatrix.from_dense(genos)
+        prefix = tmp_path / "meta"
+        write_plink_bed(
+            prefix,
+            gm,
+            positions=np.array([10, 20, 30, 40]),
+            variant_ids=["rs1", "rs2", "rs3", "rs4"],
+            sample_ids=[f"s{i}" for i in range(10)],
+        )
+        ds = read_plink_bed(prefix)
+        assert ds.variant_ids == ["rs1", "rs2", "rs3", "rs4"]
+        np.testing.assert_array_equal(ds.positions, [10, 20, 30, 40])
+        assert ds.sample_ids == [f"s{i}" for i in range(10)]
+
+    def test_magic_bytes(self, tmp_path, rng):
+        genos = rng.integers(0, 3, size=(6, 2)).astype(np.int8)
+        prefix = tmp_path / "magic"
+        write_plink_bed(prefix, GenotypeMatrix.from_dense(genos))
+        raw = (prefix.with_suffix(".bed")).read_bytes()
+        assert raw[:3] == bytes([0x6C, 0x1B, 0x01])
+        assert len(raw) == 3 + 2 * ((6 + 3) // 4)
+
+    def test_reader_rejects_bad_magic(self, tmp_path, rng):
+        genos = rng.integers(0, 3, size=(6, 2)).astype(np.int8)
+        prefix = tmp_path / "bad"
+        write_plink_bed(prefix, GenotypeMatrix.from_dense(genos))
+        bed = prefix.with_suffix(".bed")
+        bed.write_bytes(b"\x00\x00\x00" + bed.read_bytes()[3:])
+        with pytest.raises(ValueError, match="magic"):
+            read_plink_bed(prefix)
+
+    def test_reader_rejects_truncated_bed(self, tmp_path, rng):
+        genos = rng.integers(0, 3, size=(20, 3)).astype(np.int8)
+        prefix = tmp_path / "trunc"
+        write_plink_bed(prefix, GenotypeMatrix.from_dense(genos))
+        bed = prefix.with_suffix(".bed")
+        bed.write_bytes(bed.read_bytes()[:-1])
+        with pytest.raises(ValueError, match="size"):
+            read_plink_bed(prefix)
+
+    def test_write_rejects_metadata_mismatch(self, tmp_path, rng):
+        genos = rng.integers(0, 3, size=(6, 2)).astype(np.int8)
+        gm = GenotypeMatrix.from_dense(genos)
+        with pytest.raises(ValueError, match="positions"):
+            write_plink_bed(tmp_path / "x", gm, positions=np.array([1]))
+        with pytest.raises(ValueError, match="metadata"):
+            write_plink_bed(tmp_path / "x", gm, variant_ids=["one"])
+
+    def test_plink_baseline_runs_on_read_data(self, tmp_path, rng):
+        """End-to-end: write bed, read it, run the PLINK-style kernel."""
+        from repro.baselines.plink import plink_r2_matrix
+
+        genos = rng.integers(0, 3, size=(40, 6)).astype(np.int8)
+        prefix = tmp_path / "e2e"
+        write_plink_bed(prefix, GenotypeMatrix.from_dense(genos))
+        ds = read_plink_bed(prefix)
+        r2 = plink_r2_matrix(ds.genotypes)
+        ref = np.corrcoef(genos.astype(float).T) ** 2
+        defined = ~np.isnan(r2)
+        np.testing.assert_allclose(r2[defined], ref[defined], atol=1e-10)

@@ -1,0 +1,84 @@
+"""Tests for LD pruning (repro.analysis.ldprune)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ldprune import ld_prune
+from repro.core.ldmatrix import ld_matrix
+
+
+def make_correlated_panel(rng, n_samples=200):
+    """Panel with two tight LD clusters plus independent SNPs."""
+    base1 = rng.integers(0, 2, n_samples).astype(np.uint8)
+    base2 = rng.integers(0, 2, n_samples).astype(np.uint8)
+    cols = []
+    for _copy in range(4):  # near-duplicates of base1
+        noisy = base1.copy()
+        flip = rng.random(n_samples) < 0.02
+        noisy[flip] ^= 1
+        cols.append(noisy)
+    for _copy in range(3):  # near-duplicates of base2
+        noisy = base2.copy()
+        flip = rng.random(n_samples) < 0.02
+        noisy[flip] ^= 1
+        cols.append(noisy)
+    for _i in range(5):  # independent SNPs
+        cols.append(rng.integers(0, 2, n_samples).astype(np.uint8))
+    return np.stack(cols, axis=1)
+
+
+class TestLdPrune:
+    def test_no_retained_pair_exceeds_threshold(self, rng):
+        panel = make_correlated_panel(rng)
+        kept = ld_prune(panel, window=12, step=3, r2_threshold=0.3)
+        r2 = ld_matrix(panel[:, kept], undefined=0.0)
+        np.fill_diagonal(r2, 0.0)
+        # The window covers the whole panel here, so the guarantee is global.
+        assert np.nanmax(r2) <= 0.3 + 1e-9
+
+    def test_clusters_reduced_to_representatives(self, rng):
+        panel = make_correlated_panel(rng)
+        kept = ld_prune(panel, window=12, step=3, r2_threshold=0.3)
+        # Each of the two clusters collapses to one SNP; the 5 independent
+        # SNPs survive (low mutual LD with high probability at n=200).
+        assert sum(1 for k in kept if k < 4) == 1
+        assert sum(1 for k in kept if 4 <= k < 7) == 1
+
+    def test_keeps_higher_maf_member(self, rng):
+        n = 300
+        common = (rng.random(n) < 0.5).astype(np.uint8)
+        rare = common.copy()
+        # Knock a few carriers out so the duplicate is rarer but in high LD.
+        carriers = np.flatnonzero(rare == 1)
+        rare[carriers[:10]] = 0
+        panel = np.stack([rare, common], axis=1)
+        kept = ld_prune(panel, window=2, step=1, r2_threshold=0.5)
+        assert list(kept) == [1]
+
+    def test_independent_snps_untouched(self, rng):
+        panel = rng.integers(0, 2, size=(500, 10)).astype(np.uint8)
+        kept = ld_prune(panel, window=10, step=2, r2_threshold=0.9)
+        assert len(kept) == 10
+
+    def test_sliding_window_covers_tail(self, rng):
+        """A correlated pair at the very end of the panel is still pruned."""
+        panel = rng.integers(0, 2, size=(200, 9)).astype(np.uint8)
+        panel[:, 8] = panel[:, 7]
+        kept = ld_prune(panel, window=4, step=2, r2_threshold=0.5)
+        assert not (7 in kept and 8 in kept)
+
+    def test_parameter_validation(self, rng):
+        panel = rng.integers(0, 2, size=(50, 5)).astype(np.uint8)
+        with pytest.raises(ValueError, match="window"):
+            ld_prune(panel, window=1)
+        with pytest.raises(ValueError, match="step"):
+            ld_prune(panel, step=0)
+        with pytest.raises(ValueError, match="r2_threshold"):
+            ld_prune(panel, r2_threshold=0.0)
+        with pytest.raises(ValueError, match="r2_threshold"):
+            ld_prune(panel, r2_threshold=1.5)
+
+    def test_result_sorted_unique(self, rng):
+        panel = make_correlated_panel(rng)
+        kept = ld_prune(panel, window=6, step=2, r2_threshold=0.3)
+        assert list(kept) == sorted(set(kept.tolist()))

@@ -1,0 +1,96 @@
+"""Tests for the cache-traffic model (repro.machine.cache)."""
+
+import pytest
+
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import gemm_operation_counts
+from repro.machine.cache import (
+    CacheHierarchy,
+    CacheLevel,
+    MemoryTraffic,
+    charge_blocked_gemm,
+)
+from repro.machine.cpu import HASWELL
+
+SMALL = BlockingParams(mc=4, nc=4, kc=4, mr=2, nr=2)
+
+
+class TestCacheLevel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            CacheLevel("L1", 0, 1.0)
+        with pytest.raises(ValueError, match="bandwidth"):
+            CacheLevel("L1", 1024, 0.0)
+
+
+class TestCacheHierarchy:
+    def test_rejects_shrinking_levels(self):
+        l1 = CacheLevel("L1", 64 * 1024, 8.0)
+        l2 = CacheLevel("L2", 32 * 1024, 4.0)
+        l3 = CacheLevel("L3", 1 << 20, 2.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CacheHierarchy(l1=l1, l2=l2, l3=l3, dram_words_per_cycle=1.0)
+
+    def test_rejects_bad_dram(self):
+        l1 = CacheLevel("L1", 1024, 8.0)
+        with pytest.raises(ValueError, match="DRAM"):
+            CacheHierarchy(l1=l1, l2=l1, l3=l1, dram_words_per_cycle=0.0)
+
+
+class TestStallCycles:
+    def test_linear_in_traffic(self):
+        hierarchy = HASWELL.caches
+        t1 = MemoryTraffic(0, 100, 0, 0, 0)
+        t2 = MemoryTraffic(0, 200, 0, 0, 0)
+        assert t2.stall_cycles(hierarchy) == pytest.approx(
+            2 * t1.stall_cycles(hierarchy)
+        )
+
+    def test_l1_traffic_is_free(self):
+        hierarchy = HASWELL.caches
+        assert MemoryTraffic(1e9, 0, 0, 0, 0).stall_cycles(hierarchy) == 0.0
+
+    def test_stores_share_dram(self):
+        hierarchy = HASWELL.caches
+        loads = MemoryTraffic(0, 0, 0, 100, 0).stall_cycles(hierarchy)
+        both = MemoryTraffic(0, 0, 0, 100, 100).stall_cycles(hierarchy)
+        assert both == pytest.approx(2 * loads)
+
+
+class TestChargeBlockedGemm:
+    def test_well_blocked_charges(self):
+        counts = gemm_operation_counts(16, 16, 8, SMALL)
+        traffic = charge_blocked_gemm(
+            counts, SMALL, HASWELL.caches, output_words=16 * 16
+        )
+        assert traffic.l1_words == counts.b_load_words
+        assert traffic.l2_words == (
+            counts.a_load_words + 2 * counts.c_update_words + counts.a_pack_words
+        )
+        assert traffic.l3_words == counts.b_pack_words
+        assert traffic.dram_words == counts.a_pack_words + counts.b_pack_words
+        assert traffic.store_words == 16 * 16
+
+    def test_oversized_a_block_spills_to_l3(self):
+        counts = gemm_operation_counts(16, 16, 8, SMALL)
+        tiny_l2 = CacheHierarchy(
+            l1=CacheLevel("L1", 16, 8.0),
+            l2=CacheLevel("L2", 32, 4.0),
+            l3=CacheLevel("L3", 1 << 30, 2.0),
+            dram_words_per_cycle=1.0,
+        )
+        traffic = charge_blocked_gemm(counts, SMALL, tiny_l2)
+        assert traffic.l3_words >= counts.a_load_words
+
+    def test_oversized_b_panel_spills_to_dram(self):
+        counts = gemm_operation_counts(16, 16, 8, SMALL)
+        # SMALL's B panel is kc*nc*8 = 128 bytes; L3 of 100 forces the spill.
+        tiny_l3 = CacheHierarchy(
+            l1=CacheLevel("L1", 16, 8.0),
+            l2=CacheLevel("L2", 64, 4.0),
+            l3=CacheLevel("L3", 100, 2.0),
+            dram_words_per_cycle=1.0,
+        )
+        traffic = charge_blocked_gemm(counts, SMALL, tiny_l3)
+        well = charge_blocked_gemm(counts, SMALL, HASWELL.caches)
+        assert traffic.dram_words > well.dram_words

@@ -1,0 +1,114 @@
+"""Tests for the ISA abstractions and core port model (repro.machine.isa/.cpu)."""
+
+import pytest
+
+from repro.machine.cpu import CoreModel, HASWELL, IVY_BRIDGE_2S, MachineSpec
+from repro.machine.isa import AVX2, AVX512, PRESETS, SCALAR64, SSE, SimdConfig
+from repro.machine.peak import (
+    gemm_theoretical_peak_flops_per_cycle,
+    ld_theoretical_peak_ops_per_cycle,
+)
+
+
+class TestSimdConfig:
+    @pytest.mark.parametrize(
+        "config,lanes", [(SCALAR64, 1), (SSE, 2), (AVX2, 4), (AVX512, 8)]
+    )
+    def test_lanes(self, config, lanes):
+        assert config.lanes == lanes
+
+    def test_presets_have_no_hw_popcount(self):
+        """Real x86 (the paper's premise): POPCNT is scalar everywhere."""
+        for config in PRESETS:
+            assert not config.hw_popcount
+
+    def test_extract_insert_requirement(self):
+        assert not SCALAR64.needs_extract_insert
+        assert SSE.needs_extract_insert
+        assert not SSE.with_hw_popcount().needs_extract_insert
+
+    def test_with_hw_popcount_renames(self):
+        hw = AVX2.with_hw_popcount()
+        assert hw.hw_popcount and "hwpopcnt" in hw.name
+        assert hw.lanes == AVX2.lanes
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError, match="multiple of 64"):
+            SimdConfig(name="odd", width_bits=96)
+        with pytest.raises(ValueError, match="multiple of 64"):
+            SimdConfig(name="tiny", width_bits=32)
+
+
+class TestCoreModelComputeCycles:
+    def test_scalar_is_popcnt_bound(self):
+        """1e6 LD steps take 1e6 cycles: AND/ADD co-issue with POPCNT."""
+        core = CoreModel()
+        assert core.compute_cycles(1e6, 1e6, 1e6, SCALAR64) == pytest.approx(1e6)
+
+    @pytest.mark.parametrize("simd", [SSE, AVX2, AVX512])
+    def test_simd_without_hw_popcount_is_shuffle_bound(self, simd):
+        """Section V: extract+insert through one port => 2 cycles/word."""
+        core = CoreModel()
+        assert core.compute_cycles(1e6, 1e6, 1e6, simd) == pytest.approx(2e6)
+
+    @pytest.mark.parametrize("simd", [SSE, AVX2, AVX512])
+    def test_hw_popcount_gives_full_vector_speedup(self, simd):
+        core = CoreModel()
+        hw = simd.with_hw_popcount()
+        assert core.compute_cycles(1e6, 1e6, 1e6, hw) == pytest.approx(
+            1e6 / simd.lanes
+        )
+
+    def test_alu_bound_when_popcnt_light(self):
+        """With no POPCNTs the ALU ports set the pace."""
+        core = CoreModel(alu_ports=2)
+        assert core.compute_cycles(4e6, 0.0, 4e6, SCALAR64) == pytest.approx(4e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="port"):
+            CoreModel(alu_ports=0)
+        with pytest.raises(ValueError, match="invalid"):
+            CoreModel(pack_words_per_cycle=0.0)
+        with pytest.raises(ValueError, match="invalid"):
+            CoreModel(kernel_call_overhead=-1.0)
+
+
+class TestPeaks:
+    def test_scalar_peak_is_three_ops(self):
+        assert ld_theoretical_peak_ops_per_cycle(SCALAR64) == 3.0
+
+    @pytest.mark.parametrize("simd", [SSE, AVX2, AVX512])
+    def test_real_simd_peak_stays_three(self, simd):
+        """The paper's point: wider registers do not raise the LD peak."""
+        assert ld_theoretical_peak_ops_per_cycle(simd) == 3.0
+
+    @pytest.mark.parametrize("simd", [SSE, AVX2, AVX512])
+    def test_hw_popcount_peak_scales(self, simd):
+        assert ld_theoretical_peak_ops_per_cycle(
+            simd.with_hw_popcount()
+        ) == 3.0 * simd.lanes
+
+    def test_gemm_peak_reference(self):
+        assert gemm_theoretical_peak_flops_per_cycle(4, fma=False) == 8.0
+        assert gemm_theoretical_peak_flops_per_cycle(4, fma=True) == 16.0
+        with pytest.raises(ValueError):
+            gemm_theoretical_peak_flops_per_cycle(0)
+
+
+class TestMachineSpecs:
+    def test_paper_testbeds(self):
+        assert HASWELL.frequency_hz == 3.5e9
+        assert IVY_BRIDGE_2S.n_cores == 12
+        assert IVY_BRIDGE_2S.frequency_hz == 2.1e9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="frequency"):
+            MachineSpec(
+                name="x", frequency_hz=0.0, core=CoreModel(),
+                caches=HASWELL.caches, n_cores=1,
+            )
+        with pytest.raises(ValueError, match="core/SMT"):
+            MachineSpec(
+                name="x", frequency_hz=1e9, core=CoreModel(),
+                caches=HASWELL.caches, n_cores=0,
+            )

@@ -1,0 +1,180 @@
+"""Tests for the performance model, SIMD analysis, and multicore scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import MICRO_BLOCKING
+from repro.machine.cpu import HASWELL, IVY_BRIDGE_2S
+from repro.machine.isa import AVX2, AVX512, PRESETS, SCALAR64, SSE
+from repro.machine.multicore import (
+    ImplementationProfile,
+    MulticoreModel,
+    scaling_curve,
+)
+from repro.machine.perfmodel import estimate_gemm_performance
+from repro.machine.simd import analyze_simd_benefit
+
+
+class TestPerfModel:
+    def test_figure3_band(self):
+        """The paper's headline: 84-90 % of scalar peak across the k sweep."""
+        for k_samples in (2048, 4096, 8192, 16384, 25000):
+            est = estimate_gemm_performance(4096, 4096, (k_samples + 63) // 64)
+            assert 84.0 <= est.percent_of_peak <= 91.0
+
+    def test_performance_rises_with_k(self):
+        small = estimate_gemm_performance(4096, 4096, 32)
+        large = estimate_gemm_performance(4096, 4096, 256)
+        assert large.percent_of_peak > small.percent_of_peak
+
+    def test_snp_count_agnostic(self):
+        """Figure 3's second claim: %peak barely moves from 4096 to 16384 SNPs."""
+        k = 128
+        values = [
+            estimate_gemm_performance(m, m, k).percent_of_peak
+            for m in (4096, 8192, 16384)
+        ]
+        assert max(values) - min(values) < 2.0
+
+    def test_cross_matrix_performance_consistent(self):
+        """Figure 4: two-input GEMM stays in the same band."""
+        est = estimate_gemm_performance(4096, 8192, 128)
+        assert 84.0 <= est.percent_of_peak <= 91.0
+
+    def test_symmetric_halves_time(self):
+        full = estimate_gemm_performance(4096, 4096, 128)
+        tri = estimate_gemm_performance(4096, 4096, 128, symmetric=True)
+        assert tri.cycles < 0.6 * full.cycles
+
+    def test_seconds_at_clock(self):
+        est = estimate_gemm_performance(512, 512, 64)
+        assert est.seconds == pytest.approx(est.cycles / 3.5e9)
+
+    def test_simd_without_hw_popcount_is_slower(self):
+        scalar = estimate_gemm_performance(1024, 1024, 64, simd=SCALAR64)
+        simd = estimate_gemm_performance(1024, 1024, 64, simd=AVX2)
+        assert simd.cycles > scalar.cycles
+
+    def test_hw_popcount_speeds_up(self):
+        scalar = estimate_gemm_performance(1024, 1024, 64, simd=SCALAR64)
+        hw = estimate_gemm_performance(
+            1024, 1024, 64, simd=AVX512.with_hw_popcount()
+        )
+        assert hw.cycles < scalar.cycles
+
+    def test_custom_machine(self):
+        est = estimate_gemm_performance(
+            1024, 1024, 64, machine=IVY_BRIDGE_2S, params=MICRO_BLOCKING
+        )
+        assert est.seconds == pytest.approx(est.cycles / 2.1e9)
+
+
+class TestSimdAnalysis:
+    def test_no_benefit_theorem(self):
+        """Section V: no real SIMD configuration beats scalar."""
+        for analysis in analyze_simd_benefit(include_hw_popcount=False):
+            assert analysis.speedup_vs_scalar <= 1.0 + 1e-12
+
+    def test_hw_popcount_gives_v_speedup(self):
+        results = {a.config.name: a for a in analyze_simd_benefit()}
+        assert results["sse+hwpopcnt"].speedup_vs_scalar == pytest.approx(2.0)
+        assert results["avx2+hwpopcnt"].speedup_vs_scalar == pytest.approx(4.0)
+        assert results["avx512+hwpopcnt"].speedup_vs_scalar == pytest.approx(8.0)
+
+    def test_increasing_gap_with_width(self):
+        """The paper's 'diverging gap': attainable fraction of the vector
+        peak strictly decreases as registers widen (without HW popcount)."""
+        fractions = [
+            a.fraction_of_vector_peak
+            for a in analyze_simd_benefit(include_hw_popcount=False)
+        ]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] == pytest.approx(1.0)
+        assert fractions[-1] < 0.1  # AVX-512: below 10 % of its would-be peak
+
+    def test_scalar_baseline_first(self):
+        results = analyze_simd_benefit()
+        assert results[0].config == SCALAR64
+        assert results[0].speedup_vs_scalar == 1.0
+
+    def test_custom_config_list(self):
+        results = analyze_simd_benefit(configs=[SCALAR64, SSE])
+        names = [a.config.name for a in results]
+        assert names == ["scalar64", "sse", "sse+hwpopcnt"]
+
+
+GEMM_PROFILE = ImplementationProfile("GEMM", utilization=0.88, bandwidth_cap=39.0)
+PLINK_PROFILE = ImplementationProfile("PLINK", utilization=0.20, bandwidth_cap=9.5)
+OMEGA_PROFILE = ImplementationProfile("OmegaPlus", utilization=0.45, bandwidth_cap=92.0)
+
+
+class TestMulticore:
+    @pytest.fixture
+    def model(self):
+        return MulticoreModel(machine=IVY_BRIDGE_2S)
+
+    def test_single_thread_is_unity(self, model):
+        for profile in (GEMM_PROFILE, PLINK_PROFILE, OMEGA_PROFILE):
+            assert model.speedup(1, profile) == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_threads(self, model):
+        for t in (2, 4, 8, 12):
+            for profile in (GEMM_PROFILE, PLINK_PROFILE, OMEGA_PROFILE):
+                assert model.speedup(t, profile) <= t + 1e-9
+
+    def test_gemm_saturates_at_physical_cores(self, model):
+        """Figure 5: GEMM throughput diminishes past 12 threads."""
+        at_cores = model.speedup(12, GEMM_PROFILE)
+        beyond = model.speedup(24, GEMM_PROFILE)
+        assert beyond < at_cores
+
+    def test_baselines_improve_past_physical_cores(self, model):
+        """Figure 5: PLINK and OmegaPlus keep improving via SMT."""
+        for profile in (PLINK_PROFILE, OMEGA_PROFILE):
+            assert model.speedup(24, profile) > model.speedup(12, profile)
+
+    def test_gemm_scales_better_than_plink_below_cores(self, model):
+        """Tables I-III: GEMM's 12-thread speedup exceeds PLINK's."""
+        assert model.speedup(12, GEMM_PROFILE) > model.speedup(12, PLINK_PROFILE)
+
+    def test_oversubscription_penalty(self, model):
+        hw_contexts = 12 * IVY_BRIDGE_2S.smt_per_core
+        at_limit = model.speedup(hw_contexts, PLINK_PROFILE)
+        over = model.speedup(hw_contexts + 8, PLINK_PROFILE)
+        assert over < at_limit
+
+    def test_sync_overhead_hurts_small_problems(self, model):
+        noisy = ImplementationProfile(
+            "GEMM-small", utilization=0.88, bandwidth_cap=39.0, sync_overhead=0.06
+        )
+        assert model.speedup(12, noisy) < model.speedup(12, GEMM_PROFILE)
+
+    def test_time_at_inverts_speedup(self, model):
+        t12 = model.time_at(12, GEMM_PROFILE, 48.0)
+        assert t12 == pytest.approx(48.0 / model.speedup(12, GEMM_PROFILE))
+        with pytest.raises(ValueError, match="positive"):
+            model.time_at(2, GEMM_PROFILE, 0.0)
+
+    def test_scaling_curve(self, model):
+        curve = scaling_curve(model, OMEGA_PROFILE, 2.0, [1, 2, 4])
+        assert curve[0] == pytest.approx(2.0)
+        assert curve[2] > curve[1] > curve[0]
+        with pytest.raises(ValueError, match="positive"):
+            scaling_curve(model, OMEGA_PROFILE, 0.0, [1])
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError, match="utilization"):
+            ImplementationProfile("x", utilization=0.0)
+        with pytest.raises(ValueError, match="bandwidth"):
+            ImplementationProfile("x", utilization=0.5, bandwidth_cap=0.0)
+        with pytest.raises(ValueError, match="sync"):
+            ImplementationProfile("x", utilization=0.5, sync_overhead=-0.1)
+
+    def test_rejects_bad_thread_count(self, model):
+        with pytest.raises(ValueError, match="n_threads"):
+            model.issue_capacity(0, GEMM_PROFILE)
+
+    def test_paper_table3_gemm_shape(self, model):
+        """GEMM on dataset C: ~2x at 2 threads, ~9x at 12 (paper: 1.9/9.2)."""
+        assert model.speedup(2, GEMM_PROFILE) == pytest.approx(1.92, abs=0.15)
+        assert model.speedup(12, GEMM_PROFILE) == pytest.approx(9.2, abs=1.0)

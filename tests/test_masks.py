@@ -1,0 +1,71 @@
+"""Tests for validity masks (repro.encoding.masks)."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.bitmatrix import BitMatrix
+from repro.encoding.masks import ValidityMask
+
+
+class TestConstruction:
+    def test_all_valid(self):
+        mask = ValidityMask.all_valid(70, 5)
+        assert mask.n_samples == 70 and mask.n_snps == 5
+        np.testing.assert_array_equal(mask.valid_counts(), [70] * 5)
+
+    def test_from_dense(self, rng):
+        dense = rng.integers(0, 2, size=(90, 7)).astype(np.uint8)
+        mask = ValidityMask.from_dense(dense)
+        np.testing.assert_array_equal(mask.bits.to_dense(), dense)
+        np.testing.assert_array_equal(mask.valid_counts(), dense.sum(axis=0))
+
+    def test_from_missing_splits_data_and_mask(self):
+        data = np.array([[1, -1], [0, 1], [-1, 0]], dtype=np.int8)
+        mask, clean = ValidityMask.from_missing(data)
+        np.testing.assert_array_equal(clean, [[1, 0], [0, 1], [0, 0]])
+        np.testing.assert_array_equal(
+            mask.bits.to_dense(), [[1, 0], [1, 1], [0, 1]]
+        )
+
+    def test_from_missing_custom_sentinel(self):
+        data = np.array([[1, 9], [0, 1]], dtype=np.int8)
+        mask, clean = ValidityMask.from_missing(data, missing=9)
+        np.testing.assert_array_equal(clean, [[1, 0], [0, 1]])
+
+    def test_from_missing_rejects_non_binary_remainder(self):
+        with pytest.raises(ValueError, match="binary"):
+            ValidityMask.from_missing(np.array([[2, -1]], dtype=np.int8))
+
+    def test_from_missing_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ValidityMask.from_missing(np.zeros(3, dtype=np.int8))
+
+
+class TestMaskAlgebra:
+    def test_pair_valid_words(self, rng):
+        dense = rng.integers(0, 2, size=(100, 4)).astype(np.uint8)
+        mask = ValidityMask.from_dense(dense)
+        joint = mask.pair_valid_words(0, 3)
+        expected = int((dense[:, 0] & dense[:, 3]).sum())
+        assert int(np.bitwise_count(joint).sum()) == expected
+
+    def test_apply_zeroes_invalid_cells(self, rng):
+        data_dense = rng.integers(0, 2, size=(80, 6)).astype(np.uint8)
+        valid_dense = rng.integers(0, 2, size=(80, 6)).astype(np.uint8)
+        data = BitMatrix.from_dense(data_dense)
+        mask = ValidityMask.from_dense(valid_dense)
+        masked = mask.apply(data)
+        np.testing.assert_array_equal(
+            masked.to_dense(), data_dense & valid_dense
+        )
+
+    def test_apply_rejects_shape_mismatch(self, rng):
+        data = BitMatrix.from_dense(
+            rng.integers(0, 2, size=(80, 6)).astype(np.uint8)
+        )
+        mask = ValidityMask.all_valid(80, 5)
+        with pytest.raises(ValueError, match="does not match"):
+            mask.apply(data)
+
+    def test_repr(self):
+        assert "n_snps=3" in repr(ValidityMask.all_valid(10, 3))

@@ -1,0 +1,96 @@
+"""Tests for the LD micro-kernels (repro.core.microkernel)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.microkernel import (
+    MICRO_KERNELS,
+    microkernel_numpy,
+    microkernel_scalar,
+)
+
+
+def reference_tile(a_panel: np.ndarray, b_panel: np.ndarray) -> np.ndarray:
+    """Direct popcount inner products, no kernel machinery."""
+    k, mr = a_panel.shape
+    nr = b_panel.shape[1]
+    out = np.zeros((mr, nr), dtype=np.int64)
+    for i in range(mr):
+        for j in range(nr):
+            out[i, j] = sum(
+                int(a_panel[p, i] & b_panel[p, j]).bit_count() for p in range(k)
+            )
+    return out
+
+
+PANEL_PAIR = st.tuples(
+    st.integers(min_value=1, max_value=12),  # k_c
+    st.integers(min_value=1, max_value=6),   # m_r
+    st.integers(min_value=1, max_value=6),   # n_r
+).flatmap(
+    lambda kmn: st.tuples(
+        hnp.arrays(
+            np.uint64, (kmn[0], kmn[1]),
+            elements=st.integers(min_value=0, max_value=2**64 - 1),
+        ),
+        hnp.arrays(
+            np.uint64, (kmn[0], kmn[2]),
+            elements=st.integers(min_value=0, max_value=2**64 - 1),
+        ),
+    )
+)
+
+
+@pytest.mark.parametrize("name", sorted(MICRO_KERNELS))
+@given(panels=PANEL_PAIR)
+@settings(max_examples=30)
+def test_kernels_match_reference(name, panels):
+    a_panel, b_panel = panels
+    c = np.zeros((a_panel.shape[1], b_panel.shape[1]), dtype=np.int64)
+    MICRO_KERNELS[name](a_panel, b_panel, c)
+    np.testing.assert_array_equal(c, reference_tile(a_panel, b_panel))
+
+
+@pytest.mark.parametrize("name", sorted(MICRO_KERNELS))
+def test_kernels_accumulate(name, rng):
+    """C += AB semantics: a second invocation doubles the tile."""
+    a = rng.integers(0, 2**63, size=(8, 4)).astype(np.uint64)
+    b = rng.integers(0, 2**63, size=(8, 4)).astype(np.uint64)
+    c = np.zeros((4, 4), dtype=np.int64)
+    MICRO_KERNELS[name](a, b, c)
+    once = c.copy()
+    MICRO_KERNELS[name](a, b, c)
+    np.testing.assert_array_equal(c, 2 * once)
+
+
+def test_kernels_agree_on_large_tile(rng):
+    a = rng.integers(0, 2**63, size=(64, 8)).astype(np.uint64)
+    b = rng.integers(0, 2**63, size=(64, 8)).astype(np.uint64)
+    c1 = np.zeros((8, 8), dtype=np.int64)
+    c2 = np.zeros((8, 8), dtype=np.int64)
+    microkernel_numpy(a, b, c1)
+    microkernel_scalar(a, b, c2)
+    np.testing.assert_array_equal(c1, c2)
+
+
+def test_scalar_kernel_rejects_k_mismatch(rng):
+    a = rng.integers(0, 2, size=(4, 2)).astype(np.uint64)
+    b = rng.integers(0, 2, size=(5, 2)).astype(np.uint64)
+    with pytest.raises(ValueError, match="k mismatch"):
+        microkernel_scalar(a, b, np.zeros((2, 2), dtype=np.int64))
+
+
+def test_zero_padding_is_inert(rng):
+    """Zero columns in a panel contribute nothing (fringe-tile guarantee)."""
+    a = rng.integers(0, 2**63, size=(16, 4)).astype(np.uint64)
+    b = rng.integers(0, 2**63, size=(16, 4)).astype(np.uint64)
+    a_padded = np.concatenate([a, np.zeros((16, 2), dtype=np.uint64)], axis=1)
+    c_small = np.zeros((4, 4), dtype=np.int64)
+    c_big = np.zeros((6, 4), dtype=np.int64)
+    microkernel_numpy(a, b, c_small)
+    microkernel_numpy(a_padded, b, c_big)
+    np.testing.assert_array_equal(c_big[:4], c_small)
+    np.testing.assert_array_equal(c_big[4:], 0)

@@ -1,0 +1,91 @@
+"""Property tests for the machine model's structural sanity.
+
+These pin the *monotonicity* and *consistency* properties the paper's
+arguments rely on, across randomized shapes: more work never takes fewer
+cycles, more issue resources never hurt, symmetric traversal never exceeds
+the full one, the GPU roofline respects both roofs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocking import MICRO_BLOCKING
+from repro.core.gemm import gemm_operation_counts
+from repro.machine.cpu import CoreModel
+from repro.machine.gpu import GpuSpec, estimate_ld_gpu
+from repro.machine.isa import AVX2, SCALAR64
+from repro.machine.perfmodel import estimate_gemm_performance
+
+SHAPES = st.tuples(
+    st.integers(min_value=1, max_value=600),
+    st.integers(min_value=1, max_value=600),
+    st.integers(min_value=1, max_value=400),
+)
+
+
+@given(shape=SHAPES)
+@settings(max_examples=40, deadline=None)
+def test_cycles_monotone_in_k(shape):
+    m, n, k = shape
+    a = estimate_gemm_performance(m, n, k, params=MICRO_BLOCKING)
+    b = estimate_gemm_performance(m, n, k + 16, params=MICRO_BLOCKING)
+    assert b.cycles > a.cycles
+    assert b.total_ops > a.total_ops
+
+
+@given(shape=SHAPES)
+@settings(max_examples=40, deadline=None)
+def test_symmetric_never_exceeds_full(shape):
+    m, _n, k = shape
+    full = gemm_operation_counts(m, m, k, MICRO_BLOCKING)
+    tri = gemm_operation_counts(m, m, k, MICRO_BLOCKING, symmetric=True)
+    assert tri.total_ops <= full.total_ops
+    assert tri.kernel_calls <= full.kernel_calls
+    assert tri.a_pack_words <= full.a_pack_words
+
+
+@given(shape=SHAPES)
+@settings(max_examples=40, deadline=None)
+def test_percent_of_peak_bounded(shape):
+    m, n, k = shape
+    est = estimate_gemm_performance(m, n, k, params=MICRO_BLOCKING)
+    assert 0.0 < est.percent_of_peak <= 100.0
+
+
+@given(
+    ops=st.floats(min_value=1.0, max_value=1e9),
+    extra_ports=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40)
+def test_more_alu_ports_never_slower(ops, extra_ports):
+    narrow = CoreModel(alu_ports=1)
+    wide = CoreModel(alu_ports=1 + extra_ports)
+    for simd in (SCALAR64, AVX2, AVX2.with_hw_popcount()):
+        assert wide.compute_cycles(ops, ops, ops, simd) <= narrow.compute_cycles(
+            ops, ops, ops, simd
+        )
+
+
+@given(
+    m=st.integers(min_value=64, max_value=4096),
+    k=st.integers(min_value=1, max_value=2000),
+    bw_factor=st.floats(min_value=1.1, max_value=10.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_gpu_more_bandwidth_never_slower(m, k, bw_factor):
+    base = GpuSpec("base", 8, 16, 1e9, 1e11)
+    fast = GpuSpec("fast", 8, 16, 1e9, 1e11 * bw_factor)
+    a = estimate_ld_gpu(m, m, k, gpu=base)
+    b = estimate_ld_gpu(m, m, k, gpu=fast)
+    assert b.seconds <= a.seconds + 1e-12
+    assert np.isclose(b.compute_seconds, a.compute_seconds)
+
+
+@given(shape=SHAPES)
+@settings(max_examples=40, deadline=None)
+def test_gpu_seconds_equals_binding_roof(shape):
+    m, n, k = shape
+    est = estimate_ld_gpu(m, n, k)
+    assert est.seconds == max(est.compute_seconds, est.memory_seconds)
+    assert est.bound in ("compute", "memory")

@@ -1,0 +1,83 @@
+"""Tests for the reads → MSA → SNP-calling pipeline (repro.simulate.msa)."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.msa import simulate_msa_pipeline
+
+
+class TestPipeline:
+    def test_outputs_are_consistent(self, rng):
+        result = simulate_msa_pipeline(20, 400, rng=rng)
+        assert result.matrix.n_snps == result.mask.n_snps == result.positions.size
+        assert result.matrix.n_samples == result.mask.n_samples == 20
+        assert result.consensus.shape == (20, 400)
+        # Data bits only where the mask marks a valid call.
+        data = result.matrix.to_dense()
+        valid = result.mask.bits.to_dense()
+        assert not np.any(data & ~valid)
+
+    def test_perfect_sequencing_recovers_truth(self, rng):
+        result = simulate_msa_pipeline(
+            25, 500, coverage=3, error_rate=0.0, missing_rate=0.0, rng=rng
+        )
+        assert result.genotype_error_rate == 0.0
+        np.testing.assert_array_equal(result.matrix.to_dense(), result.true_matrix)
+        # No missing data: the mask is all-valid.
+        assert np.all(result.mask.bits.to_dense() == 1)
+
+    def test_errors_increase_with_error_rate(self):
+        low = simulate_msa_pipeline(
+            30, 600, coverage=3, error_rate=0.001, missing_rate=0.0,
+            rng=np.random.default_rng(1),
+        )
+        high = simulate_msa_pipeline(
+            30, 600, coverage=3, error_rate=0.2, missing_rate=0.0,
+            rng=np.random.default_rng(1),
+        )
+        assert high.genotype_error_rate > low.genotype_error_rate
+
+    def test_coverage_suppresses_errors(self):
+        thin = simulate_msa_pipeline(
+            30, 600, coverage=1, error_rate=0.1, missing_rate=0.0,
+            rng=np.random.default_rng(2),
+        )
+        deep = simulate_msa_pipeline(
+            30, 600, coverage=15, error_rate=0.1, missing_rate=0.0,
+            rng=np.random.default_rng(2),
+        )
+        assert deep.genotype_error_rate < thin.genotype_error_rate
+
+    def test_missing_rate_creates_gaps(self):
+        result = simulate_msa_pipeline(
+            20, 400, missing_rate=0.3, error_rate=0.0,
+            rng=np.random.default_rng(3),
+        )
+        gap_fraction = (result.consensus == "-").mean()
+        assert 0.2 < gap_fraction < 0.45
+
+    def test_called_snps_segregate(self, rng):
+        result = simulate_msa_pipeline(20, 500, rng=rng)
+        data = result.matrix.to_dense()
+        valid = result.mask.bits.to_dense().astype(bool)
+        for col in range(result.n_snps):
+            called = valid[:, col]
+            states = data[called, col]
+            assert states.min() == 0 and states.max() == 1
+
+    def test_gap_aware_ld_runs_on_pipeline_output(self, rng):
+        """End-to-end: pipeline output feeds the masked LD path directly."""
+        from repro.analysis.gaps import masked_ld_matrix
+
+        result = simulate_msa_pipeline(30, 300, missing_rate=0.1, rng=rng)
+        if result.n_snps >= 2:
+            r2 = masked_ld_matrix(result.matrix, result.mask)
+            assert r2.shape == (result.n_snps, result.n_snps)
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ValueError, match="error_rate"):
+            simulate_msa_pipeline(5, 100, error_rate=0.7, rng=rng)
+        with pytest.raises(ValueError, match="missing_rate"):
+            simulate_msa_pipeline(5, 100, missing_rate=1.0, rng=rng)
+        with pytest.raises(ValueError, match="coverage"):
+            simulate_msa_pipeline(5, 100, coverage=0, rng=rng)

@@ -1,0 +1,58 @@
+"""Tests for the naive per-pair baseline (repro.baselines.naive)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import naive_ld_matrix, naive_ld_matrix_scalar
+from repro.core.ldmatrix import ld_matrix
+from repro.encoding.bitmatrix import BitMatrix
+from tests.conftest import assert_allclose_nan, reference_ld
+
+
+class TestNaiveVector:
+    @pytest.mark.parametrize("stat", ["r2", "D"])
+    def test_matches_gemm(self, small_panel, stat):
+        assert_allclose_nan(
+            naive_ld_matrix(small_panel, stat=stat),
+            ld_matrix(small_panel, stat=stat),
+            atol=1e-12,
+        )
+
+    def test_accepts_bitmatrix(self, tiny_panel):
+        bm = BitMatrix.from_dense(tiny_panel)
+        assert_allclose_nan(
+            naive_ld_matrix(bm), naive_ld_matrix(tiny_panel), atol=1e-12
+        )
+
+    def test_result_symmetric(self, tiny_panel):
+        r2 = np.nan_to_num(naive_ld_matrix(tiny_panel))
+        np.testing.assert_allclose(r2, r2.T)
+
+    def test_unknown_stat(self, tiny_panel):
+        with pytest.raises(ValueError, match="unknown LD statistic"):
+            naive_ld_matrix(tiny_panel, stat="H2")
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            naive_ld_matrix(np.zeros((0, 3), dtype=np.uint8))
+
+
+class TestNaiveScalar:
+    @pytest.mark.parametrize("stat", ["r2", "D"])
+    def test_matches_reference(self, tiny_panel, stat):
+        ref = reference_ld(tiny_panel)
+        key = {"r2": "r2", "D": "d"}[stat]
+        assert_allclose_nan(
+            naive_ld_matrix_scalar(tiny_panel, stat=stat), ref[key], atol=1e-12
+        )
+
+    def test_matches_vector_baseline(self, tiny_panel):
+        assert_allclose_nan(
+            naive_ld_matrix_scalar(tiny_panel),
+            naive_ld_matrix(tiny_panel),
+            atol=1e-12,
+        )
+
+    def test_unknown_stat(self, tiny_panel):
+        with pytest.raises(ValueError, match="unknown LD statistic"):
+            naive_ld_matrix_scalar(tiny_panel, stat="w")

@@ -1,0 +1,133 @@
+"""Tests for the ω statistic (repro.analysis.omega)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.omega import (
+    omega_at_split,
+    omega_max,
+    omega_profile,
+    omega_scan_from_ld,
+)
+from repro.core.ldmatrix import ld_matrix
+
+
+def brute_force_omega(r2: np.ndarray, ell: int) -> float:
+    """Direct implementation of Kim & Nielsen's formula."""
+    s = r2.shape[0]
+    clean = np.nan_to_num(r2, nan=0.0)
+    left = [(i, j) for i in range(ell) for j in range(i + 1, ell)]
+    right = [(i, j) for i in range(ell, s) for j in range(i + 1, s)]
+    cross = [(i, j) for i in range(ell) for j in range(ell, s)]
+    numer = (sum(clean[i, j] for i, j in left) + sum(clean[i, j] for i, j in right)) / (
+        len(left) + len(right)
+    )
+    denom = sum(clean[i, j] for i, j in cross) / len(cross)
+    if denom == 0.0:
+        return 0.0 if numer == 0.0 else float("inf")
+    return numer / denom
+
+
+@pytest.fixture
+def r2_window(rng):
+    dense = rng.integers(0, 2, size=(60, 14)).astype(np.uint8)
+    return ld_matrix(dense)
+
+
+class TestOmegaAtSplit:
+    def test_matches_brute_force(self, r2_window):
+        s = r2_window.shape[0]
+        for ell in range(2, s - 1):
+            assert omega_at_split(r2_window, ell) == pytest.approx(
+                brute_force_omega(r2_window, ell)
+            )
+
+    def test_sweep_like_block_structure_gives_large_omega(self):
+        """High within-flank LD, no cross-flank LD => huge ω."""
+        s = 10
+        r2 = np.full((s, s), 0.01)
+        r2[:5, :5] = 0.9
+        r2[5:, 5:] = 0.9
+        np.fill_diagonal(r2, 1.0)
+        assert omega_at_split(r2, 5) > 20.0
+
+    def test_uniform_ld_gives_omega_one(self):
+        s = 8
+        r2 = np.full((s, s), 0.5)
+        assert omega_at_split(r2, 4) == pytest.approx(1.0)
+
+    def test_nan_pairs_count_as_zero(self):
+        r2 = np.full((6, 6), 0.5)
+        r2[0, 5] = r2[5, 0] = np.nan
+        value = omega_at_split(r2, 3)
+        expected = (0.5) / ((0.5 * 8) / 9)  # one cross pair zeroed
+        assert value == pytest.approx(expected)
+
+    def test_rejects_bad_split(self, r2_window):
+        with pytest.raises(ValueError, match="split"):
+            omega_at_split(r2_window, 1)
+        with pytest.raises(ValueError, match="split"):
+            omega_at_split(r2_window, r2_window.shape[0] - 1)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            omega_at_split(np.zeros((3, 4)), 2)
+
+    def test_zero_cross_zero_within(self):
+        r2 = np.zeros((6, 6))
+        assert omega_at_split(r2, 3) == 0.0
+
+    def test_zero_cross_nonzero_within_is_inf(self):
+        r2 = np.zeros((6, 6))
+        r2[0, 1] = r2[1, 0] = 0.8
+        assert omega_at_split(r2, 3) == float("inf")
+
+
+class TestOmegaProfile:
+    def test_matches_per_split_evaluation(self, r2_window):
+        profile = omega_profile(r2_window)
+        s = r2_window.shape[0]
+        for ell in range(2, s - 1):
+            assert profile[ell] == pytest.approx(omega_at_split(r2_window, ell))
+        assert np.isnan(profile[0]) and np.isnan(profile[1])
+        assert np.isnan(profile[s - 1]) and np.isnan(profile[s])
+
+    def test_small_window_all_nan(self):
+        profile = omega_profile(np.ones((3, 3)))
+        assert np.all(np.isnan(profile))
+
+
+class TestOmegaMax:
+    def test_finds_planted_split(self):
+        s = 12
+        r2 = np.full((s, s), 0.02)
+        r2[:7, :7] = 0.85
+        r2[7:, 7:] = 0.85
+        np.fill_diagonal(r2, 1.0)
+        omega, ell = omega_max(r2)
+        assert ell == 7
+        assert omega > 10.0
+
+    def test_tiny_window(self):
+        assert omega_max(np.ones((2, 2))) == (0.0, 0)
+
+
+class TestOmegaScanFromLd:
+    def test_window_clipping_at_edges(self, rng):
+        dense = rng.integers(0, 2, size=(50, 30)).astype(np.uint8)
+        r2 = ld_matrix(dense)
+        positions = np.arange(30, dtype=float)
+        grid = np.array([0.0, 15.0, 29.0])
+        omegas, splits = omega_scan_from_ld(r2, positions, grid, max_window=8)
+        assert omegas.shape == (3,) and splits.shape == (3,)
+        assert np.all(np.isfinite(omegas) | np.isinf(omegas))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            omega_scan_from_ld(np.ones((3, 3)), np.arange(4.0), np.array([1.0]))
+
+    def test_rejects_unsorted_positions(self):
+        with pytest.raises(ValueError, match="sorted"):
+            omega_scan_from_ld(
+                np.ones((3, 3)), np.array([2.0, 1.0, 3.0]), np.array([1.0])
+            )

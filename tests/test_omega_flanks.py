@@ -1,0 +1,182 @@
+"""Tests for flank-extent ω maximization (omega_max_flanks) and kinship."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.kinship import kinship_matrix
+from repro.analysis.omega import omega_at_split, omega_max_flanks
+from repro.core.ldmatrix import ld_matrix
+
+
+def brute_force_flank_omega(clean, center, l, r):
+    left = range(center - l, center)
+    right = range(center, center + r)
+    wl = sum(clean[i, j] for i in left for j in left if i < j)
+    wr = sum(clean[i, j] for i in right for j in right if i < j)
+    cross = sum(clean[i, j] for i in left for j in right)
+    n_within = l * (l - 1) // 2 + r * (r - 1) // 2
+    numer = (wl + wr) / n_within
+    denom = cross / (l * r)
+    if denom == 0.0:
+        return 0.0 if numer == 0.0 else float("inf")
+    return numer / denom
+
+
+class TestOmegaMaxFlanks:
+    def test_matches_brute_force_over_all_combinations(self, rng):
+        panel = rng.integers(0, 2, size=(60, 14)).astype(np.uint8)
+        r2 = ld_matrix(panel)
+        clean = np.nan_to_num(r2)
+        center = 7
+        best, best_l, best_r = omega_max_flanks(r2, center, max_flank=5)
+        brute = max(
+            (brute_force_flank_omega(clean, center, l, r), l, r)
+            for l in range(2, 6)
+            for r in range(2, 6)
+        )
+        assert best == pytest.approx(brute[0])
+        assert (best_l, best_r) == (brute[1], brute[2])
+
+    def test_equal_flanks_match_split_form(self, rng):
+        """With flanks forced to exhaust the window, ω equals omega_at_split."""
+        panel = rng.integers(0, 2, size=(50, 10)).astype(np.uint8)
+        r2 = ld_matrix(panel)
+        center = 4
+        # Evaluate at exactly l = 4, r = 6 by brute force helper, compare
+        # to the split formulation of the same partition.
+        clean = np.nan_to_num(r2)
+        flank = brute_force_flank_omega(clean, center, 4, 6)
+        split = omega_at_split(r2, 4)
+        assert flank == pytest.approx(split)
+
+    def test_flanks_stay_inside_planted_blocks(self):
+        """A sweep-like pattern with asymmetric flanks is localized: the
+        maximizing flanks never extend past the strong blocks (uniform
+        blocks make all within-block extents tie, so exact sizes are not
+        pinned — the boundary containment is)."""
+        s = 16
+        r2 = np.full((s, s), 0.02)
+        center = 6
+        r2[2:6, 2:6] = 0.9    # left block: 4 strong SNPs
+        r2[6:13, 6:13] = 0.9  # right block: 7 strong SNPs
+        np.fill_diagonal(r2, 1.0)
+        omega, l, r = omega_max_flanks(r2, center, max_flank=8)
+        assert omega > 5.0
+        assert 2 <= l <= 4
+        assert 2 <= r <= 7
+        # Extending past the blocks strictly lowers omega.
+        clean = np.nan_to_num(r2)
+        overgrown = brute_force_flank_omega(clean, center, 5, 8)
+        assert overgrown < omega
+
+    def test_too_small_window_returns_zero(self, rng):
+        panel = rng.integers(0, 2, size=(30, 6)).astype(np.uint8)
+        r2 = ld_matrix(panel)
+        assert omega_max_flanks(r2, 1) == (0.0, 0, 0)
+        assert omega_max_flanks(r2, 5) == (0.0, 0, 0)
+
+    def test_validation(self, rng):
+        panel = rng.integers(0, 2, size=(30, 6)).astype(np.uint8)
+        r2 = ld_matrix(panel)
+        with pytest.raises(ValueError, match="center"):
+            omega_max_flanks(r2, 99)
+        with pytest.raises(ValueError, match="min_flank"):
+            omega_max_flanks(r2, 3, min_flank=1)
+
+
+class TestFlanksSearchInScans:
+    def test_baseline_and_gemm_paths_agree(self, rng):
+        from repro.analysis.sweeps import sweep_scan
+        from repro.baselines.omegaplus import omegaplus_scan
+
+        panel = rng.integers(0, 2, size=(60, 24)).astype(np.uint8)
+        ours = sweep_scan(panel, grid_size=5, max_window=8, search="flanks")
+        baseline = omegaplus_scan(
+            panel, grid_size=5, max_window=8, search="flanks"
+        )
+        np.testing.assert_allclose(
+            ours.omegas, baseline.omegas, equal_nan=True
+        )
+        np.testing.assert_array_equal(ours.best_splits, baseline.best_splits)
+
+    def test_flanks_boundary_is_the_grid_position(self, rng):
+        """With search='flanks' the reported split sits at the grid point's
+        SNP boundary, not wherever the window's best split lands."""
+        from repro.analysis.omega import omega_scan_from_ld
+        from repro.core.ldmatrix import ld_matrix
+
+        panel = rng.integers(0, 2, size=(50, 30)).astype(np.uint8)
+        r2 = ld_matrix(panel)
+        positions = np.arange(30, dtype=float)
+        grid = np.array([15.0])
+        _omegas, splits = omega_scan_from_ld(
+            r2, positions, grid, max_window=10, search="flanks"
+        )
+        mid = int(np.searchsorted(positions, 15.0))
+        assert splits[0] in (-1, mid - 1)
+
+    def test_unknown_search_rejected(self, rng):
+        from repro.analysis.omega import omega_scan_from_ld
+        from repro.core.ldmatrix import ld_matrix
+
+        panel = rng.integers(0, 2, size=(30, 10)).astype(np.uint8)
+        with pytest.raises(ValueError, match="unknown search"):
+            omega_scan_from_ld(
+                ld_matrix(panel), np.arange(10.0), np.array([5.0]),
+                search="zigzag",
+            )
+
+
+class TestKinship:
+    def test_matches_float_reference(self, rng):
+        dense = rng.integers(0, 2, size=(25, 300)).astype(np.uint8)
+        k = kinship_matrix(dense)
+        # Float reference straight from the definition.
+        poly = dense[:, (dense.sum(0) > 0) & (dense.sum(0) < 25)]
+        p = poly.mean(axis=0)
+        centered = poly.astype(float) - p[None, :]
+        ref = centered @ centered.T / (p * (1 - p)).sum()
+        np.testing.assert_allclose(k, ref, atol=1e-10)
+
+    def test_diagonal_near_one_for_unrelated(self, rng):
+        dense = rng.integers(0, 2, size=(40, 2000)).astype(np.uint8)
+        k = kinship_matrix(dense)
+        assert np.diag(k).mean() == pytest.approx(1.0, abs=0.15)
+        off = k[~np.eye(40, dtype=bool)]
+        assert abs(off.mean()) < 0.1
+
+    def test_duplicated_sample_has_high_kinship(self, rng):
+        dense = rng.integers(0, 2, size=(30, 500)).astype(np.uint8)
+        dense[1] = dense[0]  # identical "twins"
+        k = kinship_matrix(dense)
+        assert k[0, 1] == pytest.approx(k[0, 0], abs=1e-9)
+        others = k[0, 2:]
+        assert k[0, 1] > others.max() + 0.3
+
+    def test_symmetric(self, rng):
+        dense = rng.integers(0, 2, size=(20, 200)).astype(np.uint8)
+        k = kinship_matrix(dense)
+        np.testing.assert_allclose(k, k.T, atol=1e-12)
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError, match="zero"):
+            kinship_matrix(np.zeros((10, 5), dtype=np.uint8))
+
+    def test_pca_separates_planted_populations(self, rng):
+        """End-to-end: kinship eigenvectors recover population labels."""
+        n_per, m = 20, 800
+        p1 = rng.uniform(0.1, 0.9, m)
+        shift = rng.choice([-0.3, 0.3], m)
+        p2 = np.clip(p1 + shift, 0.05, 0.95)
+        pop1 = (rng.random((n_per, m)) < p1).astype(np.uint8)
+        pop2 = (rng.random((n_per, m)) < p2).astype(np.uint8)
+        dense = np.vstack([pop1, pop2])
+        k = kinship_matrix(dense)
+        _vals, vecs = np.linalg.eigh(k)
+        pc1 = vecs[:, -1]
+        side = pc1 > np.median(pc1)
+        # PC1 splits the two populations (up to sign/labeling).
+        agreement = max(side[:n_per].mean(), 1 - side[:n_per].mean())
+        assert agreement > 0.9
+        agreement2 = max(side[n_per:].mean(), 1 - side[n_per:].mean())
+        assert agreement2 > 0.9

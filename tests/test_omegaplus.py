@@ -1,0 +1,105 @@
+"""Tests for the OmegaPlus-style baseline (repro.baselines.omegaplus)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.omega import omega_scan_from_ld
+from repro.baselines.omegaplus import (
+    OmegaPlusResult,
+    PairwiseLDCache,
+    omegaplus_scan,
+)
+from repro.core.ldmatrix import ld_matrix
+from repro.encoding.bitmatrix import BitMatrix
+
+
+@pytest.fixture
+def panel(rng):
+    return rng.integers(0, 2, size=(80, 26)).astype(np.uint8)
+
+
+class TestPairwiseLDCache:
+    def test_values_match_gemm(self, panel):
+        cache = PairwiseLDCache(BitMatrix.from_dense(panel))
+        full = ld_matrix(panel)
+        for i, j in [(0, 1), (5, 20), (3, 3), (25, 0)]:
+            got = cache.r2(i, j)
+            expected = full[i, j]
+            if np.isnan(expected):
+                assert np.isnan(got)
+            else:
+                assert got == pytest.approx(expected)
+
+    def test_cache_counts_distinct_evaluations(self, panel):
+        cache = PairwiseLDCache(BitMatrix.from_dense(panel))
+        cache.r2(0, 1)
+        cache.r2(1, 0)   # symmetric hit
+        cache.r2(0, 1)   # repeat hit
+        cache.r2(2, 3)
+        assert cache.evaluations == 2
+
+    def test_window_matrix_matches_gemm_block(self, panel):
+        cache = PairwiseLDCache(BitMatrix.from_dense(panel))
+        window = cache.window_matrix(5, 15)
+        full = np.nan_to_num(ld_matrix(panel), nan=0.0)
+        block = full[5:15, 5:15].copy()
+        np.fill_diagonal(block, 0.0)  # cache leaves the diagonal at 0
+        np.testing.assert_allclose(np.nan_to_num(window), block, atol=1e-12)
+
+    def test_rejects_zero_samples(self):
+        bm = BitMatrix(words=np.zeros((2, 0), dtype=np.uint64), n_samples=0)
+        with pytest.raises(ValueError, match="zero samples"):
+            PairwiseLDCache(bm)
+
+
+class TestOmegaplusScan:
+    def test_agrees_with_gemm_accelerated_scan(self, panel):
+        result = omegaplus_scan(panel, grid_size=6, max_window=10)
+        r2 = ld_matrix(panel)
+        positions = np.arange(panel.shape[1], dtype=float)
+        omegas, splits = omega_scan_from_ld(
+            r2, positions, result.grid, max_window=10
+        )
+        np.testing.assert_allclose(result.omegas, omegas, equal_nan=True)
+        np.testing.assert_array_equal(result.best_splits, splits)
+
+    def test_ld_evaluation_accounting(self, panel):
+        """Region-restricted scans compute fewer than all N(N+1)/2 pairs."""
+        n = panel.shape[1]
+        result = omegaplus_scan(panel, grid_size=4, max_window=5)
+        all_pairs = n * (n - 1) // 2
+        assert 0 < result.ld_evaluations < all_pairs
+        # A full-region window computes at most all distinct pairs once.
+        full = omegaplus_scan(panel, grid_size=4, max_window=n)
+        assert full.ld_evaluations <= all_pairs
+
+    def test_custom_positions(self, panel):
+        positions = np.sort(np.random.default_rng(1).uniform(0, 1000, panel.shape[1]))
+        result = omegaplus_scan(panel, positions, grid_size=5, max_window=8)
+        assert result.grid[0] == positions[0]
+        assert result.grid[-1] == positions[-1]
+
+    def test_peak_position(self):
+        result = OmegaPlusResult(
+            grid=np.array([0.0, 1.0, 2.0]),
+            omegas=np.array([1.0, 5.0, 2.0]),
+            best_splits=np.array([1, 2, 3]),
+            ld_evaluations=10,
+        )
+        assert result.peak_position == 1.0
+
+    def test_rejects_bad_positions(self, panel):
+        with pytest.raises(ValueError, match="positions"):
+            omegaplus_scan(panel, np.arange(5, dtype=float))
+        bad = np.arange(panel.shape[1], dtype=float)[::-1]
+        with pytest.raises(ValueError, match="sorted"):
+            omegaplus_scan(panel, bad)
+
+    def test_rejects_bad_grid_size(self, panel):
+        with pytest.raises(ValueError, match="grid_size"):
+            omegaplus_scan(panel, grid_size=0)
+
+    def test_empty_region(self):
+        empty = BitMatrix(words=np.zeros((0, 1), dtype=np.uint64), n_samples=10)
+        result = omegaplus_scan(empty)
+        assert result.omegas.size == 0 and result.ld_evaluations == 0

@@ -1,0 +1,123 @@
+"""Tests for the PLINK 1.9-style genotype baseline (repro.baselines.plink)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.plink import (
+    plink_pairwise_counts,
+    plink_r2_matrix,
+    prepare_planes,
+)
+from repro.encoding.genotypes import GenotypeMatrix, genotypes_from_haplotypes
+
+
+@pytest.fixture
+def genotypes(rng):
+    haps = rng.integers(0, 2, size=(120, 10)).astype(np.uint8)
+    return genotypes_from_haplotypes(haps)
+
+
+@pytest.fixture
+def genotypes_with_missing(rng, genotypes):
+    genos = genotypes.astype(np.int8).copy()
+    missing = rng.random(genos.shape) < 0.1
+    genos[missing] = -1
+    return genos
+
+
+class TestPreparePlanes:
+    def test_carrier_counts(self, genotypes):
+        gm = GenotypeMatrix.from_dense(genotypes)
+        planes = prepare_planes(gm)
+        carriers = np.bitwise_count(planes.carrier).sum(axis=1)
+        np.testing.assert_array_equal(carriers, (genotypes >= 1).sum(axis=0))
+
+    def test_homalt_counts(self, genotypes):
+        gm = GenotypeMatrix.from_dense(genotypes)
+        planes = prepare_planes(gm)
+        homalt = np.bitwise_count(planes.homalt).sum(axis=1)
+        np.testing.assert_array_equal(homalt, (genotypes == 2).sum(axis=0))
+
+    def test_valid_excludes_missing(self, genotypes_with_missing):
+        gm = GenotypeMatrix.from_dense(genotypes_with_missing)
+        planes = prepare_planes(gm)
+        valid = np.bitwise_count(planes.valid).sum(axis=1)
+        np.testing.assert_array_equal(
+            valid, (genotypes_with_missing != -1).sum(axis=0)
+        )
+
+    def test_padding_bits_invalid(self):
+        """Bits past n_individuals never count as valid."""
+        gm = GenotypeMatrix.from_dense(np.zeros((5, 2), dtype=np.int8))
+        planes = prepare_planes(gm)
+        assert int(np.bitwise_count(planes.valid).sum()) == 10
+
+
+class TestPairwiseCounts:
+    def test_table_matches_brute_force(self, genotypes_with_missing):
+        gm = GenotypeMatrix.from_dense(genotypes_with_missing)
+        planes = prepare_planes(gm)
+        genos = genotypes_with_missing
+        for i, j in [(0, 1), (3, 7), (2, 2), (9, 0)]:
+            table, n_valid = plink_pairwise_counts(planes, i, j)
+            both = (genos[:, i] != -1) & (genos[:, j] != -1)
+            assert n_valid == int(both.sum())
+            for a in range(3):
+                for b in range(3):
+                    expected = int(
+                        (both & (genos[:, i] == a) & (genos[:, j] == b)).sum()
+                    )
+                    assert table[a, b] == expected
+
+    def test_table_sums_to_n_valid(self, genotypes):
+        gm = GenotypeMatrix.from_dense(genotypes)
+        planes = prepare_planes(gm)
+        table, n_valid = plink_pairwise_counts(planes, 0, 5)
+        assert int(table.sum()) == n_valid == gm.n_individuals
+
+
+class TestR2Matrix:
+    def test_matches_dosage_correlation(self, genotypes):
+        gm = GenotypeMatrix.from_dense(genotypes)
+        r2 = plink_r2_matrix(gm)
+        ref = np.corrcoef(genotypes.astype(float).T) ** 2
+        defined = ~np.isnan(r2)
+        np.testing.assert_allclose(r2[defined], ref[defined], atol=1e-10)
+
+    def test_symmetric_with_unit_diagonal(self, genotypes):
+        gm = GenotypeMatrix.from_dense(genotypes)
+        r2 = plink_r2_matrix(gm)
+        clean = np.nan_to_num(r2)
+        np.testing.assert_allclose(clean, clean.T)
+        poly = genotypes.std(axis=0) > 0
+        np.testing.assert_allclose(np.diag(r2)[poly], 1.0)
+
+    def test_missing_data_matches_masked_correlation(self, genotypes_with_missing):
+        gm = GenotypeMatrix.from_dense(genotypes_with_missing)
+        r2 = plink_r2_matrix(gm)
+        genos = genotypes_with_missing
+        for i, j in [(0, 1), (4, 8)]:
+            both = (genos[:, i] != -1) & (genos[:, j] != -1)
+            x = genos[both, i].astype(float)
+            y = genos[both, j].astype(float)
+            if x.std() > 0 and y.std() > 0:
+                expected = np.corrcoef(x, y)[0, 1] ** 2
+                assert r2[i, j] == pytest.approx(expected, abs=1e-10)
+
+    def test_monomorphic_undefined(self):
+        genos = np.zeros((10, 2), dtype=np.int8)
+        genos[:, 1] = [0, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+        r2 = plink_r2_matrix(GenotypeMatrix.from_dense(genos))
+        assert np.isnan(r2[0, 0]) and np.isnan(r2[0, 1])
+        assert r2[1, 1] == pytest.approx(1.0)
+
+    def test_undefined_fill_value(self):
+        genos = np.zeros((6, 2), dtype=np.int8)
+        r2 = plink_r2_matrix(GenotypeMatrix.from_dense(genos), undefined=0.0)
+        np.testing.assert_array_equal(r2, 0.0)
+
+    def test_all_missing_pair(self):
+        genos = np.full((8, 2), -1, dtype=np.int8)
+        genos[:, 1] = [0, 1, 2, 0, 1, 2, 0, 1]
+        r2 = plink_r2_matrix(GenotypeMatrix.from_dense(genos))
+        assert np.isnan(r2[0, 1])

@@ -1,0 +1,91 @@
+"""Tests for the popcount implementation survey (repro.util.popcount)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.popcount import (
+    POPCOUNT_IMPLEMENTATIONS,
+    popcount_hardware,
+    popcount_lut8,
+    popcount_lut16,
+    popcount_naive,
+    popcount_swar,
+    popcount_u64,
+    scalar_popcount,
+)
+
+ALL_IMPLS = sorted(POPCOUNT_IMPLEMENTATIONS)
+
+WORDS = st.lists(
+    st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=50
+)
+
+
+@pytest.mark.parametrize("impl", ALL_IMPLS)
+def test_known_values(impl):
+    words = np.array(
+        [0, 1, 0xFFFFFFFFFFFFFFFF, 0x8000000000000000, 0x5555555555555555],
+        dtype=np.uint64,
+    )
+    expected = np.array([0, 1, 64, 1, 32], dtype=np.uint64)
+    np.testing.assert_array_equal(popcount_u64(words, impl=impl), expected)
+
+
+@pytest.mark.parametrize("impl", ALL_IMPLS)
+@given(values=WORDS)
+def test_matches_python_bit_count(impl, values):
+    words = np.array(values, dtype=np.uint64)
+    expected = np.array([v.bit_count() for v in values], dtype=np.uint64)
+    np.testing.assert_array_equal(
+        POPCOUNT_IMPLEMENTATIONS[impl](words), expected
+    )
+
+
+@given(values=WORDS)
+def test_all_implementations_agree(values):
+    words = np.array(values, dtype=np.uint64)
+    results = [POPCOUNT_IMPLEMENTATIONS[i](words) for i in ALL_IMPLS]
+    for other in results[1:]:
+        np.testing.assert_array_equal(results[0], other)
+
+
+@pytest.mark.parametrize("impl", ALL_IMPLS)
+def test_preserves_shape(impl):
+    words = np.arange(24, dtype=np.uint64).reshape(2, 3, 4)
+    out = POPCOUNT_IMPLEMENTATIONS[impl](words)
+    assert out.shape == (2, 3, 4)
+    assert out.dtype == np.uint64
+
+
+@pytest.mark.parametrize(
+    "fn",
+    [popcount_hardware, popcount_lut8, popcount_lut16, popcount_swar, popcount_naive],
+)
+def test_rejects_wrong_dtype(fn):
+    with pytest.raises(TypeError, match="uint64"):
+        fn(np.arange(4, dtype=np.int64))
+
+
+def test_dispatcher_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown popcount"):
+        popcount_u64(np.zeros(1, dtype=np.uint64), impl="magic")
+
+
+def test_scalar_popcount_basics():
+    assert scalar_popcount(0) == 0
+    assert scalar_popcount(0b1011) == 3
+    assert scalar_popcount(2**64 - 1) == 64
+
+
+def test_scalar_popcount_rejects_negative():
+    with pytest.raises(ValueError, match="non-negative"):
+        scalar_popcount(-1)
+
+
+def test_swar_does_not_mutate_input():
+    words = np.array([0xDEADBEEF], dtype=np.uint64)
+    before = words.copy()
+    popcount_swar(words)
+    np.testing.assert_array_equal(words, before)

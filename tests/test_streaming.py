@@ -1,0 +1,102 @@
+"""Tests for out-of-core streaming LD (repro.core.streaming)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ldmatrix import ld_matrix
+from repro.core.streaming import (
+    NpyMemmapSink,
+    ThresholdCollector,
+    stream_ld_blocks,
+)
+
+
+@pytest.fixture
+def panel(rng):
+    return rng.integers(0, 2, size=(80, 37)).astype(np.uint8)
+
+
+class TestStreamLdBlocks:
+    @pytest.mark.parametrize("block_snps", [5, 16, 37, 100])
+    @pytest.mark.parametrize("stat", ["r2", "D", "H"])
+    def test_blocks_reassemble_full_matrix(self, panel, block_snps, stat):
+        n = panel.shape[1]
+        assembled = np.full((n, n), np.nan)
+
+        def sink(i0, j0, block):
+            assembled[i0 : i0 + block.shape[0], j0 : j0 + block.shape[1]] = block
+
+        delivered = stream_ld_blocks(
+            panel, sink, stat=stat, block_snps=block_snps
+        )
+        full = ld_matrix(panel, stat=stat)
+        il = np.tril_indices(n)
+        np.testing.assert_allclose(
+            np.nan_to_num(assembled[il]), np.nan_to_num(full[il]), atol=1e-12
+        )
+        n_blocks = -(-n // block_snps)
+        assert delivered == n_blocks * (n_blocks + 1) // 2
+
+    def test_skip_diagonal_blocks(self, panel):
+        seen = []
+        stream_ld_blocks(
+            panel,
+            lambda i0, j0, b: seen.append((i0, j0)),
+            block_snps=10,
+            include_diagonal_blocks=False,
+        )
+        assert all(i0 != j0 for i0, j0 in seen)
+
+    def test_validation(self, panel):
+        with pytest.raises(ValueError, match="unknown LD statistic"):
+            stream_ld_blocks(panel, lambda *a: None, stat="Dprime")
+        with pytest.raises(ValueError, match="block_snps"):
+            stream_ld_blocks(panel, lambda *a: None, block_snps=0)
+
+
+class TestNpyMemmapSink:
+    def test_full_matrix_on_disk(self, panel, tmp_path):
+        n = panel.shape[1]
+        path = tmp_path / "ld.npy"
+        sink = NpyMemmapSink(path, n)
+        stream_ld_blocks(panel, sink, stat="r2", block_snps=8, undefined=0.0)
+        sink.close()
+        on_disk = np.load(path)
+        full = ld_matrix(panel, undefined=0.0)
+        np.testing.assert_allclose(on_disk, full, atol=1e-12)
+        # Symmetric including mirrored diagonal blocks.
+        np.testing.assert_allclose(on_disk, on_disk.T)
+
+    def test_rejects_bad_size(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            NpyMemmapSink(tmp_path / "x.npy", 0)
+
+
+class TestThresholdCollector:
+    def test_collects_each_pair_once(self, panel):
+        collector = ThresholdCollector(threshold=0.2)
+        stream_ld_blocks(
+            panel, collector, stat="r2", block_snps=7, undefined=0.0
+        )
+        full = ld_matrix(panel, undefined=0.0)
+        il = np.tril_indices(panel.shape[1], k=-1)
+        expected = {
+            (int(i), int(j))
+            for i, j in zip(*il)
+            if full[i, j] >= 0.2
+        }
+        got = {(i, j) for i, j, _v in collector.pairs}
+        assert got == expected
+        assert len(collector.pairs) == len(got)  # no duplicates
+
+    def test_values_match_matrix(self, panel):
+        collector = ThresholdCollector(threshold=0.1)
+        stream_ld_blocks(panel, collector, block_snps=9, undefined=0.0)
+        full = ld_matrix(panel, undefined=0.0)
+        for i, j, value in collector.pairs:
+            assert value == pytest.approx(full[i, j], abs=1e-12)
+
+    def test_no_self_pairs(self, panel):
+        collector = ThresholdCollector(threshold=0.0)
+        stream_ld_blocks(panel, collector, block_snps=6, undefined=0.0)
+        assert all(i != j for i, j, _v in collector.pairs)

@@ -1,0 +1,106 @@
+"""Tests for window-level LD summaries (repro.analysis.summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.summaries import kelly_zns, mean_abs_d_prime, walls_b
+from repro.core.ldmatrix import ld_matrix
+
+
+class TestKellyZns:
+    def test_matches_manual_mean(self, small_panel):
+        zns = kelly_zns(small_panel)
+        r2 = ld_matrix(small_panel)
+        iu = np.triu_indices(small_panel.shape[1], k=1)
+        vals = r2[iu]
+        expected = vals[~np.isnan(vals)].mean()
+        assert zns == pytest.approx(expected)
+
+    def test_window_bounds(self, small_panel):
+        whole = kelly_zns(small_panel, start=10, stop=20)
+        sub = kelly_zns(small_panel[:, 10:20])
+        assert whole == pytest.approx(sub)
+
+    def test_identical_columns_give_one(self, rng):
+        col = rng.integers(0, 2, 60).astype(np.uint8)
+        panel = np.stack([col, col, col], axis=1)
+        assert kelly_zns(panel) == pytest.approx(1.0)
+
+    def test_single_snp_window_is_nan(self, small_panel):
+        assert np.isnan(kelly_zns(small_panel, start=0, stop=1))
+
+    def test_rejects_bad_window(self, small_panel):
+        with pytest.raises(ValueError, match="window"):
+            kelly_zns(small_panel, start=20, stop=10)
+        with pytest.raises(ValueError, match="window"):
+            kelly_zns(small_panel, start=0, stop=999)
+
+
+class TestMeanAbsDPrime:
+    def test_in_unit_interval(self, small_panel):
+        value = mean_abs_d_prime(small_panel)
+        assert 0.0 <= value <= 1.0
+
+    def test_identical_columns_give_one(self, rng):
+        col = rng.integers(0, 2, 60).astype(np.uint8)
+        panel = np.stack([col, 1 - col], axis=1)
+        assert mean_abs_d_prime(panel) == pytest.approx(1.0)
+
+    def test_single_snp_window_is_nan(self, small_panel):
+        assert np.isnan(mean_abs_d_prime(small_panel, start=3, stop=4))
+
+
+class TestWallsB:
+    def test_four_gamete_logic(self):
+        # Columns engineered so pair (0,1) shows all 4 gametes and pair
+        # (1,2) only 2.
+        panel = np.array(
+            [
+                [0, 0, 0],
+                [0, 1, 1],
+                [1, 0, 0],
+                [1, 1, 1],
+            ],
+            dtype=np.uint8,
+        )
+        # pair (0,1): 00,01,10,11 all present -> incongruent.
+        # pair (1,2): haplotypes 00 and 11 only -> congruent.
+        assert walls_b(panel) == pytest.approx(0.5)
+
+    def test_no_recombination_data_scores_one(self, rng):
+        """Duplicated SNPs: every adjacent pair has <= 2 haplotypes."""
+        col = rng.integers(0, 2, 80).astype(np.uint8)
+        panel = np.stack([col] * 5, axis=1)
+        assert walls_b(panel) == pytest.approx(1.0)
+
+    def test_matches_brute_force(self, small_panel):
+        value = walls_b(small_panel)
+        n = small_panel.shape[1]
+        congruent = 0
+        for i in range(n - 1):
+            pairs = {
+                (int(a), int(b))
+                for a, b in zip(small_panel[:, i], small_panel[:, i + 1])
+            }
+            if len(pairs) <= 3:
+                congruent += 1
+        assert value == pytest.approx(congruent / (n - 1))
+
+    def test_single_snp_is_nan(self, small_panel):
+        assert np.isnan(walls_b(small_panel, start=0, stop=1))
+
+    def test_sweep_data_scores_higher_than_shuffled(self, rng):
+        """Linkage raises B; destroying it per-column lowers B."""
+        col = rng.integers(0, 2, 100).astype(np.uint8)
+        linked = []
+        for _ in range(10):
+            noisy = col.copy()
+            # ~1 flip per column: adjacent pairs typically show <= 3 of the
+            # 4 gametes (the four-gamete test tolerates one-sided flips).
+            noisy[rng.random(100) < 0.01] ^= 1
+            linked.append(noisy)
+        panel = np.stack(linked, axis=1)
+        shuffled = panel.copy()
+        for c in range(shuffled.shape[1]):
+            rng.shuffle(shuffled[:, c])
+        assert walls_b(panel) > walls_b(shuffled)

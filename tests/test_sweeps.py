@@ -1,0 +1,63 @@
+"""Tests for GEMM-accelerated sweep scans (repro.analysis.sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import SweepScanResult, sweep_scan
+from repro.baselines.omegaplus import omegaplus_scan
+from repro.simulate.wrightfisher import simulate_sweep
+
+
+class TestSweepScan:
+    def test_agrees_with_omegaplus_baseline(self, rng):
+        panel = rng.integers(0, 2, size=(60, 24)).astype(np.uint8)
+        ours = sweep_scan(panel, grid_size=5, max_window=10)
+        baseline = omegaplus_scan(panel, grid_size=5, max_window=10)
+        np.testing.assert_allclose(ours.omegas, baseline.omegas, equal_nan=True)
+        np.testing.assert_array_equal(ours.best_splits, baseline.best_splits)
+
+    def test_detects_simulated_sweep(self):
+        """The maximizing ω split sits near the selected site on sweep data."""
+        rng = np.random.default_rng(1)
+        result = simulate_sweep(
+            80, 81, pop_size=200, burn_in=400, selection=1.0,
+            mut_rate=1e-3, recomb_rate=8e-3, rng=rng,
+        )
+        scan = sweep_scan(
+            result.haplotypes, result.positions, grid_size=9, max_window=60
+        )
+        best_split = scan.best_splits[int(np.argmax(scan.omegas))]
+        split_position = result.positions[best_split]
+        span = result.positions[-1] - result.positions[0]
+        assert abs(split_position - result.selected_position) <= span * 0.25
+        assert scan.peak_omega > 1.0
+
+    def test_candidate_regions_threshold(self):
+        scan = SweepScanResult(
+            grid=np.arange(6, dtype=float),
+            omegas=np.array([0.1, 5.0, 6.0, 0.2, 7.0, 0.1]),
+            best_splits=np.zeros(6, dtype=np.int64),
+            threshold=1.0,
+        )
+        assert scan.candidate_regions() == [(1.0, 2.0), (4.0, 4.0)]
+
+    def test_candidate_region_extends_to_end(self):
+        scan = SweepScanResult(
+            grid=np.arange(4, dtype=float),
+            omegas=np.array([0.0, 0.0, 5.0, 6.0]),
+            best_splits=np.zeros(4, dtype=np.int64),
+            threshold=1.0,
+        )
+        assert scan.candidate_regions() == [(2.0, 3.0)]
+
+    def test_default_threshold_is_95th_percentile(self, rng):
+        panel = rng.integers(0, 2, size=(50, 20)).astype(np.uint8)
+        scan = sweep_scan(panel, grid_size=8, max_window=10)
+        finite = scan.omegas[np.isfinite(scan.omegas)]
+        assert scan.threshold == pytest.approx(np.percentile(finite, 95.0))
+
+    def test_peak_properties(self, rng):
+        panel = rng.integers(0, 2, size=(50, 20)).astype(np.uint8)
+        scan = sweep_scan(panel, grid_size=6, max_window=10)
+        assert scan.peak_omega == np.max(scan.omegas)
+        assert scan.peak_position in scan.grid

@@ -1,0 +1,91 @@
+"""Tests for Tanimoto fingerprint similarity (repro.analysis.tanimoto)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.tanimoto import pack_fingerprints, tanimoto_matrix, tanimoto_pair
+
+FPS = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=200),
+    ),
+    elements=st.integers(min_value=0, max_value=1),
+)
+
+
+class TestTanimotoPair:
+    def test_known_values(self):
+        a = np.array([1, 1, 0, 0])
+        b = np.array([1, 0, 1, 0])
+        # x=1, p=2, q=2 -> 1/3
+        assert tanimoto_pair(a, b) == pytest.approx(1 / 3)
+
+    def test_identical_is_one(self, rng):
+        fp = rng.integers(0, 2, 64)
+        assert tanimoto_pair(fp, fp) == pytest.approx(1.0) or fp.sum() == 0
+
+    def test_disjoint_is_zero(self):
+        a = np.array([1, 1, 0, 0])
+        b = np.array([0, 0, 1, 1])
+        assert tanimoto_pair(a, b) == 0.0
+
+    def test_both_empty_is_one(self):
+        z = np.zeros(8)
+        assert tanimoto_pair(z, z) == 1.0
+
+    def test_empty_vs_nonempty_is_zero(self):
+        assert tanimoto_pair(np.zeros(8), np.ones(8)) == 0.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="equal length"):
+            tanimoto_pair(np.zeros(4), np.zeros(5))
+
+
+class TestTanimotoMatrix:
+    @given(fps=FPS)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_pairwise(self, fps):
+        matrix = tanimoto_matrix(fps)
+        n = fps.shape[0]
+        for a in range(n):
+            for b in range(n):
+                assert matrix[a, b] == pytest.approx(
+                    tanimoto_pair(fps[a], fps[b]), abs=1e-12
+                )
+
+    @given(fps=FPS)
+    @settings(max_examples=25, deadline=None)
+    def test_bounds_symmetry_diagonal(self, fps):
+        matrix = tanimoto_matrix(fps)
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_cross_matrix(self, rng):
+        db = rng.integers(0, 2, size=(8, 128)).astype(np.uint8)
+        queries = rng.integers(0, 2, size=(3, 128)).astype(np.uint8)
+        cross = tanimoto_matrix(db, queries)
+        assert cross.shape == (8, 3)
+        for i in range(8):
+            for j in range(3):
+                assert cross[i, j] == pytest.approx(
+                    tanimoto_pair(db[i], queries[j]), abs=1e-12
+                )
+
+    def test_accepts_packed_input(self, rng):
+        fps = rng.integers(0, 2, size=(5, 100)).astype(np.uint8)
+        packed = pack_fingerprints(fps)
+        np.testing.assert_allclose(
+            tanimoto_matrix(packed), tanimoto_matrix(fps)
+        )
+
+    def test_rejects_width_mismatch(self, rng):
+        a = rng.integers(0, 2, size=(3, 64)).astype(np.uint8)
+        b = rng.integers(0, 2, size=(3, 128)).astype(np.uint8)
+        with pytest.raises(ValueError, match="widths differ"):
+            tanimoto_matrix(a, b)

@@ -1,0 +1,32 @@
+"""Execute the tutorial's Python blocks in order.
+
+docs/TUTORIAL.md is the narrative map from the paper's equations to the
+API; this test runs its code blocks cumulatively in one namespace so any
+API drift breaks the build, not the reader.
+"""
+
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+
+def python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_blocks_execute_in_order():
+    text = TUTORIAL.read_text()
+    blocks = python_blocks(text)
+    assert len(blocks) >= 8, "tutorial should keep its worked examples"
+    namespace: dict = {}
+    for idx, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"tutorial-block-{idx}", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            raise AssertionError(
+                f"tutorial block {idx} failed: {exc}\n---\n{block}"
+            ) from exc
+    # Spot-check that the narrative claims executed as stated.
+    assert namespace["est"].percent_of_peak > 84.0
+    assert namespace["scan"].ld_evaluations > 0

@@ -1,0 +1,100 @@
+"""Tests for repro.util.validation and repro.util.timing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.util.timing import Timer, format_seconds
+from repro.util.validation import (
+    check_binary,
+    check_positive,
+    check_shape_compatible,
+    require,
+)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "never")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_check_binary_passthrough(self):
+        arr = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        out = check_binary(arr)
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == np.uint8
+
+    def test_check_binary_converts_bool(self):
+        arr = np.array([[True, False]])
+        out = check_binary(arr)
+        assert out.dtype == np.uint8
+
+    def test_check_binary_rejects_values(self):
+        with pytest.raises(ValueError, match="0/1"):
+            check_binary(np.array([[0, 5]]))
+
+    def test_check_binary_rejects_ndim(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_binary(np.zeros(3))
+
+    def test_check_binary_names_argument(self):
+        with pytest.raises(ValueError, match="my matrix"):
+            check_binary(np.zeros(3), name="my matrix")
+
+    def test_check_positive(self):
+        assert check_positive(5, "n") == 5
+        with pytest.raises(ValueError, match="n must be positive"):
+            check_positive(0, "n")
+        with pytest.raises(ValueError, match="n must be positive"):
+            check_positive(-2, "n")
+
+    def test_check_shape_compatible(self):
+        a = np.zeros((3, 4))
+        b = np.zeros((4, 5))
+        check_shape_compatible(a, b, 1, 0, "inner dim")
+        with pytest.raises(ValueError, match="incompatible inner dim"):
+            check_shape_compatible(a, b, 0, 1, "inner dim")
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        with t:
+            time.sleep(0.001)
+        assert len(t.laps) == 2
+        assert t.elapsed >= sum(t.laps) - 1e-9
+        assert t.best <= t.elapsed
+
+    def test_best_requires_laps(self):
+        with pytest.raises(ValueError, match="no completed laps"):
+            Timer().best
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and not t.laps
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (5e-9, "5.0 ns"),
+            (3.2e-6, "3.2 us"),
+            (1.5e-3, "1.5 ms"),
+            (0.25, "250.0 ms"),
+            (12.5, "12.50 s"),
+        ],
+    )
+    def test_units(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            format_seconds(-1.0)

@@ -1,0 +1,101 @@
+"""Tests for the forward Wright–Fisher simulator (repro.simulate.wrightfisher)."""
+
+import numpy as np
+import pytest
+
+from repro.simulate.wrightfisher import simulate_sweep, simulate_wright_fisher
+
+
+class TestNeutral:
+    def test_shapes_and_segregation(self):
+        rng = np.random.default_rng(5)
+        result = simulate_wright_fisher(
+            30, 60, pop_size=120, generations=200, mut_rate=5e-4, rng=rng
+        )
+        assert result.haplotypes.shape[0] == 30
+        counts = result.haplotypes.sum(axis=0)
+        assert np.all((counts > 0) & (counts < 30))
+        assert result.positions.size == result.n_snps
+        assert np.isnan(result.selected_position)
+        assert result.generations == 200
+
+    def test_deterministic_with_seed(self):
+        a = simulate_wright_fisher(
+            10, 30, pop_size=50, generations=50, rng=np.random.default_rng(3)
+        )
+        b = simulate_wright_fisher(
+            10, 30, pop_size=50, generations=50, rng=np.random.default_rng(3)
+        )
+        np.testing.assert_array_equal(a.haplotypes, b.haplotypes)
+
+    def test_to_bitmatrix(self):
+        result = simulate_wright_fisher(
+            10, 40, pop_size=60, generations=100, mut_rate=1e-3,
+            rng=np.random.default_rng(8),
+        )
+        bm = result.to_bitmatrix()
+        np.testing.assert_array_equal(bm.to_dense(), result.haplotypes)
+
+    def test_rejects_oversampling(self):
+        with pytest.raises(ValueError, match="cannot sample"):
+            simulate_wright_fisher(100, 10, pop_size=50)
+
+    def test_rejects_bad_site_count(self):
+        with pytest.raises(ValueError, match="n_sites"):
+            simulate_wright_fisher(5, 0, pop_size=50)
+
+    def test_zero_mutation_rate_stays_monomorphic(self):
+        result = simulate_wright_fisher(
+            10, 20, pop_size=40, generations=50, mut_rate=0.0,
+            rng=np.random.default_rng(2),
+        )
+        assert result.n_snps == 0
+
+    def test_recombination_reduces_ld(self):
+        """Higher crossover rates must lower average pairwise r²."""
+        from repro.core.ldmatrix import ld_matrix
+
+        def mean_r2(recomb, seed):
+            result = simulate_wright_fisher(
+                40, 40, pop_size=100, generations=300, mut_rate=8e-4,
+                recomb_rate=recomb, rng=np.random.default_rng(seed),
+            )
+            if result.n_snps < 2:
+                return np.nan
+            r2 = ld_matrix(result.haplotypes, undefined=0.0)
+            iu = np.triu_indices(result.n_snps, k=1)
+            return float(r2[iu].mean())
+
+        tight = np.nanmean([mean_r2(0.0, s) for s in range(4)])
+        loose = np.nanmean([mean_r2(0.05, s) for s in range(4)])
+        assert tight > loose
+
+
+class TestSweep:
+    def test_sweep_fixes_and_excludes_selected_site(self):
+        rng = np.random.default_rng(1)
+        result = simulate_sweep(
+            40, 41, pop_size=120, burn_in=150, selection=1.0,
+            mut_rate=5e-4, rng=rng,
+        )
+        assert result.selected_position == 20.0
+        # Selected site fixed => monomorphic => not among retained SNPs.
+        assert 20.0 not in result.positions.tolist()
+        assert result.generations > 150
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="cannot sample"):
+            simulate_sweep(100, 11, pop_size=50)
+        with pytest.raises(ValueError, match="3 sites"):
+            simulate_sweep(5, 2, pop_size=50)
+        with pytest.raises(ValueError, match="selection"):
+            simulate_sweep(5, 11, pop_size=50, selection=0.0)
+
+    def test_fixation_failure_raises(self):
+        """Near-neutral allele with one attempt almost surely fails to fix."""
+        rng = np.random.default_rng(0)
+        with pytest.raises(RuntimeError, match="failed to fix"):
+            simulate_sweep(
+                10, 11, pop_size=200, burn_in=10, selection=1e-6,
+                max_attempts=1, rng=rng,
+            )
