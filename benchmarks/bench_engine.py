@@ -1,0 +1,126 @@
+"""Scaling benchmark for the sharded tiled execution engine.
+
+Measures wall-clock and pair throughput of ``repro.core.engine`` across
+its three executors (serial / threads / processes) and several worker
+counts, on one simulated panel. Runnable two ways:
+
+as a script (what CI's smoke test runs)::
+
+    python benchmarks/bench_engine.py --quick
+    python benchmarks/bench_engine.py --snps 2000 --samples 1000 --workers 4
+
+under the pytest benchmark harness, with the other paper benches::
+
+    pytest benchmarks/bench_engine.py --benchmark-only -s
+
+On a single-vCPU container the parallel engines cannot beat serial (the
+printout is the point: the harness reports the overhead floor); on real
+multi-core hardware the processes engine amortizes its pool + shared-
+memory setup once per run and scales with cores, which is the regime the
+ROADMAP's production-scale target cares about.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.engine import ENGINES, enumerate_tiles, run_engine  # noqa: E402
+from repro.simulate.datasets import simulate_sfs_panel  # noqa: E402
+
+
+def _null_sink(i0: int, j0: int, block: np.ndarray) -> None:
+    """Measure engine scheduling + compute, not sink I/O."""
+
+
+def run_once(
+    panel, *, engine: str, n_workers: int, block_snps: int
+) -> tuple[float, int]:
+    """One timed engine run; returns (seconds, tiles computed)."""
+    start = time.perf_counter()
+    report = run_engine(
+        panel, _null_sink, engine=engine, n_workers=n_workers,
+        block_snps=block_snps,
+    )
+    elapsed = time.perf_counter() - start
+    assert report.complete
+    return elapsed, report.n_computed
+
+
+def bench_engine_scaling(
+    *, n_samples: int, n_snps: int, block_snps: int, workers: list[int]
+) -> dict[tuple[str, int], float]:
+    """Time every (engine, workers) combination and print the table."""
+    rng = np.random.default_rng(2016)
+    panel = simulate_sfs_panel(n_samples, n_snps, rng=rng)
+    n_tiles = len(enumerate_tiles(n_snps, block_snps))
+    n_pairs = n_snps * (n_snps + 1) // 2
+    print(
+        f"panel: {n_snps} SNPs x {n_samples} samples, "
+        f"{block_snps}-SNP tiles ({n_tiles} tiles, {n_pairs:,} pairs)"
+    )
+    print(f"{'engine':>10} | {'workers':>7} | {'seconds':>8} | "
+          f"{'Mpairs/s':>8} | {'vs serial':>9}")
+    results: dict[tuple[str, int], float] = {}
+    serial_s = None
+    for engine in ENGINES:
+        for n_workers in ([1] if engine == "serial" else workers):
+            seconds, computed = run_once(
+                panel, engine=engine, n_workers=n_workers,
+                block_snps=block_snps,
+            )
+            assert computed == n_tiles
+            results[(engine, n_workers)] = seconds
+            if serial_s is None:
+                serial_s = seconds
+            print(
+                f"{engine:>10} | {n_workers:>7} | {seconds:>8.3f} | "
+                f"{n_pairs / seconds / 1e6:>8.2f} | {serial_s / seconds:>8.2f}x"
+            )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small shapes (CI smoke test; a few seconds)")
+    parser.add_argument("--samples", type=int, default=1024)
+    parser.add_argument("--snps", type=int, default=1200)
+    parser.add_argument("--block-snps", type=int, default=256)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.samples, args.snps, args.block_snps = 128, 220, 64
+        args.workers = [2]
+    results = bench_engine_scaling(
+        n_samples=args.samples, n_snps=args.snps,
+        block_snps=args.block_snps, workers=args.workers,
+    )
+    # Smoke criterion: every executor finished every tile.
+    assert len(results) == 1 + 2 * len(args.workers)
+    print("ok: all engines completed")
+    return 0
+
+
+def test_bench_engine_scaling(benchmark):
+    """pytest-benchmark entry: time the processes engine at quick scale."""
+    rng = np.random.default_rng(2016)
+    panel = simulate_sfs_panel(128, 220, rng=rng)
+
+    def run():
+        return run_engine(
+            panel, _null_sink, engine="processes", n_workers=2, block_snps=64
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.complete
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

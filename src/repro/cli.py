@@ -31,7 +31,9 @@ from repro.analysis.decay import ld_decay_curve
 from repro.analysis.haplotype_blocks import find_haplotype_blocks
 from repro.analysis.ldprune import ld_prune
 from repro.analysis.sweeps import sweep_scan
+from repro.core.engine import ENGINES, run_engine
 from repro.core.ldmatrix import ld_matrix
+from repro.core.streaming import NpyMemmapSink
 from repro.core.windowed import banded_ld
 from repro.encoding.bitmatrix import BitMatrix
 from repro.io.fasta import call_snps_from_alignment, read_fasta
@@ -111,6 +113,34 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix) -> int:
+    """Sharded tiled execution path of the ``ld`` command (``--engine``)."""
+    out = Path(args.out)
+    if out.suffix != ".npy":
+        raise SystemExit("--engine requires a .npy output (disk-backed matrix)")
+    if args.stat not in ("r2", "D", "H"):
+        raise SystemExit(f"--engine supports --stat r2/D/H, not {args.stat!r}")
+    if args.window:
+        raise SystemExit("--engine computes the full matrix; drop --window")
+    manifest = Path(args.manifest) if args.manifest else Path(f"{out}.manifest")
+    mode = "r+" if args.resume and out.exists() else "w+"
+    with NpyMemmapSink(out, panel.n_snps, mode=mode) as sink:
+        report = run_engine(
+            panel, sink,
+            stat=args.stat,
+            block_snps=args.block_snps,
+            engine=args.engine,
+            n_workers=args.workers,
+            resume=args.resume,
+            manifest_path=manifest,
+        )
+    print(f"ld: engine={report.engine} workers={report.n_workers} "
+          f"computed {report.n_computed}/{report.n_tiles} tiles "
+          f"(skipped {report.n_skipped} journaled, {report.n_retries} retries) "
+          f"{args.stat} matrix ({panel.n_snps}, {panel.n_snps}) -> {out}")
+    return 0
+
+
 def _cmd_ld(args: argparse.Namespace) -> int:
     panel, _positions = load_panel(args.input)
     if args.drop_monomorphic:
@@ -119,6 +149,8 @@ def _cmd_ld(args: argparse.Namespace) -> int:
         freqs = panel.allele_frequencies()
         keep = np.minimum(freqs, 1.0 - freqs) >= args.maf
         panel = panel.select(np.flatnonzero(keep))
+    if args.engine:
+        return _cmd_ld_engine(args, panel)
     if args.window:
         band = banded_ld(panel, window=args.window, stat=args.stat)
         matrix = band.values
@@ -242,6 +274,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drop SNPs below this minor-allele frequency")
     p.add_argument("--drop-monomorphic", action="store_true")
     p.add_argument("--out", required=True, help=".npy or .tsv output")
+    p.add_argument("--engine", choices=ENGINES, default=None,
+                   help="sharded tiled execution with checkpoint journal "
+                        "(out-of-core .npy path; default: in-memory)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker count for --engine threads/processes")
+    p.add_argument("--block-snps", type=int, default=512,
+                   help="tile side in SNPs for --engine")
+    p.add_argument("--manifest", default=None,
+                   help="tile journal path (default: <out>.manifest)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip tiles already journaled in the manifest")
     p.set_defaults(func=_cmd_ld)
 
     p = sub.add_parser("scan", help="omega-statistic sweep scan")

@@ -27,6 +27,14 @@ from repro.core.gemm import (
     popcount_gram,
     gemm_operation_counts,
 )
+from repro.core.engine import (
+    ENGINES,
+    EngineReport,
+    TileManifest,
+    TileTask,
+    enumerate_tiles,
+    run_engine,
+)
 from repro.core.genotype_ld import genotype_r2_matrix
 from repro.core.frequencies import (
     allele_frequencies,
@@ -39,7 +47,11 @@ from repro.core.microkernel import (
     microkernel_numpy,
     microkernel_scalar,
 )
-from repro.core.parallel import popcount_gemm_parallel, partition_ranges
+from repro.core.parallel import (
+    popcount_gemm_parallel,
+    partition_ranges,
+    partition_triangle_rows,
+)
 from repro.core.streaming import (
     NpyMemmapSink,
     ThresholdCollector,
@@ -66,6 +78,12 @@ __all__ = [
     "popcount_gemm_flat",
     "popcount_gram",
     "gemm_operation_counts",
+    "ENGINES",
+    "EngineReport",
+    "TileManifest",
+    "TileTask",
+    "enumerate_tiles",
+    "run_engine",
     "genotype_r2_matrix",
     "allele_frequencies",
     "haplotype_frequencies",
@@ -79,6 +97,7 @@ __all__ = [
     "microkernel_scalar",
     "popcount_gemm_parallel",
     "partition_ranges",
+    "partition_triangle_rows",
     "BandedLDMatrix",
     "banded_ld",
     "NpyMemmapSink",

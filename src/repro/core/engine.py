@@ -1,0 +1,638 @@
+"""Sharded tiled LD execution engine: restartable out-of-core ``GᵀG``.
+
+The blocked popcount-GEMM (Figure 1) and the streaming loop
+(:mod:`repro.core.streaming`) already express the r² matrix as independent
+lower-triangle tiles; this module turns that observation into an execution
+layer that scales past one process and survives interruption — the shard-
+and-restart discipline second-generation PLINK uses to reach biobank sizes:
+
+- :func:`enumerate_tiles` decomposes the lower triangle into an explicit
+  list of :class:`TileTask` units (the shared enumeration the streaming
+  loop also uses);
+- :func:`run_engine` schedules those tiles over one of three executors —
+  ``serial`` (in-process loop), ``threads`` (GIL-released numpy workers),
+  or ``processes`` (a ``ProcessPoolExecutor`` whose workers attach the
+  packed words via ``multiprocessing.shared_memory``, so the genomic
+  matrix is mapped once instead of pickled per task);
+- :class:`TileManifest` journals every completed tile to disk (JSON lines
+  with an input fingerprint), so an interrupted run restarted with
+  ``resume=True`` recomputes only the missing tiles;
+- failed tiles are retried (and a crashed worker pool is rebuilt) up to
+  ``max_retries`` times before the run is abandoned.
+
+Results are always delivered to the caller's sink in the driver process,
+so any :mod:`repro.core.streaming` sink works unchanged and needs no
+locking. Tiles may arrive in any order under ``threads``/``processes``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Callable
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context, shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.gemm import popcount_gemm
+from repro.core.ldmatrix import as_bitmatrix
+from repro.core.stats import r_squared_matrix
+from repro.encoding.bitmatrix import BitMatrix
+
+__all__ = [
+    "ENGINES",
+    "EngineReport",
+    "TileManifest",
+    "TileTask",
+    "compute_tile",
+    "enumerate_tiles",
+    "input_fingerprint",
+    "run_engine",
+]
+
+#: Supported execution strategies, in increasing order of isolation.
+ENGINES = ("serial", "threads", "processes")
+
+_ENGINE_STATS = ("r2", "D", "H")
+
+
+@dataclass(frozen=True, order=True)
+class TileTask:
+    """One schedulable unit: the statistic block ``[i0:i1, j0:j1]``.
+
+    Tiles produced by :func:`enumerate_tiles` satisfy ``j0 <= i0`` (lower
+    triangle) and carry their exclusive end indices so workers need no
+    knowledge of the global blocking.
+    """
+
+    i0: int
+    i1: int
+    j0: int
+    j1: int
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Manifest identity of the tile (its top-left corner)."""
+        return (self.i0, self.j0)
+
+    @property
+    def n_pairs(self) -> int:
+        """Matrix cells this tile covers (work estimate for scheduling)."""
+        return (self.i1 - self.i0) * (self.j1 - self.j0)
+
+
+def enumerate_tiles(
+    n_snps: int, block_snps: int, *, include_diagonal: bool = True
+) -> list[TileTask]:
+    """Lower-triangle block decomposition shared by streaming and the engine.
+
+    Row-major over block rows, so sequential consumption matches the order
+    :func:`repro.core.streaming.stream_ld_blocks` has always delivered.
+    """
+    if n_snps < 0:
+        raise ValueError(f"n_snps must be non-negative, got {n_snps}")
+    if block_snps < 1:
+        raise ValueError(f"block_snps must be >= 1, got {block_snps}")
+    tiles = []
+    for i0 in range(0, n_snps, block_snps):
+        i1 = min(i0 + block_snps, n_snps)
+        for j0 in range(0, i0 + 1, block_snps):
+            if j0 == i0 and not include_diagonal:
+                continue
+            tiles.append(
+                TileTask(i0=i0, i1=i1, j0=j0, j1=min(j0 + block_snps, n_snps))
+            )
+    return tiles
+
+
+def compute_tile(
+    words: np.ndarray,
+    freqs: np.ndarray,
+    n_samples: int,
+    tile: TileTask,
+    *,
+    stat: str = "r2",
+    params: BlockingParams = DEFAULT_BLOCKING,
+    kernel: str = "numpy",
+    undefined: float = np.nan,
+) -> np.ndarray:
+    """Compute one statistic block from the packed words (pure function).
+
+    This is the whole per-tile work unit — one rectangular popcount GEMM
+    plus the elementwise statistic — factored out so the serial loop,
+    thread workers, and shared-memory process workers run byte-identical
+    code.
+    """
+    if stat not in _ENGINE_STATS:
+        raise ValueError(f"unknown LD statistic {stat!r}; choose r2/D/H")
+    counts = popcount_gemm(
+        words[tile.i0 : tile.i1],
+        words[tile.j0 : tile.j1],
+        params=params,
+        kernel=kernel,
+    )
+    # Divide (rather than multiply by a reciprocal) so tiles are
+    # bit-identical to the in-memory pipeline's H = counts / N.
+    h = counts / float(n_samples)
+    p, q = freqs[tile.i0 : tile.i1], freqs[tile.j0 : tile.j1]
+    if stat == "H":
+        return h
+    if stat == "D":
+        return h - np.outer(p, q)
+    return r_squared_matrix(h, p, q, undefined=undefined)
+
+
+# ---------------------------------------------------------------------------
+# Manifest: a crash-safe journal of completed tiles.
+# ---------------------------------------------------------------------------
+
+
+def input_fingerprint(
+    matrix: BitMatrix,
+    *,
+    stat: str,
+    block_snps: int,
+    undefined: float = np.nan,
+) -> str:
+    """Digest identifying one (input, parameters) combination.
+
+    Covers the packed words bit-for-bit plus every parameter that changes
+    tile contents or tile geometry, so a manifest can refuse to resume a
+    run whose inputs silently changed.
+    """
+    digest = hashlib.sha256()
+    header = (
+        f"repro-engine-v1|{matrix.n_samples}|{matrix.n_snps}|{matrix.n_words}"
+        f"|{stat}|{block_snps}|{undefined!r}"
+    )
+    digest.update(header.encode())
+    digest.update(np.ascontiguousarray(matrix.words).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class TileManifest:
+    """Append-only JSON-lines journal of completed tiles.
+
+    Line 1 is a header carrying the input fingerprint; each subsequent line
+    records one completed tile's ``(i0, j0)`` corner. Records are flushed
+    and fsynced per tile, so after a crash the journal holds exactly the
+    tiles whose sink delivery finished. A torn final line (the crash
+    happened mid-write) is ignored on load.
+    """
+
+    path: Path
+    fingerprint: str
+    completed: set[tuple[int, int]] = field(default_factory=set)
+    _fh: object | None = field(default=None, repr=False)
+
+    MAGIC = "repro-tile-manifest"
+    VERSION = 1
+
+    @classmethod
+    def open(
+        cls, path: str | Path, fingerprint: str, *, resume: bool = False
+    ) -> "TileManifest":
+        """Open a manifest for writing, optionally resuming an existing one.
+
+        With ``resume=True`` and an existing journal, the completed-tile set
+        is loaded and appending continues; a fingerprint mismatch raises
+        ``ValueError`` (the inputs or parameters changed, so the old tiles
+        cannot be trusted). Without ``resume``, any existing journal is
+        truncated.
+        """
+        path = Path(path)
+        if resume and path.exists() and path.stat().st_size > 0:
+            completed = cls._load_completed(path, fingerprint)
+            manifest = cls(path=path, fingerprint=fingerprint, completed=completed)
+            manifest._fh = path.open("a", encoding="utf-8")
+            return manifest
+        manifest = cls(path=path, fingerprint=fingerprint)
+        manifest._fh = path.open("w", encoding="utf-8")
+        manifest._write_line(
+            {"magic": cls.MAGIC, "version": cls.VERSION, "fingerprint": fingerprint}
+        )
+        return manifest
+
+    @classmethod
+    def _load_completed(
+        cls, path: Path, fingerprint: str
+    ) -> set[tuple[int, int]]:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        try:
+            header = json.loads(lines[0])
+        except (json.JSONDecodeError, IndexError) as exc:
+            raise ValueError(f"corrupt tile manifest header in {path}") from exc
+        if header.get("magic") != cls.MAGIC or header.get("version") != cls.VERSION:
+            raise ValueError(f"{path} is not a version-{cls.VERSION} tile manifest")
+        if header.get("fingerprint") != fingerprint:
+            raise ValueError(
+                f"manifest {path} was written for different inputs/parameters "
+                "(fingerprint mismatch); rerun without resume"
+            )
+        completed = set()
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Torn tail from a crash mid-append: that tile will rerun.
+                continue
+            tile = record.get("tile")
+            if isinstance(tile, list) and len(tile) == 2:
+                completed.add((int(tile[0]), int(tile[1])))
+        return completed
+
+    def _write_line(self, record: dict) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, tile: TileTask) -> None:
+        """Journal *tile* as durably completed (flush + fsync)."""
+        self._write_line({"tile": [tile.i0, tile.j0]})
+        self.completed.add(tile.key)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TileManifest":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Executors.
+# ---------------------------------------------------------------------------
+
+#: Per-process state installed by the pool initializer (worker side).
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(
+    shm_name: str,
+    words_shape: tuple[int, int],
+    freqs: np.ndarray,
+    n_samples: int,
+    stat: str,
+    params: BlockingParams,
+    kernel: str,
+    undefined: float,
+    fault_hook: Callable[[tuple[int, int]], None] | None,
+) -> None:
+    """Attach the shared words segment once per worker process."""
+    shm = shared_memory.SharedMemory(name=shm_name)
+    words = np.ndarray(words_shape, dtype=np.uint64, buffer=shm.buf)
+    _WORKER_STATE.update(
+        shm=shm,
+        words=words,
+        freqs=freqs,
+        n_samples=n_samples,
+        stat=stat,
+        params=params,
+        kernel=kernel,
+        undefined=undefined,
+        fault_hook=fault_hook,
+    )
+
+
+def _run_tile_in_worker(tile: TileTask) -> np.ndarray:
+    """Pool task: compute one tile against the attached shared words."""
+    state = _WORKER_STATE
+    if state.get("fault_hook") is not None:
+        state["fault_hook"](tile.key)
+    return compute_tile(
+        state["words"],
+        state["freqs"],
+        state["n_samples"],
+        tile,
+        stat=state["stat"],
+        params=state["params"],
+        kernel=state["kernel"],
+        undefined=state["undefined"],
+    )
+
+
+def _largest_first(tiles: list[TileTask]) -> list[TileTask]:
+    """Schedule big tiles first (LPT rule) so fringe slivers fill the tail.
+
+    The same load-balancing idea as :func:`repro.core.parallel.
+    partition_triangle_rows`, applied to a discrete tile list: the only
+    imbalance left is at most one tile per worker.
+    """
+    return sorted(tiles, key=lambda t: (-t.n_pairs, t.i0, t.j0))
+
+
+def _execute_pooled(
+    pool_factory: Callable[[], Executor],
+    task: Callable[[TileTask], np.ndarray],
+    tiles: list[TileTask],
+    deliver: Callable[[TileTask, np.ndarray], None],
+    max_retries: int,
+) -> int:
+    """Drive *task* over an executor with per-tile retry and pool rebuild.
+
+    Results are delivered in the driver thread as they complete. A tile
+    whose task raises is resubmitted up to *max_retries* times; a broken
+    process pool (worker killed) is rebuilt up to *max_retries* times, with
+    every undelivered tile resubmitted to the fresh pool. Returns the
+    number of retries performed.
+    """
+    retries = 0
+    restarts = 0
+    attempts = dict.fromkeys(tiles, 0)
+    remaining = list(tiles)
+    while remaining:
+        pool = pool_factory()
+        submitted = remaining
+        remaining = []
+        delivered_now: set[TileTask] = set()
+        try:
+            futures = {pool.submit(task, tile): tile for tile in submitted}
+            while futures:
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    tile = futures.pop(future)
+                    error = future.exception()
+                    if error is None:
+                        deliver(tile, future.result())
+                        delivered_now.add(tile)
+                    elif isinstance(error, BrokenProcessPool):
+                        raise error
+                    else:
+                        attempts[tile] += 1
+                        retries += 1
+                        if attempts[tile] > max_retries:
+                            raise error
+                        futures[pool.submit(task, tile)] = tile
+        except BrokenProcessPool:
+            restarts += 1
+            retries += 1
+            if restarts > max_retries:
+                raise
+            remaining = [t for t in submitted if t not in delivered_now]
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+    return retries
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Outcome summary of one :func:`run_engine` invocation."""
+
+    engine: str
+    n_workers: int
+    n_tiles: int
+    n_computed: int
+    n_skipped: int
+    n_retries: int
+
+    @property
+    def complete(self) -> bool:
+        """All tiles accounted for (computed now or journaled earlier)."""
+        return self.n_computed + self.n_skipped == self.n_tiles
+
+
+def run_engine(
+    data: BitMatrix | np.ndarray,
+    sink: Callable[[int, int, np.ndarray], None],
+    *,
+    stat: str = "r2",
+    block_snps: int = 512,
+    engine: str = "serial",
+    n_workers: int | None = None,
+    params: BlockingParams = DEFAULT_BLOCKING,
+    kernel: str = "numpy",
+    undefined: float = np.nan,
+    include_diagonal_blocks: bool = True,
+    manifest_path: str | Path | None = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    fault_hook: Callable[[tuple[int, int]], None] | None = None,
+) -> EngineReport:
+    """Compute the lower-triangle LD matrix tile by tile into *sink*.
+
+    Parameters
+    ----------
+    data:
+        Dense binary ``(n_samples, n_snps)`` matrix or packed
+        :class:`BitMatrix`.
+    sink:
+        Callable ``(i0, j0, block)``; always invoked in the driver process
+        (single-threaded), in arbitrary tile order under ``threads``/
+        ``processes``.
+    stat:
+        ``"r2"``, ``"D"``, or ``"H"``.
+    engine:
+        ``"serial"`` (in-process loop), ``"threads"`` (GIL-released numpy
+        workers), or ``"processes"`` (shared-memory worker pool).
+    n_workers:
+        Worker count for ``threads``/``processes`` (default: CPU count).
+    manifest_path:
+        Path of the tile journal. Required for ``resume``; when set, every
+        delivered tile is durably recorded so a later run can skip it.
+    resume:
+        Skip tiles already journaled in *manifest_path* for identical
+        inputs and parameters (fingerprint-checked).
+    max_retries:
+        Times a failing tile is recomputed (and a crashed worker pool
+        rebuilt) before the run is abandoned.
+    fault_hook:
+        Fault-injection point for tests: called as ``hook((i0, j0))`` in
+        the worker before each tile is computed.
+
+    Returns
+    -------
+    :class:`EngineReport` with tile/retry accounting.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if stat not in _ENGINE_STATS:
+        raise ValueError(f"unknown LD statistic {stat!r}; choose r2/D/H")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+    if resume and manifest_path is None:
+        raise ValueError("resume=True requires a manifest_path")
+    matrix = as_bitmatrix(data)
+    if matrix.n_samples == 0:
+        raise ValueError("LD undefined for zero samples")
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+
+    tiles = enumerate_tiles(
+        matrix.n_snps, block_snps, include_diagonal=include_diagonal_blocks
+    )
+    freqs = matrix.allele_frequencies()
+    words = matrix.words
+
+    manifest: TileManifest | None = None
+    if manifest_path is not None:
+        fingerprint = input_fingerprint(
+            matrix, stat=stat, block_snps=block_snps, undefined=undefined
+        )
+        manifest = TileManifest.open(manifest_path, fingerprint, resume=resume)
+    try:
+        if manifest is not None and manifest.completed:
+            todo = [t for t in tiles if t.key not in manifest.completed]
+        else:
+            todo = list(tiles)
+        n_skipped = len(tiles) - len(todo)
+        n_computed = 0
+
+        def deliver(tile: TileTask, block: np.ndarray) -> None:
+            nonlocal n_computed
+            sink(tile.i0, tile.j0, block)
+            if manifest is not None:
+                # Make the sink's effects durable before journaling the
+                # tile, so resume never trusts an unflushed block.
+                flush = getattr(sink, "flush", None)
+                if callable(flush):
+                    flush()
+                manifest.record(tile)
+            n_computed += 1
+
+        def local_task(tile: TileTask) -> np.ndarray:
+            if fault_hook is not None:
+                fault_hook(tile.key)
+            return compute_tile(
+                words,
+                freqs,
+                matrix.n_samples,
+                tile,
+                stat=stat,
+                params=params,
+                kernel=kernel,
+                undefined=undefined,
+            )
+
+        if not todo:
+            retries = 0
+        elif engine == "serial":
+            retries = 0
+            for tile in todo:
+                for attempt in range(max_retries + 1):
+                    try:
+                        block = local_task(tile)
+                        break
+                    except Exception:
+                        retries += 1
+                        if attempt == max_retries:
+                            raise
+                deliver(tile, block)
+        elif engine == "threads":
+            workers = min(n_workers, len(todo))
+            retries = _execute_pooled(
+                lambda: ThreadPoolExecutor(max_workers=workers),
+                local_task,
+                _largest_first(todo),
+                deliver,
+                max_retries,
+            )
+        else:  # processes
+            retries = _run_process_engine(
+                words=words,
+                freqs=freqs,
+                n_samples=matrix.n_samples,
+                todo=_largest_first(todo),
+                deliver=deliver,
+                n_workers=min(n_workers, len(todo)),
+                stat=stat,
+                params=params,
+                kernel=kernel,
+                undefined=undefined,
+                max_retries=max_retries,
+                fault_hook=fault_hook,
+            )
+    finally:
+        if manifest is not None:
+            manifest.close()
+
+    return EngineReport(
+        engine=engine,
+        n_workers=1 if engine == "serial" else min(n_workers, max(len(todo), 1)),
+        n_tiles=len(tiles),
+        n_computed=n_computed,
+        n_skipped=n_skipped,
+        n_retries=retries,
+    )
+
+
+def _run_process_engine(
+    *,
+    words: np.ndarray,
+    freqs: np.ndarray,
+    n_samples: int,
+    todo: list[TileTask],
+    deliver: Callable[[TileTask, np.ndarray], None],
+    n_workers: int,
+    stat: str,
+    params: BlockingParams,
+    kernel: str,
+    undefined: float,
+    max_retries: int,
+    fault_hook: Callable[[tuple[int, int]], None] | None,
+) -> int:
+    """Process-pool execution with the packed words in shared memory.
+
+    The driver copies the packed word matrix into one
+    ``multiprocessing.shared_memory`` segment; each worker maps it via the
+    pool initializer, so task submission pickles only a :class:`TileTask`
+    (four ints) and the result block travels back once per tile.
+    """
+    # Prefer fork where available: worker startup is cheap and initargs are
+    # inherited rather than pickled. Everything passed is spawn-safe too.
+    if "fork" in get_all_start_methods():
+        ctx = get_context("fork")
+    else:  # pragma: no cover - non-POSIX fallback
+        ctx = get_context()
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, words.nbytes))
+    try:
+        shared = np.ndarray(words.shape, dtype=np.uint64, buffer=shm.buf)
+        shared[:] = words
+
+        def pool_factory() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=n_workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(
+                    shm.name,
+                    words.shape,
+                    freqs,
+                    n_samples,
+                    stat,
+                    params,
+                    kernel,
+                    undefined,
+                    fault_hook,
+                ),
+            )
+
+        return _execute_pooled(
+            pool_factory, _run_tile_in_worker, todo, deliver, max_retries
+        )
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass

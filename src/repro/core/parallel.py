@@ -16,6 +16,11 @@ ufuncs release the GIL, matching the paper's shared-memory Pthreads setup.
 On hardware with fewer cores than requested threads the result is still
 correct — the thread-scaling *figures* are produced by the machine model
 (:mod:`repro.machine.multicore`), not by this module.
+
+The partition helpers below are the in-memory counterpart of the sharded
+tile scheduler in :mod:`repro.core.engine`: both balance the quadratic
+lower-triangle workload, here as contiguous row ranges owned by threads,
+there as an explicit restartable tile list spread over worker pools.
 """
 
 from __future__ import annotations

@@ -12,6 +12,12 @@ block of the (lower-triangle) statistic matrix to a caller-supplied sink:
   sparse "report interesting pairs" mode PLINK's ``--r2`` output uses);
 - any callable ``sink(i0, j0, block)`` works.
 
+Tile geometry and per-tile computation are shared with the sharded
+execution engine (:mod:`repro.core.engine`): this module is the simple
+single-pass driver over :func:`repro.core.engine.enumerate_tiles`, while
+:func:`repro.core.engine.run_engine` schedules the same tiles over worker
+pools with checkpoint/resume.
+
 Peak memory is one ``block × block`` tile plus the packed inputs,
 independent of the number of SNPs.
 """
@@ -24,9 +30,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
-from repro.core.gemm import popcount_gemm
+from repro.core.engine import compute_tile, enumerate_tiles
 from repro.core.ldmatrix import as_bitmatrix
-from repro.core.stats import r_squared_matrix
 from repro.encoding.bitmatrix import BitMatrix
 
 __all__ = ["NpyMemmapSink", "ThresholdCollector", "stream_ld_blocks"]
@@ -39,22 +44,51 @@ class NpyMemmapSink:
     The lower-triangle blocks delivered by :func:`stream_ld_blocks` are
     mirrored on write, so the finished file holds the full symmetric
     matrix.
+
+    The sink is a context manager; leaving the ``with`` block flushes and
+    releases the memmap deterministically (CPython's memmap finalizer only
+    flushes at garbage-collection time, which is too late for a resumed
+    run that reopens the file to read completed tiles back).
+
+    Parameters
+    ----------
+    path:
+        Output ``.npy`` path.
+    n_snps:
+        Matrix side length.
+    mode:
+        ``"w+"`` (default) creates/truncates the file; ``"r+"`` reopens an
+        existing matrix in place — the mode checkpoint/resume runs use so
+        previously completed tiles survive the reopen.
     """
 
     path: str | Path
     n_snps: int
+    mode: str = "w+"
     _memmap: np.memmap | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_snps <= 0:
             raise ValueError(f"n_snps must be positive, got {self.n_snps}")
-        self._memmap = np.lib.format.open_memmap(
-            str(self.path), mode="w+", dtype=np.float64,
-            shape=(self.n_snps, self.n_snps),
-        )
+        if self.mode not in ("w+", "r+"):
+            raise ValueError(f"mode must be 'w+' or 'r+', got {self.mode!r}")
+        shape = (self.n_snps, self.n_snps)
+        if self.mode == "r+":
+            memmap = np.lib.format.open_memmap(str(self.path), mode="r+")
+            if memmap.shape != shape or memmap.dtype != np.float64:
+                raise ValueError(
+                    f"existing matrix at {self.path} has shape {memmap.shape} "
+                    f"dtype {memmap.dtype}; expected {shape} float64"
+                )
+            self._memmap = memmap
+        else:
+            self._memmap = np.lib.format.open_memmap(
+                str(self.path), mode="w+", dtype=np.float64, shape=shape,
+            )
 
     def __call__(self, i0: int, j0: int, block: np.ndarray) -> None:
-        assert self._memmap is not None
+        if self._memmap is None:
+            raise ValueError(f"sink for {self.path} is closed")
         mm = self._memmap
         mm[i0 : i0 + block.shape[0], j0 : j0 + block.shape[1]] = block
         if i0 != j0:
@@ -66,11 +100,22 @@ class NpyMemmapSink:
             il = np.tril_indices(size, k=-1)
             mm[i0 + il[1], j0 + il[0]] = block[il]
 
+    def flush(self) -> None:
+        """Force written blocks to disk (no-op once closed)."""
+        if self._memmap is not None:
+            self._memmap.flush()
+
     def close(self) -> None:
-        """Flush and release the memmap."""
+        """Flush and release the memmap; idempotent."""
         if self._memmap is not None:
             self._memmap.flush()
             self._memmap = None
+
+    def __enter__(self) -> "NpyMemmapSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 @dataclass
@@ -127,33 +172,17 @@ def stream_ld_blocks(
     """
     if stat not in ("r2", "D", "H"):
         raise ValueError(f"unknown LD statistic {stat!r}; choose r2/D/H")
-    if block_snps < 1:
-        raise ValueError(f"block_snps must be >= 1, got {block_snps}")
     matrix = as_bitmatrix(data)
     if matrix.n_samples == 0:
         raise ValueError("LD undefined for zero samples")
-    n = matrix.n_snps
-    inv_n = 1.0 / matrix.n_samples
     freqs = matrix.allele_frequencies()
-    delivered = 0
-    for i0 in range(0, n, block_snps):
-        i1 = min(i0 + block_snps, n)
-        for j0 in range(0, i0 + 1, block_snps):
-            j1 = min(j0 + block_snps, n)
-            if j0 == i0 and not include_diagonal_blocks:
-                continue
-            counts = popcount_gemm(
-                matrix.words[i0:i1], matrix.words[j0:j1],
-                params=params, kernel=kernel,
-            )
-            h = counts * inv_n
-            p, q = freqs[i0:i1], freqs[j0:j1]
-            if stat == "H":
-                block = h
-            elif stat == "D":
-                block = h - np.outer(p, q)
-            else:
-                block = r_squared_matrix(h, p, q, undefined=undefined)
-            sink(i0, j0, block)
-            delivered += 1
-    return delivered
+    tiles = enumerate_tiles(
+        matrix.n_snps, block_snps, include_diagonal=include_diagonal_blocks
+    )
+    for tile in tiles:
+        block = compute_tile(
+            matrix.words, freqs, matrix.n_samples, tile,
+            stat=stat, params=params, kernel=kernel, undefined=undefined,
+        )
+        sink(tile.i0, tile.j0, block)
+    return len(tiles)

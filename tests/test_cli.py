@@ -152,6 +152,68 @@ class TestLdCommand:
         )
 
 
+class TestLdEngineOption:
+    @pytest.mark.parametrize("engine", ["serial", "threads", "processes"])
+    def test_engine_matches_in_memory_path(
+        self, ms_panel, tmp_path, engine, capsys
+    ):
+        path, haps = ms_panel
+        out = tmp_path / "ld.npy"
+        assert main([
+            "ld", str(path), "--engine", engine, "--workers", "2",
+            "--block-snps", "16", "--out", str(out),
+        ]) == 0
+        from repro.core.ldmatrix import ld_matrix
+
+        np.testing.assert_array_equal(np.load(out), ld_matrix(haps))
+        assert (tmp_path / "ld.npy.manifest").exists()
+        assert f"engine={engine}" in capsys.readouterr().out
+
+    def test_resume_skips_journaled_tiles(self, ms_panel, tmp_path, capsys):
+        path, haps = ms_panel
+        out = tmp_path / "ld.npy"
+        args = [
+            "ld", str(path), "--engine", "serial", "--block-snps", "16",
+            "--out", str(out),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args + ["--resume"]) == 0
+        assert "computed 0/10 tiles (skipped 10 journaled" in capsys.readouterr().out
+        from repro.core.ldmatrix import ld_matrix
+
+        np.testing.assert_array_equal(np.load(out), ld_matrix(haps))
+
+    def test_engine_requires_npy_output(self, ms_panel, tmp_path):
+        path, _ = ms_panel
+        with pytest.raises(SystemExit, match="npy"):
+            main([
+                "ld", str(path), "--engine", "serial",
+                "--out", str(tmp_path / "ld.tsv"),
+            ])
+
+    def test_engine_rejects_dprime_and_window(self, ms_panel, tmp_path):
+        path, _ = ms_panel
+        out = str(tmp_path / "ld.npy")
+        with pytest.raises(SystemExit, match="r2/D/H"):
+            main(["ld", str(path), "--engine", "serial", "--stat", "Dprime",
+                  "--out", out])
+        with pytest.raises(SystemExit, match="window"):
+            main(["ld", str(path), "--engine", "serial", "--window", "5",
+                  "--out", out])
+
+    def test_custom_manifest_path(self, ms_panel, tmp_path):
+        path, _ = ms_panel
+        out = tmp_path / "ld.npy"
+        manifest = tmp_path / "journal.jsonl"
+        assert main([
+            "ld", str(path), "--engine", "serial", "--block-snps", "16",
+            "--manifest", str(manifest), "--out", str(out),
+        ]) == 0
+        assert manifest.exists()
+        assert not (tmp_path / "ld.npy.manifest").exists()
+
+
 class TestAnalysisCommands:
     def test_scan(self, ms_panel, tmp_path, capsys):
         path, _ = ms_panel

@@ -1,0 +1,306 @@
+"""Tests for the sharded tiled execution engine (repro.core.engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import (
+    ENGINES,
+    TileManifest,
+    TileTask,
+    enumerate_tiles,
+    input_fingerprint,
+    run_engine,
+)
+from repro.core.ldmatrix import as_bitmatrix, ld_matrix
+from repro.core.streaming import NpyMemmapSink
+
+
+@pytest.fixture
+def panel(rng):
+    return rng.integers(0, 2, size=(75, 37)).astype(np.uint8)
+
+
+class TestEnumerateTiles:
+    @settings(deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=150),
+        block=st.integers(min_value=1, max_value=64),
+    )
+    def test_tiles_partition_lower_triangle_exactly(self, n, block):
+        covered = np.zeros((n, n), dtype=np.int64)
+        for t in enumerate_tiles(n, block):
+            assert 0 <= t.j0 <= t.i0 and t.i0 < t.i1 <= n and t.j0 < t.j1 <= n
+            covered[t.i0 : t.i1, t.j0 : t.j1] += 1
+        il = np.tril_indices(n)
+        # Every lower-triangle cell exactly once; diagonal blocks spill
+        # above the diagonal (block-granular delivery), never twice.
+        assert np.all(covered[il] == 1)
+        assert np.all(covered <= 1)
+
+    @given(
+        n=st.integers(min_value=0, max_value=300),
+        block=st.integers(min_value=1, max_value=64),
+    )
+    def test_block_count(self, n, block):
+        n_blocks = -(-n // block)
+        assert len(enumerate_tiles(n, block)) == n_blocks * (n_blocks + 1) // 2
+
+    def test_exclude_diagonal(self):
+        tiles = enumerate_tiles(50, 8, include_diagonal=False)
+        assert all(t.i0 != t.j0 for t in tiles)
+
+    def test_order_matches_streaming_convention(self):
+        keys = [t.key for t in enumerate_tiles(20, 8)]
+        assert keys == [(0, 0), (8, 0), (8, 8), (16, 0), (16, 8), (16, 16)]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError, match="block_snps"):
+            enumerate_tiles(10, 0)
+        with pytest.raises(ValueError, match="n_snps"):
+            enumerate_tiles(-1, 4)
+
+
+class TestTileManifest:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.manifest"
+        with TileManifest.open(path, "fp-1") as manifest:
+            manifest.record(TileTask(0, 8, 0, 8))
+            manifest.record(TileTask(8, 16, 0, 8))
+        with TileManifest.open(path, "fp-1", resume=True) as reopened:
+            assert reopened.completed == {(0, 0), (8, 0)}
+
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "run.manifest"
+        TileManifest.open(path, "fp-1").close()
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            TileManifest.open(path, "fp-2", resume=True)
+
+    def test_without_resume_truncates(self, tmp_path):
+        path = tmp_path / "run.manifest"
+        with TileManifest.open(path, "fp-1") as manifest:
+            manifest.record(TileTask(0, 8, 0, 8))
+        with TileManifest.open(path, "fp-1") as manifest:
+            assert manifest.completed == set()
+        with TileManifest.open(path, "fp-1", resume=True) as manifest:
+            assert manifest.completed == set()
+
+    def test_torn_tail_line_is_ignored(self, tmp_path):
+        path = tmp_path / "run.manifest"
+        with TileManifest.open(path, "fp-1") as manifest:
+            manifest.record(TileTask(0, 8, 0, 8))
+        with path.open("a") as fh:
+            fh.write('{"tile": [8,')  # crash mid-append
+        with TileManifest.open(path, "fp-1", resume=True) as manifest:
+            assert manifest.completed == {(0, 0)}
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "run.manifest"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            TileManifest.open(path, "fp-1", resume=True)
+
+    def test_fingerprint_sensitivity(self, rng):
+        dense = rng.integers(0, 2, size=(40, 11)).astype(np.uint8)
+        matrix = as_bitmatrix(dense)
+        base = input_fingerprint(matrix, stat="r2", block_snps=8)
+        assert base == input_fingerprint(matrix, stat="r2", block_snps=8)
+        assert base != input_fingerprint(matrix, stat="D", block_snps=8)
+        assert base != input_fingerprint(matrix, stat="r2", block_snps=16)
+        flipped = dense.copy()
+        flipped[0, 0] ^= 1
+        assert base != input_fingerprint(
+            as_bitmatrix(flipped), stat="r2", block_snps=8
+        )
+
+
+class _AssemblingSink:
+    """Collects delivered lower-triangle blocks into a dense matrix."""
+
+    def __init__(self, n: int) -> None:
+        self.matrix = np.full((n, n), np.nan)
+        self.calls: list[tuple[int, int]] = []
+
+    def __call__(self, i0: int, j0: int, block: np.ndarray) -> None:
+        self.calls.append((i0, j0))
+        self.matrix[i0 : i0 + block.shape[0], j0 : j0 + block.shape[1]] = block
+
+
+class TestRunEngine:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("stat", ["r2", "D", "H"])
+    def test_matches_in_memory_pipeline(self, panel, engine, stat):
+        n = panel.shape[1]
+        sink = _AssemblingSink(n)
+        report = run_engine(
+            panel, sink, stat=stat, engine=engine, block_snps=9, n_workers=2
+        )
+        il = np.tril_indices(n)
+        expected = ld_matrix(panel, stat=stat)
+        np.testing.assert_array_equal(sink.matrix[il], expected[il])
+        assert report.n_tiles == len(sink.calls) == report.n_computed
+        assert report.n_skipped == 0 and report.complete
+
+    def test_manifest_written_and_resume_skips_everything(self, panel, tmp_path):
+        manifest = tmp_path / "run.manifest"
+        sink = _AssemblingSink(panel.shape[1])
+        first = run_engine(
+            panel, sink, block_snps=10, manifest_path=manifest
+        )
+        assert first.n_computed == first.n_tiles > 0
+        again = _AssemblingSink(panel.shape[1])
+        second = run_engine(
+            panel, again, block_snps=10, manifest_path=manifest, resume=True
+        )
+        assert second.n_computed == 0
+        assert second.n_skipped == second.n_tiles == first.n_tiles
+        assert again.calls == []
+
+    def test_resume_requires_manifest(self, panel):
+        with pytest.raises(ValueError, match="manifest_path"):
+            run_engine(panel, lambda *a: None, resume=True)
+
+    def test_validation(self, panel):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_engine(panel, lambda *a: None, engine="gpu")
+        with pytest.raises(ValueError, match="unknown LD statistic"):
+            run_engine(panel, lambda *a: None, stat="Dprime")
+        with pytest.raises(ValueError, match="n_workers"):
+            run_engine(panel, lambda *a: None, engine="threads", n_workers=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            run_engine(panel, lambda *a: None, max_retries=-1)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_memmap_sink_round_trip(self, panel, tmp_path, engine):
+        path = tmp_path / "ld.npy"
+        n = panel.shape[1]
+        with NpyMemmapSink(path, n) as sink:
+            run_engine(
+                panel, sink, engine=engine, block_snps=8, n_workers=2,
+                undefined=0.0,
+            )
+        np.testing.assert_array_equal(np.load(path), ld_matrix(panel, undefined=0.0))
+
+
+class _FailNTimes:
+    """Picklable fault hook: raise on a chosen tile, n times, via a counter file."""
+
+    def __init__(self, key: tuple[int, int], counter_path) -> None:
+        self.key = key
+        self.counter_path = counter_path
+
+    def __call__(self, key: tuple[int, int]) -> None:
+        if key != self.key:
+            return
+        remaining = int(self.counter_path.read_text())
+        if remaining > 0:
+            self.counter_path.write_text(str(remaining - 1))
+            raise RuntimeError(f"injected failure on tile {key}")
+
+
+class TestRetries:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_transient_failures_are_retried(self, panel, tmp_path, engine):
+        counter = tmp_path / "failures"
+        counter.write_text("2")
+        sink = _AssemblingSink(panel.shape[1])
+        report = run_engine(
+            panel, sink, engine=engine, block_snps=10, n_workers=2,
+            max_retries=2, fault_hook=_FailNTimes((10, 10), counter),
+        )
+        assert report.n_retries == 2
+        assert report.n_computed == report.n_tiles
+        il = np.tril_indices(panel.shape[1])
+        np.testing.assert_array_equal(
+            sink.matrix[il], ld_matrix(panel)[il]
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_persistent_failure_raises_after_retries(self, panel, tmp_path, engine):
+        counter = tmp_path / "failures"
+        counter.write_text("100")
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_engine(
+                panel, _AssemblingSink(panel.shape[1]), engine=engine,
+                block_snps=10, n_workers=2, max_retries=1,
+                fault_hook=_FailNTimes((0, 0), counter),
+            )
+
+
+class _CrashingSink:
+    """Wraps a sink and kills the run after *n_before_crash* deliveries."""
+
+    def __init__(self, inner, n_before_crash: int) -> None:
+        self.inner = inner
+        self.n_before_crash = n_before_crash
+        self.delivered = 0
+
+    def __call__(self, i0: int, j0: int, block: np.ndarray) -> None:
+        if self.delivered >= self.n_before_crash:
+            raise KeyboardInterrupt("simulated mid-run crash")
+        self.inner(i0, j0, block)
+        self.delivered += 1
+
+    def flush(self) -> None:
+        flush = getattr(self.inner, "flush", None)
+        if callable(flush):
+            flush()
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_interrupted_run_resumes_bit_identically(
+        self, panel, tmp_path, engine
+    ):
+        """Kill the engine mid-run, restart with resume, compare to clean."""
+        n = panel.shape[1]
+        clean_path = tmp_path / "clean.npy"
+        with NpyMemmapSink(clean_path, n) as sink:
+            clean_report = run_engine(
+                panel, sink, engine=engine, block_snps=9, n_workers=2
+            )
+        assert clean_report.n_tiles > 4
+
+        crash_path = tmp_path / "crashy.npy"
+        manifest = tmp_path / "crashy.manifest"
+        with NpyMemmapSink(crash_path, n) as inner:
+            crashing = _CrashingSink(inner, n_before_crash=3)
+            with pytest.raises(KeyboardInterrupt):
+                run_engine(
+                    panel, crashing, engine=engine, block_snps=9,
+                    n_workers=2, manifest_path=manifest,
+                )
+        # The journal holds exactly the tiles delivered before the crash.
+        with TileManifest.open(
+            manifest,
+            input_fingerprint(
+                as_bitmatrix(panel), stat="r2", block_snps=9
+            ),
+            resume=True,
+        ) as journal:
+            assert len(journal.completed) == 3
+
+        with NpyMemmapSink(crash_path, n, mode="r+") as sink:
+            resumed = run_engine(
+                panel, sink, engine=engine, block_snps=9, n_workers=2,
+                manifest_path=manifest, resume=True,
+            )
+        assert resumed.n_skipped == 3
+        assert resumed.n_computed == clean_report.n_tiles - 3
+        clean = np.load(clean_path)
+        restarted = np.load(crash_path)
+        np.testing.assert_array_equal(restarted, clean)
+
+    def test_resume_after_input_change_is_refused(self, panel, tmp_path):
+        manifest = tmp_path / "run.manifest"
+        run_engine(panel, lambda *a: None, block_snps=10, manifest_path=manifest)
+        changed = panel.copy()
+        changed[0, 0] ^= 1
+        with pytest.raises(ValueError, match="fingerprint mismatch"):
+            run_engine(
+                changed, lambda *a: None, block_snps=10,
+                manifest_path=manifest, resume=True,
+            )

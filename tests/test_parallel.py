@@ -57,6 +57,31 @@ class TestPartitionTriangleRows:
         for area in areas:
             assert area == pytest.approx(total / parts, rel=0.15)
 
+    @given(
+        m=st.integers(min_value=0, max_value=2000),
+        parts=st.integers(min_value=1, max_value=16),
+    )
+    def test_ranges_sorted_and_disjoint(self, m, parts):
+        ranges = partition_triangle_rows(m, parts)
+        assert all(lo < hi for lo, hi in ranges)
+        assert all(prev[1] == nxt[0] for prev, nxt in zip(ranges, ranges[1:]))
+
+    @given(
+        m=st.integers(min_value=1, max_value=2000),
+        parts=st.integers(min_value=1, max_value=16),
+    )
+    def test_balance_bounded_by_one_row(self, m, parts):
+        """No part exceeds the ideal area by more than ~2 boundary rows.
+
+        Boundaries are rounded to whole rows, so the worst-case excess per
+        part is one row of at most m entries at each end.
+        """
+        ranges = partition_triangle_rows(m, parts)
+        ideal = m * (m + 1) / 2 / parts
+        for lo, hi in ranges:
+            area = (hi * (hi + 1) - lo * (lo + 1)) // 2
+            assert area <= ideal + 2 * m + 1
+
     def test_rejects_bad_args(self):
         with pytest.raises(ValueError):
             partition_triangle_rows(10, 0)

@@ -71,6 +71,61 @@ class TestNpyMemmapSink:
         with pytest.raises(ValueError, match="positive"):
             NpyMemmapSink(tmp_path / "x.npy", 0)
 
+    def test_context_manager_flushes_deterministically(self, panel, tmp_path):
+        """Regression: blocks must be on disk the moment the sink closes.
+
+        The old sink relied on the memmap finalizer running at garbage
+        collection, so a resumed run reopening the file could read stale
+        tiles; `with` + explicit flush/close makes durability deterministic.
+        """
+        n = panel.shape[1]
+        path = tmp_path / "ld.npy"
+        with NpyMemmapSink(path, n) as sink:
+            stream_ld_blocks(panel, sink, block_snps=8, undefined=0.0)
+            sink.flush()
+            # Readable mid-run by an independent open, without closing.
+            np.testing.assert_allclose(
+                np.load(path, mmap_mode="r"),
+                ld_matrix(panel, undefined=0.0),
+                atol=1e-12,
+            )
+        assert sink._memmap is None  # released, not waiting on GC
+        np.testing.assert_allclose(
+            np.load(path), ld_matrix(panel, undefined=0.0), atol=1e-12
+        )
+
+    def test_close_is_idempotent_and_write_after_close_fails(
+        self, panel, tmp_path
+    ):
+        sink = NpyMemmapSink(tmp_path / "ld.npy", panel.shape[1])
+        sink.close()
+        sink.close()
+        sink.flush()  # no-op after close
+        with pytest.raises(ValueError, match="closed"):
+            sink(0, 0, np.zeros((2, 2)))
+
+    def test_reopen_mode_preserves_existing_tiles(self, panel, tmp_path):
+        """`mode="r+"` reopens in place — the resume path's requirement."""
+        n = panel.shape[1]
+        path = tmp_path / "ld.npy"
+        with NpyMemmapSink(path, n) as sink:
+            stream_ld_blocks(panel, sink, block_snps=8, undefined=0.0)
+        before = np.load(path).copy()
+        with NpyMemmapSink(path, n, mode="r+") as sink:
+            pass  # write nothing: reopening must not truncate
+        np.testing.assert_array_equal(np.load(path), before)
+
+    def test_reopen_rejects_shape_mismatch(self, panel, tmp_path):
+        path = tmp_path / "ld.npy"
+        with NpyMemmapSink(path, 10):
+            pass
+        with pytest.raises(ValueError, match="shape"):
+            NpyMemmapSink(path, 12, mode="r+")
+
+    def test_rejects_unknown_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="mode"):
+            NpyMemmapSink(tmp_path / "x.npy", 5, mode="a+")
+
 
 class TestThresholdCollector:
     def test_collects_each_pair_once(self, panel):
