@@ -2,7 +2,11 @@
 
 Measures wall-clock and pair throughput of ``repro.core.engine`` across
 its three executors (serial / threads / processes) and several worker
-counts, on one simulated panel. Runnable two ways:
+counts, on two or more simulated panel shapes, and scores every run
+against the analytical Haswell model (``repro.observe.compare_to_model``
+— the paper's %-of-peak framing, Figs. 3–4). Results are serialized to
+``BENCH_engine.json`` so the bench trajectory accumulates run over run.
+Runnable two ways:
 
 as a script (what CI's smoke test runs)::
 
@@ -23,6 +27,7 @@ ROADMAP's production-scale target cares about.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -31,8 +36,14 @@ import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.core.blocking import DEFAULT_BLOCKING  # noqa: E402
 from repro.core.engine import ENGINES, enumerate_tiles, run_engine  # noqa: E402
+from repro.observe import MetricsRecorder, compare_to_model  # noqa: E402
 from repro.simulate.datasets import simulate_sfs_panel  # noqa: E402
+
+#: (n_samples, n_snps, block_snps) per benchmarked shape.
+FULL_SHAPES = [(1024, 1200, 256), (512, 600, 128)]
+QUICK_SHAPES = [(128, 220, 64), (96, 140, 48)]
 
 
 def _null_sink(i0: int, j0: int, block: np.ndarray) -> None:
@@ -41,24 +52,31 @@ def _null_sink(i0: int, j0: int, block: np.ndarray) -> None:
 
 def run_once(
     panel, *, engine: str, n_workers: int, block_snps: int
-) -> tuple[float, int]:
-    """One timed engine run; returns (seconds, tiles computed)."""
+) -> tuple[float, int, MetricsRecorder]:
+    """One timed engine run; returns (seconds, tiles computed, recorder)."""
+    recorder = MetricsRecorder()
     start = time.perf_counter()
     report = run_engine(
         panel, _null_sink, engine=engine, n_workers=n_workers,
-        block_snps=block_snps,
+        block_snps=block_snps, recorder=recorder,
     )
     elapsed = time.perf_counter() - start
     assert report.complete
-    return elapsed, report.n_computed
+    assert recorder.event_count("tile_computed") == report.n_computed
+    return elapsed, report.n_computed, recorder
 
 
 def bench_engine_scaling(
     *, n_samples: int, n_snps: int, block_snps: int, workers: list[int]
-) -> dict[tuple[str, int], float]:
-    """Time every (engine, workers) combination and print the table."""
+) -> list[dict]:
+    """Time every (engine, workers) combination and print the table.
+
+    Returns one JSON-serializable result row per run, including measured
+    pairs/s and the measured/modeled %-of-peak pair.
+    """
     rng = np.random.default_rng(2016)
     panel = simulate_sfs_panel(n_samples, n_snps, rng=rng)
+    packed = panel  # simulate_sfs_panel returns a BitMatrix
     n_tiles = len(enumerate_tiles(n_snps, block_snps))
     n_pairs = n_snps * (n_snps + 1) // 2
     print(
@@ -66,44 +84,91 @@ def bench_engine_scaling(
         f"{block_snps}-SNP tiles ({n_tiles} tiles, {n_pairs:,} pairs)"
     )
     print(f"{'engine':>10} | {'workers':>7} | {'seconds':>8} | "
-          f"{'Mpairs/s':>8} | {'vs serial':>9}")
-    results: dict[tuple[str, int], float] = {}
+          f"{'Mpairs/s':>8} | {'%peak':>6} | {'vs serial':>9}")
+    rows: list[dict] = []
     serial_s = None
     for engine in ENGINES:
         for n_workers in ([1] if engine == "serial" else workers):
-            seconds, computed = run_once(
+            seconds, computed, recorder = run_once(
                 panel, engine=engine, n_workers=n_workers,
                 block_snps=block_snps,
             )
             assert computed == n_tiles
-            results[(engine, n_workers)] = seconds
+            comparison = compare_to_model(
+                n_snps, n_snps, packed.n_words, seconds,
+                params=DEFAULT_BLOCKING, symmetric=True,
+            )
             if serial_s is None:
                 serial_s = seconds
+            rows.append({
+                "n_snps": n_snps,
+                "n_samples": n_samples,
+                "k_words": packed.n_words,
+                "block_snps": block_snps,
+                "n_tiles": n_tiles,
+                "engine": engine,
+                "workers": n_workers,
+                "seconds": seconds,
+                "pairs": n_pairs,
+                "pairs_per_second": n_pairs / seconds,
+                "measured_percent_of_peak":
+                    comparison.measured_percent_of_peak,
+                "modeled_percent_of_peak": comparison.modeled_percent_of_peak,
+                "measured_vs_modeled": comparison.measured_vs_modeled,
+                "compute_seconds_total":
+                    recorder.timers["engine.tile_compute_seconds"].total,
+                "deliver_seconds_total":
+                    recorder.timers["engine.tile_deliver_seconds"].total,
+            })
             print(
                 f"{engine:>10} | {n_workers:>7} | {seconds:>8.3f} | "
-                f"{n_pairs / seconds / 1e6:>8.2f} | {serial_s / seconds:>8.2f}x"
+                f"{n_pairs / seconds / 1e6:>8.2f} | "
+                f"{comparison.measured_percent_of_peak:>6.2f} | "
+                f"{serial_s / seconds:>8.2f}x"
             )
-    return results
+    return rows
+
+
+def write_report(rows: list[dict], path: str | Path) -> None:
+    """Serialize the accumulated rows as ``BENCH_engine.json``."""
+    payload = {
+        "schema": "repro-bench-engine/1",
+        "model": "HASWELL analytical (repro.machine), DEFAULT_BLOCKING, "
+                 "scalar64 peak",
+        "results": rows,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    print(f"wrote {len(rows)} result rows -> {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="small shapes (CI smoke test; a few seconds)")
-    parser.add_argument("--samples", type=int, default=1024)
-    parser.add_argument("--snps", type=int, default=1200)
+    parser.add_argument("--samples", type=int, default=None)
+    parser.add_argument("--snps", type=int, default=None)
     parser.add_argument("--block-snps", type=int, default=256)
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--json", default="BENCH_engine.json", metavar="PATH",
+                        help="result file (default: %(default)s)")
     args = parser.parse_args(argv)
+    if args.samples is not None or args.snps is not None:
+        # Explicit single shape from the command line.
+        shapes = [(args.samples or 1024, args.snps or 1200, args.block_snps)]
+    else:
+        shapes = QUICK_SHAPES if args.quick else FULL_SHAPES
     if args.quick:
-        args.samples, args.snps, args.block_snps = 128, 220, 64
         args.workers = [2]
-    results = bench_engine_scaling(
-        n_samples=args.samples, n_snps=args.snps,
-        block_snps=args.block_snps, workers=args.workers,
-    )
-    # Smoke criterion: every executor finished every tile.
-    assert len(results) == 1 + 2 * len(args.workers)
+    rows: list[dict] = []
+    for n_samples, n_snps, block_snps in shapes:
+        rows.extend(bench_engine_scaling(
+            n_samples=n_samples, n_snps=n_snps,
+            block_snps=block_snps, workers=args.workers,
+        ))
+    # Smoke criterion: every executor finished every tile, on every shape.
+    assert len(rows) == len(shapes) * (1 + 2 * len(args.workers))
+    write_report(rows, args.json)
     print("ok: all engines completed")
     return 0
 

@@ -20,6 +20,30 @@ Quickstart
 (20, 20)
 """
 
+import numpy as _np
+
+
+def _require_numpy_2(module=_np) -> None:
+    """Fail fast on NumPy < 2.0 with an actionable message.
+
+    The packed kernels call ``np.bitwise_count`` throughout (popcount.py,
+    bitmatrix.py, the GEMM micro-kernels, ...), which only exists in
+    NumPy >= 2.0 — on a 1.x install every hot path would crash with a
+    bare ``AttributeError`` deep inside a kernel. Checking the capability
+    (not the version string) keeps the guard honest under monkeypatching
+    and future renames.
+    """
+    if not hasattr(module, "bitwise_count"):
+        version = getattr(module, "__version__", "unknown")
+        raise ImportError(
+            f"repro requires NumPy >= 2.0 (np.bitwise_count is used by the "
+            f"packed popcount kernels) but NumPy {version} is installed. "
+            f"Upgrade with: pip install 'numpy>=2.0'"
+        )
+
+
+_require_numpy_2()
+
 from repro.core.blocking import BlockingParams, DEFAULT_BLOCKING, select_blocking
 from repro.core.ldmatrix import LDResult, compute_ld, ld_cross, ld_matrix, ld_pairs
 from repro.core.windowed import banded_ld

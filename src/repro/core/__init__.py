@@ -31,6 +31,7 @@ from repro.core.engine import (
     ENGINES,
     EngineReport,
     TileManifest,
+    TileResult,
     TileTask,
     enumerate_tiles,
     run_engine,
@@ -81,6 +82,7 @@ __all__ = [
     "ENGINES",
     "EngineReport",
     "TileManifest",
+    "TileResult",
     "TileTask",
     "enumerate_tiles",
     "run_engine",

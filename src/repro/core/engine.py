@@ -30,6 +30,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
+import time
 from collections.abc import Callable
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -42,6 +44,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context, shared_memory
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -51,10 +54,15 @@ from repro.core.ldmatrix import as_bitmatrix
 from repro.core.stats import r_squared_matrix
 from repro.encoding.bitmatrix import BitMatrix
 
+if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
+    from repro.observe.metrics import MetricsRecorder
+    from repro.observe.progress import ProgressReporter
+
 __all__ = [
     "ENGINES",
     "EngineReport",
     "TileManifest",
+    "TileResult",
     "TileTask",
     "compute_tile",
     "enumerate_tiles",
@@ -127,13 +135,16 @@ def compute_tile(
     params: BlockingParams = DEFAULT_BLOCKING,
     kernel: str = "numpy",
     undefined: float = np.nan,
+    recorder: "MetricsRecorder | None" = None,
 ) -> np.ndarray:
     """Compute one statistic block from the packed words (pure function).
 
     This is the whole per-tile work unit — one rectangular popcount GEMM
     plus the elementwise statistic — factored out so the serial loop,
     thread workers, and shared-memory process workers run byte-identical
-    code.
+    code. An optional *recorder* is forwarded to the blocked GEMM driver
+    (in-process callers only; pool workers compute without one and their
+    timings travel back in :class:`TileResult`).
     """
     if stat not in _ENGINE_STATS:
         raise ValueError(f"unknown LD statistic {stat!r}; choose r2/D/H")
@@ -142,6 +153,7 @@ def compute_tile(
         words[tile.j0 : tile.j1],
         params=params,
         kernel=kernel,
+        recorder=recorder,
     )
     # Divide (rather than multiply by a reciprocal) so tiles are
     # bit-identical to the in-memory pipeline's H = counts / N.
@@ -152,6 +164,24 @@ def compute_tile(
     if stat == "D":
         return h - np.outer(p, q)
     return r_squared_matrix(h, p, q, undefined=undefined)
+
+
+@dataclass(frozen=True)
+class TileResult:
+    """One computed tile plus its provenance (who computed it, how long).
+
+    The transport unit between workers and the driver: the statistic
+    block itself, the compute wall-clock measured *inside* the worker
+    (so pool scheduling latency is excluded), and a worker identity —
+    thread name in-process, ``pid-<n>`` for pool processes. This is what
+    lets the per-tile metrics events attribute time to compute vs.
+    delivery, the split the out-of-core GEMM literature says decides
+    whether an overlap pipeline is actually overlapping.
+    """
+
+    block: np.ndarray
+    compute_seconds: float
+    worker: str
 
 
 # ---------------------------------------------------------------------------
@@ -312,12 +342,13 @@ def _init_worker(
     )
 
 
-def _run_tile_in_worker(tile: TileTask) -> np.ndarray:
+def _run_tile_in_worker(tile: TileTask) -> TileResult:
     """Pool task: compute one tile against the attached shared words."""
     state = _WORKER_STATE
     if state.get("fault_hook") is not None:
         state["fault_hook"](tile.key)
-    return compute_tile(
+    start = time.perf_counter()
+    block = compute_tile(
         state["words"],
         state["freqs"],
         state["n_samples"],
@@ -326,6 +357,11 @@ def _run_tile_in_worker(tile: TileTask) -> np.ndarray:
         params=state["params"],
         kernel=state["kernel"],
         undefined=state["undefined"],
+    )
+    return TileResult(
+        block=block,
+        compute_seconds=time.perf_counter() - start,
+        worker=f"pid-{os.getpid()}",
     )
 
 
@@ -341,10 +377,12 @@ def _largest_first(tiles: list[TileTask]) -> list[TileTask]:
 
 def _execute_pooled(
     pool_factory: Callable[[], Executor],
-    task: Callable[[TileTask], np.ndarray],
+    task: Callable[[TileTask], TileResult],
     tiles: list[TileTask],
-    deliver: Callable[[TileTask, np.ndarray], None],
+    deliver: Callable[[TileTask, TileResult], None],
     max_retries: int,
+    on_retry: Callable[[TileTask, BaseException], None] | None = None,
+    on_restart: Callable[[BaseException], None] | None = None,
 ) -> int:
     """Drive *task* over an executor with per-tile retry and pool rebuild.
 
@@ -352,7 +390,8 @@ def _execute_pooled(
     whose task raises is resubmitted up to *max_retries* times; a broken
     process pool (worker killed) is rebuilt up to *max_retries* times, with
     every undelivered tile resubmitted to the fresh pool. Returns the
-    number of retries performed.
+    number of retries performed. *on_retry*/*on_restart* are observability
+    hooks, invoked in the driver thread once per retry increment.
     """
     retries = 0
     restarts = 0
@@ -378,12 +417,16 @@ def _execute_pooled(
                     else:
                         attempts[tile] += 1
                         retries += 1
+                        if on_retry is not None:
+                            on_retry(tile, error)
                         if attempts[tile] > max_retries:
                             raise error
                         futures[pool.submit(task, tile)] = tile
-        except BrokenProcessPool:
+        except BrokenProcessPool as error:
             restarts += 1
             retries += 1
+            if on_restart is not None:
+                on_restart(error)
             if restarts > max_retries:
                 raise
             remaining = [t for t in submitted if t not in delivered_now]
@@ -425,6 +468,8 @@ def run_engine(
     resume: bool = False,
     max_retries: int = 2,
     fault_hook: Callable[[tuple[int, int]], None] | None = None,
+    recorder: "MetricsRecorder | None" = None,
+    progress: "ProgressReporter | None" = None,
 ) -> EngineReport:
     """Compute the lower-triangle LD matrix tile by tile into *sink*.
 
@@ -456,6 +501,18 @@ def run_engine(
     fault_hook:
         Fault-injection point for tests: called as ``hook((i0, j0))`` in
         the worker before each tile is computed.
+    recorder:
+        Optional :class:`repro.observe.MetricsRecorder`. When set, the
+        run emits structured events — ``run_start``, one
+        ``tile_computed`` per delivered tile (tile key, compute seconds,
+        deliver/flush seconds, bytes written, worker id), one
+        ``tile_skipped`` per journaled tile honoured on resume,
+        ``tile_retry`` / ``pool_restart`` per recovery action, and
+        ``run_end`` — plus matching ``engine.*`` counters and timers.
+        The default ``None`` costs one pointer comparison per tile.
+    progress:
+        Optional :class:`repro.observe.ProgressReporter`; advanced once
+        per delivered or skipped tile by that tile's pair count.
 
     Returns
     -------
@@ -489,6 +546,7 @@ def run_engine(
             matrix, stat=stat, block_snps=block_snps, undefined=undefined
         )
         manifest = TileManifest.open(manifest_path, fingerprint, resume=resume)
+    run_start = time.perf_counter()
     try:
         if manifest is not None and manifest.completed:
             todo = [t for t in tiles if t.key not in manifest.completed]
@@ -497,9 +555,36 @@ def run_engine(
         n_skipped = len(tiles) - len(todo)
         n_computed = 0
 
-        def deliver(tile: TileTask, block: np.ndarray) -> None:
+        if recorder is not None:
+            recorder.event(
+                "run_start",
+                engine=engine,
+                stat=stat,
+                n_snps=matrix.n_snps,
+                n_samples=matrix.n_samples,
+                k_words=matrix.n_words,
+                block_snps=block_snps,
+                n_tiles=len(tiles),
+                n_todo=len(todo),
+            )
+        if (recorder is not None or progress is not None) and n_skipped:
+            for tile in tiles:
+                if tile.key in manifest.completed:
+                    if recorder is not None:
+                        recorder.inc("engine.tiles_skipped")
+                        recorder.inc("engine.pairs_skipped", tile.n_pairs)
+                        recorder.event(
+                            "tile_skipped",
+                            tile=[tile.i0, tile.j0],
+                            pairs=tile.n_pairs,
+                        )
+                    if progress is not None:
+                        progress.advance(tile.n_pairs, skipped=True)
+
+        def deliver(tile: TileTask, result: TileResult) -> None:
             nonlocal n_computed
-            sink(tile.i0, tile.j0, block)
+            deliver_start = time.perf_counter()
+            sink(tile.i0, tile.j0, result.block)
             if manifest is not None:
                 # Make the sink's effects durable before journaling the
                 # tile, so resume never trusts an unflushed block.
@@ -508,11 +593,46 @@ def run_engine(
                     flush()
                 manifest.record(tile)
             n_computed += 1
+            if recorder is not None:
+                deliver_seconds = time.perf_counter() - deliver_start
+                recorder.inc("engine.tiles_computed")
+                recorder.inc("engine.pairs_computed", tile.n_pairs)
+                recorder.inc("engine.bytes_delivered", int(result.block.nbytes))
+                recorder.observe_time(
+                    "engine.tile_compute_seconds", result.compute_seconds
+                )
+                recorder.observe_time(
+                    "engine.tile_deliver_seconds", deliver_seconds
+                )
+                recorder.event(
+                    "tile_computed",
+                    tile=[tile.i0, tile.j0],
+                    pairs=tile.n_pairs,
+                    compute_s=result.compute_seconds,
+                    deliver_s=deliver_seconds,
+                    bytes=int(result.block.nbytes),
+                    worker=result.worker,
+                )
+            if progress is not None:
+                progress.advance(tile.n_pairs)
 
-        def local_task(tile: TileTask) -> np.ndarray:
+        def on_retry(tile: TileTask, error: BaseException) -> None:
+            if recorder is not None:
+                recorder.inc("engine.retries")
+                recorder.event(
+                    "tile_retry", tile=[tile.i0, tile.j0], error=repr(error)
+                )
+
+        def on_restart(error: BaseException) -> None:
+            if recorder is not None:
+                recorder.inc("engine.pool_restarts")
+                recorder.event("pool_restart", error=repr(error))
+
+        def local_task(tile: TileTask) -> TileResult:
             if fault_hook is not None:
                 fault_hook(tile.key)
-            return compute_tile(
+            start = time.perf_counter()
+            block = compute_tile(
                 words,
                 freqs,
                 matrix.n_samples,
@@ -522,6 +642,11 @@ def run_engine(
                 kernel=kernel,
                 undefined=undefined,
             )
+            return TileResult(
+                block=block,
+                compute_seconds=time.perf_counter() - start,
+                worker=threading.current_thread().name,
+            )
 
         if not todo:
             retries = 0
@@ -530,13 +655,14 @@ def run_engine(
             for tile in todo:
                 for attempt in range(max_retries + 1):
                     try:
-                        block = local_task(tile)
+                        result = local_task(tile)
                         break
-                    except Exception:
+                    except Exception as error:
                         retries += 1
+                        on_retry(tile, error)
                         if attempt == max_retries:
                             raise
-                deliver(tile, block)
+                deliver(tile, result)
         elif engine == "threads":
             workers = min(n_workers, len(todo))
             retries = _execute_pooled(
@@ -545,6 +671,8 @@ def run_engine(
                 _largest_first(todo),
                 deliver,
                 max_retries,
+                on_retry=on_retry,
+                on_restart=on_restart,
             )
         else:  # processes
             retries = _run_process_engine(
@@ -560,11 +688,23 @@ def run_engine(
                 undefined=undefined,
                 max_retries=max_retries,
                 fault_hook=fault_hook,
+                on_retry=on_retry,
+                on_restart=on_restart,
             )
     finally:
         if manifest is not None:
             manifest.close()
 
+    if recorder is not None:
+        run_seconds = time.perf_counter() - run_start
+        recorder.observe_time("engine.run_seconds", run_seconds)
+        recorder.event(
+            "run_end",
+            n_computed=n_computed,
+            n_skipped=n_skipped,
+            n_retries=retries,
+            seconds=run_seconds,
+        )
     return EngineReport(
         engine=engine,
         n_workers=1 if engine == "serial" else min(n_workers, max(len(todo), 1)),
@@ -581,7 +721,7 @@ def _run_process_engine(
     freqs: np.ndarray,
     n_samples: int,
     todo: list[TileTask],
-    deliver: Callable[[TileTask, np.ndarray], None],
+    deliver: Callable[[TileTask, TileResult], None],
     n_workers: int,
     stat: str,
     params: BlockingParams,
@@ -589,6 +729,8 @@ def _run_process_engine(
     undefined: float,
     max_retries: int,
     fault_hook: Callable[[tuple[int, int]], None] | None,
+    on_retry: Callable[[TileTask, BaseException], None] | None = None,
+    on_restart: Callable[[BaseException], None] | None = None,
 ) -> int:
     """Process-pool execution with the packed words in shared memory.
 
@@ -628,7 +770,8 @@ def _run_process_engine(
             )
 
         return _execute_pooled(
-            pool_factory, _run_tile_in_worker, todo, deliver, max_retries
+            pool_factory, _run_tile_in_worker, todo, deliver, max_retries,
+            on_retry=on_retry, on_restart=on_restart,
         )
     finally:
         shm.close()

@@ -30,13 +30,18 @@ the kernels, producing the exact instruction/traffic counts the machine model
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
 from repro.core.microkernel import MICRO_KERNELS
 from repro.core.packing import pack_block_a, pack_panel_b
+
+if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
+    from repro.observe.metrics import MetricsRecorder
 
 __all__ = [
     "GemmCounts",
@@ -68,6 +73,7 @@ def popcount_gemm(
     *,
     params: BlockingParams = DEFAULT_BLOCKING,
     kernel: str = "numpy",
+    recorder: "MetricsRecorder | None" = None,
 ) -> np.ndarray:
     """All-pairs popcount inner products via the blocked GotoBLAS nest.
 
@@ -81,6 +87,11 @@ def popcount_gemm(
     kernel:
         Micro-kernel name from :data:`repro.core.microkernel.MICRO_KERNELS`
         (``"numpy"`` production kernel or ``"scalar"`` reference).
+    recorder:
+        Optional :class:`repro.observe.MetricsRecorder`; when set, the
+        call emits one ``gemm`` event (shape, kernel, seconds) and
+        accumulates ``gemm.*`` counters/timers. ``None`` costs a single
+        ``None`` comparison.
 
     Returns
     -------
@@ -88,6 +99,7 @@ def popcount_gemm(
     ``C[i, j] = s_iᵀ s_j``.
     """
     m, n, k = _check_operands(a_words, b_words)
+    start = time.perf_counter() if recorder is not None else 0.0
     micro = MICRO_KERNELS[kernel]
     mr, nr = params.mr, params.nr
     m_pad = -(-max(m, 1) // mr) * mr
@@ -115,7 +127,26 @@ def popcount_gemm(
                             b_micro,
                             c[i0 : i0 + mr, j0 : j0 + nr],
                         )
+    if recorder is not None:
+        _record_gemm_call(recorder, "gemm", m, n, k, kernel, start)
     return c[:m, :n]
+
+
+def _record_gemm_call(
+    recorder: "MetricsRecorder",
+    name: str,
+    m: int,
+    n: int,
+    k: int,
+    kernel: str,
+    start: float,
+) -> None:
+    """Aggregate one blocked-driver invocation into *recorder*."""
+    seconds = time.perf_counter() - start
+    recorder.inc(f"{name}.calls")
+    recorder.inc(f"{name}.word_ops", 3 * m * n * k)
+    recorder.observe_time(f"{name}.seconds", seconds)
+    recorder.event(name, m=m, n=n, k=k, kernel=kernel, seconds=seconds)
 
 
 def popcount_gram(
@@ -123,15 +154,18 @@ def popcount_gram(
     *,
     params: BlockingParams = DEFAULT_BLOCKING,
     kernel: str = "numpy",
+    recorder: "MetricsRecorder | None" = None,
 ) -> np.ndarray:
     """Symmetric case ``C = A Aᵀ`` (the ``GᵀG`` of Equation 5).
 
     Skips micro-tiles strictly above the diagonal and mirrors the lower
     triangle afterwards — the N(N+1)/2 pairwise-count traversal the paper
-    reports for the GEMM implementation (Section VI).
+    reports for the GEMM implementation (Section VI). *recorder* behaves
+    as in :func:`popcount_gemm`, emitting ``gram`` events/counters.
     """
     a_words = np.asarray(a_words)
     m, _, k = _check_operands(a_words, a_words)
+    start = time.perf_counter() if recorder is not None else 0.0
     micro = MICRO_KERNELS[kernel]
     mr, nr = params.mr, params.nr
     m_pad = -(-max(m, 1) // mr) * mr
@@ -166,6 +200,8 @@ def popcount_gram(
                             c[i0 : i0 + mr, j0 : j0 + nr],
                         )
     lower = np.tril(c[:m, :m])
+    if recorder is not None:
+        _record_gemm_call(recorder, "gram", m, m, k, kernel, start)
     return lower + np.tril(lower, -1).T
 
 

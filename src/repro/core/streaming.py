@@ -24,8 +24,10 @@ independent of the number of SNPs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +35,10 @@ from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
 from repro.core.engine import compute_tile, enumerate_tiles
 from repro.core.ldmatrix import as_bitmatrix
 from repro.encoding.bitmatrix import BitMatrix
+
+if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
+    from repro.observe.metrics import MetricsRecorder
+    from repro.observe.progress import ProgressReporter
 
 __all__ = ["NpyMemmapSink", "ThresholdCollector", "stream_ld_blocks"]
 
@@ -74,11 +80,39 @@ class NpyMemmapSink:
             raise ValueError(f"mode must be 'w+' or 'r+', got {self.mode!r}")
         shape = (self.n_snps, self.n_snps)
         if self.mode == "r+":
-            memmap = np.lib.format.open_memmap(str(self.path), mode="r+")
-            if memmap.shape != shape or memmap.dtype != np.float64:
+            # A resumed run reopens whatever is on disk and then writes
+            # through it, so refuse anything that is not exactly the
+            # matrix a previous run of this shape would have produced —
+            # silently memmapping a mismatched file would scatter tiles
+            # into garbage offsets.
+            try:
+                memmap = np.lib.format.open_memmap(str(self.path), mode="r+")
+            except FileNotFoundError as exc:
                 raise ValueError(
-                    f"existing matrix at {self.path} has shape {memmap.shape} "
-                    f"dtype {memmap.dtype}; expected {shape} float64"
+                    f"cannot reopen {self.path} with mode='r+': file does "
+                    "not exist (rerun without resume to create it)"
+                ) from exc
+            except ValueError as exc:
+                raise ValueError(
+                    f"cannot reopen {self.path} with mode='r+': not a "
+                    f"readable .npy file ({exc}); delete it or rerun "
+                    "without resume"
+                ) from exc
+            if memmap.shape != shape or memmap.dtype != np.float64:
+                found_shape, found_dtype = memmap.shape, memmap.dtype
+                del memmap  # release before raising
+                raise ValueError(
+                    f"existing matrix at {self.path} has shape "
+                    f"{found_shape} dtype {found_dtype}; expected "
+                    f"{shape} float64 — it was not produced by an "
+                    "equivalent run; delete it or rerun without resume"
+                )
+            if not memmap.flags["C_CONTIGUOUS"]:
+                del memmap
+                raise ValueError(
+                    f"existing matrix at {self.path} is Fortran-ordered; "
+                    f"expected C-ordered {shape} float64 — delete it or "
+                    "rerun without resume"
                 )
             self._memmap = memmap
         else:
@@ -148,6 +182,8 @@ def stream_ld_blocks(
     kernel: str = "numpy",
     undefined: float = np.nan,
     include_diagonal_blocks: bool = True,
+    recorder: "MetricsRecorder | None" = None,
+    progress: "ProgressReporter | None" = None,
 ) -> int:
     """Stream the lower-triangle LD matrix through *sink* block by block.
 
@@ -169,6 +205,14 @@ def stream_ld_blocks(
         ``block_snps² × 8`` bytes.
     include_diagonal_blocks:
         Deliver the ``I == J`` blocks (contain the trivial diagonal).
+    recorder:
+        Optional :class:`repro.observe.MetricsRecorder`; one
+        ``tile_computed`` event per delivered block (compute vs. deliver
+        seconds, bytes), same vocabulary as the engine. ``None`` (the
+        default) costs one comparison per block.
+    progress:
+        Optional :class:`repro.observe.ProgressReporter`, advanced per
+        delivered block.
     """
     if stat not in ("r2", "D", "H"):
         raise ValueError(f"unknown LD statistic {stat!r}; choose r2/D/H")
@@ -180,9 +224,29 @@ def stream_ld_blocks(
         matrix.n_snps, block_snps, include_diagonal=include_diagonal_blocks
     )
     for tile in tiles:
+        start = time.perf_counter()
         block = compute_tile(
             matrix.words, freqs, matrix.n_samples, tile,
             stat=stat, params=params, kernel=kernel, undefined=undefined,
         )
+        mid = time.perf_counter() if recorder is not None else 0.0
         sink(tile.i0, tile.j0, block)
+        if recorder is not None:
+            end = time.perf_counter()
+            recorder.inc("stream.tiles_computed")
+            recorder.inc("stream.pairs_computed", tile.n_pairs)
+            recorder.inc("stream.bytes_delivered", int(block.nbytes))
+            recorder.observe_time("stream.tile_compute_seconds", mid - start)
+            recorder.observe_time("stream.tile_deliver_seconds", end - mid)
+            recorder.event(
+                "tile_computed",
+                tile=[tile.i0, tile.j0],
+                pairs=tile.n_pairs,
+                compute_s=mid - start,
+                deliver_s=end - mid,
+                bytes=int(block.nbytes),
+                worker="driver",
+            )
+        if progress is not None:
+            progress.advance(tile.n_pairs)
     return len(tiles)

@@ -28,7 +28,12 @@ from repro.machine.cpu import HASWELL, MachineSpec
 from repro.machine.isa import SCALAR64, SimdConfig
 from repro.machine.peak import ld_theoretical_peak_ops_per_cycle
 
-__all__ = ["PerfEstimate", "estimate_gemm_performance"]
+__all__ = [
+    "PerfEstimate",
+    "estimate_gemm_performance",
+    "measured_ops_per_cycle",
+    "measured_percent_of_peak",
+]
 
 
 @dataclass(frozen=True)
@@ -111,3 +116,31 @@ def estimate_gemm_performance(
         peak_ops_per_cycle=peak,
         seconds=cycles / machine.frequency_hz,
     )
+
+
+def measured_ops_per_cycle(
+    total_ops: int, seconds: float, *, machine: MachineSpec = HASWELL
+) -> float:
+    """Convert a measured wall-clock into effective ops/cycle.
+
+    Expresses an observed execution in the model's currency: the cycles
+    the *machine* would have spent in *seconds* at its frequency. This is
+    how the paper's Figures 3–4 turn timings into %-of-peak points.
+    """
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    if total_ops < 0:
+        raise ValueError(f"total_ops must be non-negative, got {total_ops}")
+    return total_ops / (seconds * machine.frequency_hz)
+
+
+def measured_percent_of_peak(
+    total_ops: int,
+    seconds: float,
+    *,
+    machine: MachineSpec = HASWELL,
+    simd: SimdConfig = SCALAR64,
+) -> float:
+    """Measured throughput as a percentage of the Section IV-B peak."""
+    achieved = measured_ops_per_cycle(total_ops, seconds, machine=machine)
+    return 100.0 * achieved / ld_theoretical_peak_ops_per_cycle(simd)

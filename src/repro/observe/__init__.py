@@ -1,0 +1,35 @@
+"""Observability for the tiled LD engine: metrics, progress, %-of-peak.
+
+The paper's headline results are measurements, and the out-of-core GEMM
+literature (Fabregat-Traver & Bientinesi's petaflops-over-terabytes
+pipelines, Beyer & Bientinesi's HDD→GPU streaming) is unambiguous that
+multi-stage pipelines live or die on per-stage instrumentation of
+compute vs. delivery overlap. This package is that instrumentation
+layer, threaded through :func:`repro.core.engine.run_engine`,
+:func:`repro.core.streaming.stream_ld_blocks`, and the blocked
+:func:`repro.core.gemm.popcount_gemm` drivers:
+
+- :class:`MetricsRecorder` — counters, timers, histograms, and
+  structured per-tile events, with a zero-cost disabled default;
+- :class:`JsonlTraceSink` — streaming JSON-lines event trace for
+  post-hoc analysis;
+- :class:`ProgressReporter` — live tiles/s, pairs/s, and ETA;
+- :func:`compare_to_model` — measured throughput converted to effective
+  ops/cycle and placed against :mod:`repro.machine.perfmodel`'s
+  prediction, reproducing the paper's %-of-peak framing (Figs. 3–4) as
+  a first-class artifact.
+"""
+
+from repro.observe.metrics import Histogram, JsonlTraceSink, MetricsRecorder
+from repro.observe.modelcheck import PeakComparison, compare_to_model
+from repro.observe.progress import ProgressReporter, ProgressSnapshot
+
+__all__ = [
+    "Histogram",
+    "JsonlTraceSink",
+    "MetricsRecorder",
+    "PeakComparison",
+    "ProgressReporter",
+    "ProgressSnapshot",
+    "compare_to_model",
+]

@@ -1,0 +1,206 @@
+"""Structured metrics for the hot paths: counters, timers, events.
+
+The paper's claims are *measurements* — %-of-peak (Figs. 3–4), thread
+scaling (Fig. 5), wall-clock vs PLINK (Tables I–III) — so the execution
+layers need first-class instrumentation rather than ad-hoc prints. This
+module provides the recording half of :mod:`repro.observe`:
+
+- :class:`MetricsRecorder` accumulates named counters, timers, and value
+  histograms, and emits structured *events* (one dict per occurrence:
+  tile completed, tile retried, worker pool rebuilt, ...). Every event
+  bumps an ``events.<kind>`` counter, so aggregate accounting survives
+  even when the full event stream is not retained.
+- :class:`JsonlTraceSink` streams events to a JSON-lines file for
+  post-hoc analysis (one object per line, monotonic ``ts`` seconds since
+  the recorder was created) — the trace format the out-of-core GEMM
+  literature uses to attribute wall-clock to compute vs. I/O overlap.
+- :class:`Histogram` is the bounded summary behind timers and value
+  distributions: count / total / min / max, never per-sample storage, so
+  a million-tile run costs O(1) memory.
+
+The hot paths take ``recorder: MetricsRecorder | None = None`` and guard
+every emission with ``if recorder is not None`` — the disabled default is
+a branch on ``None`` per tile, not a method call, so instrumentation is
+zero-cost unless switched on.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["Histogram", "JsonlTraceSink", "MetricsRecorder"]
+
+
+@dataclass
+class Histogram:
+    """Bounded running summary of a value stream (no per-sample storage)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """JSON-serializable summary dict."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class JsonlTraceSink:
+    """Append-only JSON-lines event trace (one compact object per line).
+
+    The sink is deliberately dumb: it serializes whatever dict it is
+    handed. Interpretation (which kinds exist, which fields they carry)
+    belongs to the emitters; ``docs/TUTORIAL.md`` documents the engine's
+    event vocabulary.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self.n_written = 0
+
+    def write(self, event: dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"trace sink for {self.path} is closed")
+        self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self.n_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class MetricsRecorder:
+    """Accumulates counters, timers, histograms, and structured events.
+
+    Parameters
+    ----------
+    trace:
+        Optional :class:`JsonlTraceSink` (or any object with a
+        ``write(dict)`` method); every :meth:`event` is streamed to it
+        with a monotonic ``ts`` field.
+    keep_events:
+        Retain the full event list in memory (``self.events``). Off by
+        default — per-tile events on a biobank-scale run would exhaust
+        memory; the counters/timers aggregate them regardless.
+    """
+
+    trace: JsonlTraceSink | None = None
+    keep_events: bool = False
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, Histogram] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    events: list[dict] = field(default_factory=list)
+    _t0: float = field(default_factory=time.perf_counter, repr=False)
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add *value* to counter *name* (created at zero on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one sample into histogram *name*."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into timer *name*."""
+        hist = self.timers.get(name)
+        if hist is None:
+            hist = self.timers[name] = Histogram()
+        hist.observe(seconds)
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Time the enclosed block into timer *name* (accumulating)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe_time(name, time.perf_counter() - start)
+
+    def event(self, kind: str, **fields: object) -> None:
+        """Record one structured occurrence of *kind*.
+
+        Bumps the ``events.<kind>`` counter, appends to ``self.events``
+        when retention is on, and streams ``{"kind", "ts", **fields}`` to
+        the trace sink when one is attached.
+        """
+        self.inc(f"events.{kind}")
+        if self.keep_events or self.trace is not None:
+            record = {"kind": kind, "ts": time.perf_counter() - self._t0}
+            record.update(fields)
+            if self.keep_events:
+                self.events.append(record)
+            if self.trace is not None:
+                self.trace.write(record)
+
+    def event_count(self, kind: str) -> int:
+        """Occurrences of *kind* recorded so far."""
+        return self.counters.get(f"events.{kind}", 0)
+
+    def summary(self) -> dict:
+        """JSON-serializable snapshot of everything accumulated."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {k: v.summary() for k, v in sorted(self.timers.items())},
+            "histograms": {
+                k: v.summary() for k, v in sorted(self.histograms.items())
+            },
+        }
+
+    def write_json(self, path: str | Path, *, extra: dict | None = None) -> None:
+        """Write :meth:`summary` (plus *extra* top-level keys) to *path*."""
+        payload = dict(extra) if extra else {}
+        payload.update(self.summary())
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def close(self) -> None:
+        """Close the attached trace sink, if any; idempotent."""
+        if self.trace is not None:
+            self.trace.close()
+
+    def __enter__(self) -> "MetricsRecorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

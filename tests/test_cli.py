@@ -202,6 +202,91 @@ class TestLdEngineOption:
             main(["ld", str(path), "--engine", "serial", "--window", "5",
                   "--out", out])
 
+    def test_engine_rejects_threads_option(self, ms_panel, tmp_path):
+        """Regression: --threads used to be silently ignored with --engine."""
+        path, _ = ms_panel
+        with pytest.raises(SystemExit, match="use --workers, not --threads"):
+            main([
+                "ld", str(path), "--engine", "serial", "--threads", "3",
+                "--out", str(tmp_path / "ld.npy"),
+            ])
+
+    @pytest.mark.parametrize(
+        "flag", [["--progress"], ["--metrics-out", "m.json"],
+                 ["--trace-out", "t.jsonl"]],
+        ids=["progress", "metrics-out", "trace-out"],
+    )
+    def test_instrumentation_flags_require_engine(
+        self, ms_panel, tmp_path, flag
+    ):
+        path, _ = ms_panel
+        if len(flag) == 2:
+            flag = [flag[0], str(tmp_path / flag[1])]
+        with pytest.raises(SystemExit, match="add --engine"):
+            main(["ld", str(path), "--out", str(tmp_path / "ld.npy"), *flag])
+
+    def test_metrics_out_agrees_with_engine_report(
+        self, ms_panel, tmp_path, capsys
+    ):
+        import json
+
+        path, haps = ms_panel
+        out = tmp_path / "ld.npy"
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "ld", str(path), "--engine", "processes", "--workers", "2",
+            "--block-snps", "16", "--out", str(out), "--progress",
+            "--metrics-out", str(metrics), "--trace-out", str(trace),
+        ]) == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["schema"] == "repro-ld-metrics/1"
+        assert payload["engine"] == "processes"
+        assert payload["n_snps"] == haps.shape[1]
+        n_tiles = 10  # 60 SNPs in 16-SNP blocks -> 4 block rows
+        assert payload["n_tiles"] == payload["n_computed"] == n_tiles
+        assert payload["n_skipped"] == payload["n_retries"] == 0
+        from repro.core.engine import enumerate_tiles
+
+        expected_pairs = sum(t.n_pairs for t in enumerate_tiles(60, 16))
+        assert payload["pairs_computed"] == expected_pairs
+        assert payload["pairs_per_second"] > 0
+        # Counters inside the same payload must agree with the top level.
+        assert payload["counters"]["engine.tiles_computed"] == n_tiles
+        assert payload["timers"]["engine.tile_compute_seconds"]["count"] == n_tiles
+        # Complete single-shot run -> measured-vs-modeled section present.
+        assert payload["model"]["m"] == haps.shape[1]
+        assert payload["model"]["measured_percent_of_peak"] > 0
+        # The JSONL trace brackets the run and carries one line per tile.
+        kinds = [
+            json.loads(line)["kind"]
+            for line in trace.read_text().splitlines()
+        ]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert kinds.count("tile_computed") == n_tiles
+
+    def test_metrics_out_on_resume_counts_skips_and_omits_model(
+        self, ms_panel, tmp_path, capsys
+    ):
+        import json
+
+        path, _ = ms_panel
+        out = tmp_path / "ld.npy"
+        args = [
+            "ld", str(path), "--engine", "serial", "--block-snps", "16",
+            "--out", str(out),
+        ]
+        assert main(args) == 0
+        metrics = tmp_path / "resumed.json"
+        assert main(args + ["--resume", "--metrics-out", str(metrics)]) == 0
+        payload = json.loads(metrics.read_text())
+        assert payload["n_computed"] == 0
+        assert payload["n_skipped"] == payload["n_tiles"] == 10
+        assert payload["counters"]["engine.tiles_skipped"] == 10
+        # The wall-clock covered none of the tiles, so a %-of-peak claim
+        # would be meaningless; the section must be absent, not wrong.
+        assert "model" not in payload
+
     def test_custom_manifest_path(self, ms_panel, tmp_path):
         path, _ = ms_panel
         out = tmp_path / "ld.npy"

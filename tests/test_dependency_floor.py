@@ -1,0 +1,51 @@
+"""Tests for the import-time NumPy >= 2.0 capability guard."""
+
+import types
+
+import numpy as np
+import pytest
+
+import repro
+from repro import _require_numpy_2
+
+
+class TestNumpyFloor:
+    def test_installed_numpy_passes(self):
+        # The package imported at the top of this file, so the guard
+        # already ran once; run it again explicitly for good measure.
+        _require_numpy_2()
+        _require_numpy_2(np)
+
+    def test_numpy_1x_like_module_is_rejected(self):
+        fake = types.SimpleNamespace(__version__="1.26.4")  # no bitwise_count
+        with pytest.raises(ImportError, match="NumPy >= 2.0"):
+            _require_numpy_2(fake)
+
+    def test_error_names_version_and_remedy(self):
+        fake = types.SimpleNamespace(__version__="1.24.0")
+        with pytest.raises(ImportError) as excinfo:
+            _require_numpy_2(fake)
+        message = str(excinfo.value)
+        assert "1.24.0" in message
+        assert "bitwise_count" in message
+        assert "pip install 'numpy>=2.0'" in message
+
+    def test_module_without_version_attribute(self):
+        with pytest.raises(ImportError, match="unknown"):
+            _require_numpy_2(types.SimpleNamespace())
+
+    def test_guard_checks_capability_not_version_string(self):
+        # A module advertising 1.x but providing the API passes: the
+        # kernels need the function, not the version number.
+        fake = types.SimpleNamespace(
+            __version__="1.99", bitwise_count=np.bitwise_count
+        )
+        _require_numpy_2(fake)
+
+    def test_declared_floor_matches_guard(self):
+        # pyproject.toml and the runtime guard must not drift apart.
+        import pathlib
+
+        pyproject = pathlib.Path(repro.__file__).parents[2] / "pyproject.toml"
+        if pyproject.exists():
+            assert '"numpy>=2.0"' in pyproject.read_text()

@@ -17,6 +17,7 @@ from repro.core.engine import (
 )
 from repro.core.ldmatrix import as_bitmatrix, ld_matrix
 from repro.core.streaming import NpyMemmapSink
+from repro.observe import MetricsRecorder
 
 
 @pytest.fixture
@@ -41,6 +42,7 @@ class TestEnumerateTiles:
         assert np.all(covered[il] == 1)
         assert np.all(covered <= 1)
 
+    @settings(deadline=None)
     @given(
         n=st.integers(min_value=0, max_value=300),
         block=st.integers(min_value=1, max_value=64),
@@ -207,12 +209,23 @@ class TestRetries:
         counter = tmp_path / "failures"
         counter.write_text("2")
         sink = _AssemblingSink(panel.shape[1])
+        recorder = MetricsRecorder(keep_events=True)
         report = run_engine(
             panel, sink, engine=engine, block_snps=10, n_workers=2,
             max_retries=2, fault_hook=_FailNTimes((10, 10), counter),
+            recorder=recorder,
         )
         assert report.n_retries == 2
         assert report.n_computed == report.n_tiles
+        # The recorder sees every retry the report counts, attributed to
+        # the injected tile.
+        assert recorder.counters["engine.retries"] == report.n_retries
+        retry_events = [
+            e for e in recorder.events if e["kind"] == "tile_retry"
+        ]
+        assert len(retry_events) == 2
+        assert all(e["tile"] == [10, 10] for e in retry_events)
+        assert recorder.event_count("tile_computed") == report.n_computed
         il = np.tril_indices(panel.shape[1])
         np.testing.assert_array_equal(
             sink.matrix[il], ld_matrix(panel)[il]

@@ -1,0 +1,303 @@
+"""Tests for the observability layer (repro.observe) and its hot-path hooks."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.engine import enumerate_tiles, run_engine
+from repro.core.gemm import popcount_gemm, popcount_gram
+from repro.core.streaming import stream_ld_blocks
+from repro.machine.cpu import HASWELL
+from repro.machine.perfmodel import (
+    estimate_gemm_performance,
+    measured_ops_per_cycle,
+    measured_percent_of_peak,
+)
+from repro.observe import (
+    Histogram,
+    JsonlTraceSink,
+    MetricsRecorder,
+    ProgressReporter,
+    compare_to_model,
+)
+
+
+@pytest.fixture
+def panel(rng):
+    return rng.integers(0, 2, size=(64, 33)).astype(np.uint8)
+
+
+class TestHistogram:
+    def test_accumulates_summary_stats(self):
+        hist = Histogram()
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.mean == 2.0
+        assert hist.min == 1.0 and hist.max == 3.0
+
+    def test_empty_summary_is_json_safe(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["min"] is None and summary["max"] is None
+        json.dumps(summary)  # must not contain inf
+
+
+class TestMetricsRecorder:
+    def test_counters_and_timers(self):
+        rec = MetricsRecorder()
+        rec.inc("a")
+        rec.inc("a", 4)
+        with rec.time("t"):
+            pass
+        rec.observe("h", 2.5)
+        assert rec.counters["a"] == 5
+        assert rec.timers["t"].count == 1
+        assert rec.histograms["h"].max == 2.5
+
+    def test_events_bump_counters_and_are_kept_on_request(self):
+        rec = MetricsRecorder(keep_events=True)
+        rec.event("tile_computed", tile=[0, 0])
+        rec.event("tile_computed", tile=[8, 0])
+        rec.event("tile_retry", tile=[8, 0])
+        assert rec.event_count("tile_computed") == 2
+        assert rec.event_count("tile_retry") == 1
+        assert rec.event_count("missing") == 0
+        kinds = [e["kind"] for e in rec.events]
+        assert kinds == ["tile_computed", "tile_computed", "tile_retry"]
+        assert all("ts" in e for e in rec.events)
+
+    def test_events_not_retained_by_default(self):
+        rec = MetricsRecorder()
+        rec.event("x")
+        assert rec.events == []
+        assert rec.event_count("x") == 1
+
+    def test_write_json_with_extra(self, tmp_path):
+        rec = MetricsRecorder()
+        rec.inc("n", 3)
+        out = tmp_path / "m.json"
+        rec.write_json(out, extra={"schema": "test/1"})
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "test/1"
+        assert payload["counters"]["n"] == 3
+        assert set(payload) >= {"counters", "timers", "histograms"}
+
+    def test_trace_sink_receives_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with MetricsRecorder(trace=JsonlTraceSink(path)) as rec:
+            rec.event("a", x=1)
+            rec.event("b", y=[2, 3])
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["kind"] for l in lines] == ["a", "b"]
+        assert lines[1]["y"] == [2, 3]
+
+
+class TestJsonlTraceSink:
+    def test_write_after_close_fails(self, tmp_path):
+        sink = JsonlTraceSink(tmp_path / "t.jsonl")
+        sink.write({"kind": "x"})
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.write({"kind": "y"})
+        assert sink.n_written == 1
+
+
+class TestProgressReporter:
+    def test_accounting_and_snapshot(self):
+        progress = ProgressReporter(4, 100, stream=None)
+        progress.advance(30)
+        progress.advance(20, skipped=True)
+        snap = progress.snapshot()
+        assert snap.tiles_done == 2 and snap.pairs_done == 50
+        assert snap.fraction == 0.5
+        assert snap.pairs_per_second > 0
+        assert 0 < snap.eta_seconds < float("inf")
+
+    def test_eta_edge_cases(self):
+        progress = ProgressReporter(2, 10, stream=None)
+        assert progress.snapshot().eta_seconds == float("inf")  # no rate yet
+        progress.advance(10)
+        assert progress.snapshot().eta_seconds == 0.0
+
+    def test_renders_single_overwriting_line(self):
+        buf = io.StringIO()
+        with ProgressReporter(2, 20, stream=buf, min_interval=0.0) as progress:
+            progress.advance(10)
+            progress.advance(10)
+        text = buf.getvalue()
+        assert text.count("\r") >= 2
+        assert text.endswith("\n")
+        assert "2/2 tiles" in text and "100.0%" in text
+
+    def test_rate_limited_rendering(self):
+        buf = io.StringIO()
+        progress = ProgressReporter(100, 100, stream=buf, min_interval=3600.0)
+        for _ in range(50):
+            progress.advance(1)
+        # First render goes through; the rest are inside the interval.
+        assert buf.getvalue().count("\r") == 1
+
+    def test_rejects_negative_totals(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ProgressReporter(-1, 0, stream=None)
+
+
+class TestMeasuredPerf:
+    def test_measured_ops_per_cycle_units(self):
+        # 3.5e9 ops in one second on a 3.5 GHz machine = 1 op/cycle.
+        assert measured_ops_per_cycle(
+            int(HASWELL.frequency_hz), 1.0, machine=HASWELL
+        ) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="seconds"):
+            measured_ops_per_cycle(10, 0.0)
+        with pytest.raises(ValueError, match="total_ops"):
+            measured_ops_per_cycle(-1, 1.0)
+        with pytest.raises(ValueError, match="measured_seconds"):
+            compare_to_model(10, 10, 1, 0.0)
+
+    def test_measured_matches_model_at_predicted_seconds(self):
+        est = estimate_gemm_performance(100, 100, 2)
+        pct = measured_percent_of_peak(est.total_ops, est.seconds)
+        assert pct == pytest.approx(est.percent_of_peak)
+
+    def test_compare_to_model_consistency(self):
+        cmp = compare_to_model(120, 120, 2, measured_seconds=0.05,
+                               symmetric=True)
+        est = estimate_gemm_performance(120, 120, 2, symmetric=True)
+        assert cmp.modeled_percent_of_peak == pytest.approx(
+            est.percent_of_peak
+        )
+        assert cmp.measured_vs_modeled == pytest.approx(
+            cmp.measured_percent_of_peak / cmp.modeled_percent_of_peak
+        )
+        # Running exactly as fast as the model predicts → ratio 1.
+        honest = compare_to_model(120, 120, 2, est.seconds, symmetric=True)
+        assert honest.measured_vs_modeled == pytest.approx(1.0)
+
+    def test_as_dict_round_trips_through_json(self):
+        cmp = compare_to_model(64, 64, 1, measured_seconds=0.01)
+        payload = json.loads(json.dumps(cmp.as_dict()))
+        assert payload["m"] == 64
+        assert payload["measured_percent_of_peak"] > 0
+
+
+class TestGemmRecorder:
+    def test_gemm_emits_one_event_per_call(self, rng):
+        words = rng.integers(0, 2**63, size=(9, 2), dtype=np.uint64)
+        rec = MetricsRecorder(keep_events=True)
+        expected = popcount_gemm(words, words)
+        observed = popcount_gemm(words, words, recorder=rec)
+        np.testing.assert_array_equal(observed, expected)
+        assert rec.counters["gemm.calls"] == 1
+        assert rec.event_count("gemm") == 1
+        event = rec.events[0]
+        assert (event["m"], event["n"], event["k"]) == (9, 9, 2)
+        assert rec.timers["gemm.seconds"].count == 1
+
+    def test_gram_emits_gram_events(self, rng):
+        words = rng.integers(0, 2**63, size=(7, 3), dtype=np.uint64)
+        rec = MetricsRecorder(keep_events=True)
+        expected = popcount_gram(words)
+        observed = popcount_gram(words, recorder=rec)
+        np.testing.assert_array_equal(observed, expected)
+        assert rec.counters["gram.calls"] == 1
+        assert rec.event_count("gram") == 1
+
+
+class TestStreamingRecorder:
+    def test_per_tile_events_and_counters(self, panel):
+        rec = MetricsRecorder(keep_events=True)
+        buf = io.StringIO()
+        tiles = enumerate_tiles(33, 9)
+        progress = ProgressReporter(
+            len(tiles), sum(t.n_pairs for t in tiles),
+            stream=buf, min_interval=0.0,
+        )
+        n_blocks = stream_ld_blocks(
+            panel, lambda *a: None, block_snps=9,
+            recorder=rec, progress=progress,
+        )
+        assert rec.event_count("tile_computed") == n_blocks
+        assert rec.counters["stream.tiles_computed"] == n_blocks
+        assert rec.timers["stream.tile_compute_seconds"].count == n_blocks
+        assert all(
+            e["worker"] == "driver"
+            for e in rec.events if e["kind"] == "tile_computed"
+        )
+        assert progress.tiles_done == n_blocks
+        assert buf.getvalue().count("\r") == n_blocks
+
+
+class TestEngineRecorder:
+    @pytest.mark.parametrize("engine", ["serial", "threads", "processes"])
+    def test_tile_events_agree_with_report(self, panel, engine):
+        rec = MetricsRecorder(keep_events=True)
+        report = run_engine(
+            panel, lambda *a: None, engine=engine, block_snps=9,
+            n_workers=2, recorder=rec,
+        )
+        assert rec.event_count("tile_computed") == report.n_computed
+        assert rec.event_count("run_start") == rec.event_count("run_end") == 1
+        assert rec.counters["engine.tiles_computed"] == report.n_computed
+        assert rec.counters["engine.pairs_computed"] == sum(
+            e["pairs"] for e in rec.events if e["kind"] == "tile_computed"
+        )
+        computed = [e for e in rec.events if e["kind"] == "tile_computed"]
+        for event in computed:
+            assert event["compute_s"] >= 0.0
+            assert event["deliver_s"] >= 0.0
+            assert event["bytes"] > 0
+            assert event["worker"]
+
+    def test_resume_emits_skipped_events(self, panel, tmp_path):
+        manifest = tmp_path / "run.manifest"
+        first = run_engine(
+            panel, lambda *a: None, block_snps=9, manifest_path=manifest
+        )
+        rec = MetricsRecorder(keep_events=True)
+        progress = ProgressReporter(first.n_tiles, 1, stream=None)
+        second = run_engine(
+            panel, lambda *a: None, block_snps=9, manifest_path=manifest,
+            resume=True, recorder=rec, progress=progress,
+        )
+        assert second.n_skipped == first.n_tiles
+        assert rec.event_count("tile_skipped") == second.n_skipped
+        assert rec.event_count("tile_computed") == 0
+        assert rec.counters["engine.tiles_skipped"] == second.n_skipped
+        assert progress.tiles_done == second.n_skipped
+
+    def test_trace_jsonl_written_through_engine(self, panel, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with MetricsRecorder(trace=JsonlTraceSink(path)) as rec:
+            report = run_engine(
+                panel, lambda *a: None, block_snps=16, recorder=rec
+            )
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        kinds = [l["kind"] for l in lines]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert kinds.count("tile_computed") == report.n_computed
+
+    def test_results_identical_with_and_without_recorder(self, panel):
+        def collect(with_recorder):
+            blocks = {}
+            run_engine(
+                panel,
+                lambda i0, j0, b: blocks.__setitem__((i0, j0), b.copy()),
+                block_snps=9,
+                recorder=MetricsRecorder() if with_recorder else None,
+            )
+            return blocks
+
+        plain, recorded = collect(False), collect(True)
+        assert plain.keys() == recorded.keys()
+        for key in plain:
+            np.testing.assert_array_equal(plain[key], recorded[key])

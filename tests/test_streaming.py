@@ -122,6 +122,42 @@ class TestNpyMemmapSink:
         with pytest.raises(ValueError, match="shape"):
             NpyMemmapSink(path, 12, mode="r+")
 
+    def test_reopen_shape_mismatch_message_is_actionable(self, tmp_path):
+        """Regression: the r+ error must name both shapes and a way out."""
+        path = tmp_path / "ld.npy"
+        with NpyMemmapSink(path, 10):
+            pass
+        with pytest.raises(ValueError) as excinfo:
+            NpyMemmapSink(path, 12, mode="r+")
+        message = str(excinfo.value)
+        assert "(10, 10)" in message and "(12, 12)" in message
+        assert "rerun without resume" in message
+
+    def test_reopen_rejects_missing_file(self, tmp_path):
+        """Regression: r+ on a nonexistent path must not silently create it."""
+        path = tmp_path / "never_written.npy"
+        with pytest.raises(ValueError, match="does not exist"):
+            NpyMemmapSink(path, 8, mode="r+")
+        assert not path.exists()
+
+    def test_reopen_rejects_wrong_dtype(self, tmp_path):
+        path = tmp_path / "ld.npy"
+        np.save(path, np.zeros((6, 6), dtype=np.float32))
+        with pytest.raises(ValueError, match="float64"):
+            NpyMemmapSink(path, 6, mode="r+")
+
+    def test_reopen_rejects_non_npy_file(self, tmp_path):
+        path = tmp_path / "ld.npy"
+        path.write_bytes(b"this is not a numpy file")
+        with pytest.raises(ValueError, match="not a readable .npy file"):
+            NpyMemmapSink(path, 6, mode="r+")
+
+    def test_reopen_rejects_fortran_order(self, tmp_path):
+        path = tmp_path / "ld.npy"
+        np.save(path, np.asfortranarray(np.zeros((6, 6))))
+        with pytest.raises(ValueError, match="Fortran"):
+            NpyMemmapSink(path, 6, mode="r+")
+
     def test_rejects_unknown_mode(self, tmp_path):
         with pytest.raises(ValueError, match="mode"):
             NpyMemmapSink(tmp_path / "x.npy", 5, mode="a+")
