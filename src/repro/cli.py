@@ -34,6 +34,7 @@ from repro.analysis.ldprune import ld_prune
 from repro.analysis.sweeps import sweep_scan
 from repro.core.blocking import DEFAULT_BLOCKING
 from repro.core.engine import ENGINES, enumerate_tiles, run_engine
+from repro.faults import FaultPlan
 from repro.core.ldmatrix import ld_matrix
 from repro.core.streaming import NpyMemmapSink
 from repro.observe import (
@@ -137,6 +138,15 @@ def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix) -> int:
         )
     manifest = Path(args.manifest) if args.manifest else Path(f"{out}.manifest")
     mode = "r+" if args.resume and out.exists() else "w+"
+    max_retries = 2 if args.max_retries is None else args.max_retries
+    faults: FaultPlan | None = None
+    if args.fault_plan:
+        try:
+            faults = FaultPlan.from_json(args.fault_plan)
+        except FileNotFoundError:
+            raise SystemExit(f"--fault-plan file not found: {args.fault_plan}")
+        except ValueError as exc:
+            raise SystemExit(str(exc))
 
     recorder: MetricsRecorder | None = None
     if args.metrics_out or args.trace_out:
@@ -160,6 +170,10 @@ def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix) -> int:
                 n_workers=args.workers,
                 resume=args.resume,
                 manifest_path=manifest,
+                max_retries=max_retries,
+                tile_timeout=args.tile_timeout,
+                allow_quarantine=args.allow_quarantine,
+                faults=faults,
                 recorder=recorder,
                 progress=progress,
             )
@@ -176,6 +190,17 @@ def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix) -> int:
           f"computed {report.n_computed}/{report.n_tiles} tiles "
           f"(skipped {report.n_skipped} journaled, {report.n_retries} retries) "
           f"{args.stat} matrix ({panel.n_snps}, {panel.n_snps}) -> {out}")
+    if report.degraded:
+        print(f"ld: WARNING executor degraded {report.engine} -> "
+              f"{report.engine_used} (worker pool could not be kept alive)",
+              file=sys.stderr)
+    if report.n_quarantined > 0:
+        tiles = ", ".join(str(t) for t in report.quarantined)
+        print(f"ld: WARNING {report.n_quarantined} tile(s) quarantined after "
+              f"{max_retries} retries: {tiles}; the matrix has holes — "
+              f"journaled in {manifest} and retried on the next --resume run",
+              file=sys.stderr)
+        return 3
     return 0
 
 
@@ -213,6 +238,9 @@ def _write_engine_metrics(
         "n_computed": report.n_computed,
         "n_skipped": report.n_skipped,
         "n_retries": report.n_retries,
+        "n_quarantined": report.n_quarantined,
+        "quarantined": [list(t) for t in report.quarantined],
+        "engine_used": report.engine_used or report.engine,
         "wall_seconds": wall_seconds,
         "pairs_computed": pairs_computed,
         "pairs_per_second": pairs_computed / wall_seconds if wall_seconds > 0
@@ -237,6 +265,13 @@ def _cmd_ld(args: argparse.Namespace) -> int:
         raise SystemExit(
             "--progress/--metrics-out/--trace-out instrument the tiled "
             "engine; add --engine serial|threads|processes"
+        )
+    if (args.fault_plan or args.tile_timeout is not None
+            or args.max_retries is not None or args.allow_quarantine):
+        raise SystemExit(
+            "--fault-plan/--tile-timeout/--max-retries/--allow-quarantine "
+            "configure the tiled engine; add --engine "
+            "serial|threads|processes"
         )
     if args.window:
         band = banded_ld(panel, window=args.window, stat=args.stat)
@@ -372,6 +407,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tile journal path (default: <out>.manifest)")
     p.add_argument("--resume", action="store_true",
                    help="skip tiles already journaled in the manifest")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="recompute a failing tile up to N times before "
+                        "quarantining or aborting (--engine only; default 2)")
+    p.add_argument("--tile-timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-tile wall-clock budget; hung workers are killed "
+                        "and their tiles retried (--engine only)")
+    p.add_argument("--allow-quarantine", action="store_true",
+                   help="journal poison tiles and finish with exit code 3 "
+                        "instead of aborting (--engine only)")
+    p.add_argument("--fault-plan", default=None, metavar="JSON",
+                   help="inject deterministic faults from this plan file "
+                        "(--engine only; testing/rehearsal)")
     p.add_argument("--progress", action="store_true",
                    help="live tiles/s, pairs/s and ETA line on stderr "
                         "(--engine only)")

@@ -30,9 +30,11 @@ from repro.core.gemm import (
 from repro.core.engine import (
     ENGINES,
     EngineReport,
+    TileCorruptionError,
     TileManifest,
     TileResult,
     TileTask,
+    TileTimeoutError,
     enumerate_tiles,
     run_engine,
 )
@@ -81,9 +83,11 @@ __all__ = [
     "gemm_operation_counts",
     "ENGINES",
     "EngineReport",
+    "TileCorruptionError",
     "TileManifest",
     "TileResult",
     "TileTask",
+    "TileTimeoutError",
     "enumerate_tiles",
     "run_engine",
     "genotype_r2_matrix",

@@ -15,14 +15,23 @@ and-restart discipline second-generation PLINK uses to reach biobank sizes:
   packed words via ``multiprocessing.shared_memory``, so the genomic
   matrix is mapped once instead of pickled per task);
 - :class:`TileManifest` journals every completed tile to disk (JSON lines
-  with an input fingerprint), so an interrupted run restarted with
-  ``resume=True`` recomputes only the missing tiles;
-- failed tiles are retried (and a crashed worker pool is rebuilt) up to
-  ``max_retries`` times before the run is abandoned.
+  with an input fingerprint and a per-record CRC32), so an interrupted run
+  restarted with ``resume=True`` recomputes only the missing tiles;
+- failures are survived, not just reported: failing tiles are retried
+  with exponential backoff and deterministic jitter, a crashed worker
+  pool is rebuilt, a pool that cannot be (re)spawned degrades
+  ``processes → threads → serial``, tiles stuck past ``tile_timeout``
+  trip a hung-worker watchdog, corrupted tile payloads are caught by a
+  CRC32 on the worker→driver handoff and recomputed, and a tile that
+  exhausts ``max_retries`` can be *quarantined* (journaled, reported,
+  never written to the sink) instead of aborting the run.
 
-Results are always delivered to the caller's sink in the driver process,
-so any :mod:`repro.core.streaming` sink works unchanged and needs no
-locking. Tiles may arrive in any order under ``threads``/``processes``.
+Deterministic fault injection for all of the above lives in
+:mod:`repro.faults`; pass a :class:`repro.faults.FaultPlan` as
+``faults=`` to rehearse any failure schedule. Results are always
+delivered to the caller's sink in the driver process, so any
+:mod:`repro.core.streaming` sink works unchanged and needs no locking.
+Tiles may arrive in any order under ``threads``/``processes``.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ import json
 import os
 import threading
 import time
+import zlib
 from collections.abc import Callable
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -53,6 +63,7 @@ from repro.core.gemm import popcount_gemm
 from repro.core.ldmatrix import as_bitmatrix
 from repro.core.stats import r_squared_matrix
 from repro.encoding.bitmatrix import BitMatrix
+from repro.faults import FaultPlan, InjectedCrash
 
 if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
     from repro.observe.metrics import MetricsRecorder
@@ -61,9 +72,11 @@ if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
 __all__ = [
     "ENGINES",
     "EngineReport",
+    "TileCorruptionError",
     "TileManifest",
     "TileResult",
     "TileTask",
+    "TileTimeoutError",
     "compute_tile",
     "enumerate_tiles",
     "input_fingerprint",
@@ -73,7 +86,19 @@ __all__ = [
 #: Supported execution strategies, in increasing order of isolation.
 ENGINES = ("serial", "threads", "processes")
 
+#: Degradation chain: where each executor falls back to when its worker
+#: pool repeatedly fails to (re)spawn.
+_FALLBACK = {"processes": "threads", "threads": "serial", "serial": None}
+
 _ENGINE_STATS = ("r2", "D", "H")
+
+
+class TileCorruptionError(RuntimeError):
+    """A tile payload failed its CRC32 on the worker→driver handoff."""
+
+
+class TileTimeoutError(RuntimeError):
+    """A tile exceeded the per-tile wall-clock budget (``tile_timeout``)."""
 
 
 @dataclass(frozen=True, order=True)
@@ -166,22 +191,29 @@ def compute_tile(
     return r_squared_matrix(h, p, q, undefined=undefined)
 
 
+def _crc32_array(block: np.ndarray) -> int:
+    """CRC32 over a block's payload bytes (contiguous view, no copy)."""
+    return zlib.crc32(memoryview(np.ascontiguousarray(block)).cast("B"))
+
+
 @dataclass(frozen=True)
 class TileResult:
     """One computed tile plus its provenance (who computed it, how long).
 
     The transport unit between workers and the driver: the statistic
     block itself, the compute wall-clock measured *inside* the worker
-    (so pool scheduling latency is excluded), and a worker identity —
-    thread name in-process, ``pid-<n>`` for pool processes. This is what
-    lets the per-tile metrics events attribute time to compute vs.
-    delivery, the split the out-of-core GEMM literature says decides
-    whether an overlap pipeline is actually overlapping.
+    (so pool scheduling latency is excluded), a worker identity —
+    thread name in-process, ``pid-<n>`` for pool processes — and an
+    optional CRC32 of the payload taken in the worker, verified in the
+    driver before the sink sees the block. The checksum is always on for
+    the ``processes`` handoff (shared memory + pickle is the corruption
+    surface) and whenever a fault plan is active.
     """
 
     block: np.ndarray
     compute_seconds: float
     worker: str
+    checksum: int | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -212,24 +244,42 @@ def input_fingerprint(
     return digest.hexdigest()
 
 
+def _record_crc(record: dict) -> int:
+    """CRC32 of a manifest record's canonical serialization (sans crc)."""
+    return zlib.crc32(
+        json.dumps(record, separators=(",", ":"), sort_keys=True).encode()
+    )
+
+
 @dataclass
 class TileManifest:
-    """Append-only JSON-lines journal of completed tiles.
+    """Append-only JSON-lines journal of completed and quarantined tiles.
 
     Line 1 is a header carrying the input fingerprint; each subsequent line
-    records one completed tile's ``(i0, j0)`` corner. Records are flushed
-    and fsynced per tile, so after a crash the journal holds exactly the
-    tiles whose sink delivery finished. A torn final line (the crash
-    happened mid-write) is ignored on load.
+    records one tile outcome — completed (``{"tile": [i0, j0]}``) or
+    quarantined (``{"tile": ..., "status": "quarantined", "error": ...}``).
+    Version 2 adds a ``crc`` field to every line (CRC32 of the record's
+    canonical serialization), so a bit-flipped or otherwise corrupted
+    record is *detected* on load instead of silently trusted or skipped.
+
+    Records are flushed and fsynced per tile, so after a crash the journal
+    holds exactly the tiles whose sink delivery finished. A torn final
+    line — the crash happened mid-append, so the line has no terminating
+    newline — is tolerated on load (that tile simply reruns) and truncated
+    away before appending resumes; a corrupt *interior* record raises,
+    because it means the journal can no longer be trusted.
     """
 
     path: Path
     fingerprint: str
     completed: set[tuple[int, int]] = field(default_factory=set)
+    quarantined: dict[tuple[int, int], str] = field(default_factory=dict)
     _fh: object | None = field(default=None, repr=False)
 
     MAGIC = "repro-tile-manifest"
-    VERSION = 1
+    VERSION = 2
+    #: Versions this loader still reads (v1 lacked per-record CRCs).
+    SUPPORTED_VERSIONS = (1, 2)
 
     @classmethod
     def open(
@@ -237,16 +287,27 @@ class TileManifest:
     ) -> "TileManifest":
         """Open a manifest for writing, optionally resuming an existing one.
 
-        With ``resume=True`` and an existing journal, the completed-tile set
-        is loaded and appending continues; a fingerprint mismatch raises
+        With ``resume=True`` and an existing journal, the completed- and
+        quarantined-tile sets are loaded and appending continues (after
+        truncating any torn final line); a fingerprint mismatch raises
         ``ValueError`` (the inputs or parameters changed, so the old tiles
         cannot be trusted). Without ``resume``, any existing journal is
         truncated.
         """
         path = Path(path)
         if resume and path.exists() and path.stat().st_size > 0:
-            completed = cls._load_completed(path, fingerprint)
-            manifest = cls(path=path, fingerprint=fingerprint, completed=completed)
+            completed, quarantined, keep_bytes = cls._load(path, fingerprint)
+            if keep_bytes < path.stat().st_size:
+                # Drop the torn tail so the next append starts on a fresh
+                # line instead of concatenating into the partial record.
+                with path.open("r+b") as raw:
+                    raw.truncate(keep_bytes)
+            manifest = cls(
+                path=path,
+                fingerprint=fingerprint,
+                completed=completed,
+                quarantined=quarantined,
+            )
             manifest._fh = path.open("a", encoding="utf-8")
             return manifest
         manifest = cls(path=path, fingerprint=fingerprint)
@@ -257,36 +318,90 @@ class TileManifest:
         return manifest
 
     @classmethod
-    def _load_completed(
+    def _load(
         cls, path: Path, fingerprint: str
-    ) -> set[tuple[int, int]]:
-        lines = path.read_text(encoding="utf-8").splitlines()
+    ) -> tuple[set[tuple[int, int]], dict[tuple[int, int], str], int]:
+        """Parse a journal; returns (completed, quarantined, good bytes)."""
+        raw = path.read_bytes()
+        text = raw.decode("utf-8", errors="replace")
+        keep_bytes = len(raw)
+        if text and not text.endswith("\n"):
+            # Unterminated final line: a crash mid-append. Everything
+            # after the last newline is the torn tail; ignore it (that
+            # tile reruns) and remember where the good prefix ends.
+            cut = text.rfind("\n") + 1
+            keep_bytes = len(text[:cut].encode("utf-8"))
+            text = text[:cut]
+        lines = text.splitlines()
         try:
             header = json.loads(lines[0])
-        except (json.JSONDecodeError, IndexError) as exc:
+            if not isinstance(header, dict):
+                raise ValueError("header is not an object")
+        except (json.JSONDecodeError, IndexError, ValueError) as exc:
             raise ValueError(f"corrupt tile manifest header in {path}") from exc
-        if header.get("magic") != cls.MAGIC or header.get("version") != cls.VERSION:
-            raise ValueError(f"{path} is not a version-{cls.VERSION} tile manifest")
+        version = header.get("version")
+        if header.get("magic") != cls.MAGIC or version not in cls.SUPPORTED_VERSIONS:
+            raise ValueError(
+                f"{path} is not a version-{'/'.join(map(str, cls.SUPPORTED_VERSIONS))}"
+                " tile manifest"
+            )
+        if version >= 2:
+            cls._check_crc(header, path, 1)
         if header.get("fingerprint") != fingerprint:
             raise ValueError(
                 f"manifest {path} was written for different inputs/parameters "
                 "(fingerprint mismatch); rerun without resume"
             )
-        completed = set()
-        for line in lines[1:]:
+        completed: set[tuple[int, int]] = set()
+        quarantined: dict[tuple[int, int], str] = {}
+        for lineno, line in enumerate(lines[1:], start=2):
             try:
                 record = json.loads(line)
-            except json.JSONDecodeError:
-                # Torn tail from a crash mid-append: that tile will rerun.
-                continue
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+            except (json.JSONDecodeError, ValueError) as exc:
+                raise ValueError(
+                    f"corrupt manifest record at {path}:{lineno} ({exc}); "
+                    "the journal cannot be trusted — rerun without resume"
+                ) from exc
+            if version >= 2:
+                cls._check_crc(record, path, lineno)
             tile = record.get("tile")
-            if isinstance(tile, list) and len(tile) == 2:
-                completed.add((int(tile[0]), int(tile[1])))
-        return completed
+            if not (isinstance(tile, list) and len(tile) == 2):
+                raise ValueError(
+                    f"corrupt manifest record at {path}:{lineno} "
+                    f"(no tile key in {record!r}); rerun without resume"
+                )
+            key = (int(tile[0]), int(tile[1]))
+            if record.get("status") == "quarantined":
+                if key not in completed:
+                    quarantined[key] = str(record.get("error", ""))
+            else:
+                completed.add(key)
+                quarantined.pop(key, None)
+        return completed, quarantined, keep_bytes
 
-    def _write_line(self, record: dict) -> None:
+    @classmethod
+    def _check_crc(cls, record: dict, path: Path, lineno: int) -> None:
+        stored = record.pop("crc", None)
+        actual = _record_crc(record)
+        if stored != actual:
+            raise ValueError(
+                f"manifest record checksum mismatch at {path}:{lineno} "
+                f"(stored {stored!r}, computed {actual}); the journal is "
+                "corrupt — rerun without resume"
+            )
+
+    def _write_line(self, record: dict, *, torn: bool = False) -> None:
         assert self._fh is not None
-        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        payload = dict(record)
+        payload["crc"] = _record_crc(record)
+        line = json.dumps(payload, separators=(",", ":"))
+        if torn:
+            line = line[: max(1, len(line) // 2)]
+        else:
+            line += "\n"
+        self._fh.write(line)
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
@@ -294,6 +409,23 @@ class TileManifest:
         """Journal *tile* as durably completed (flush + fsync)."""
         self._write_line({"tile": [tile.i0, tile.j0]})
         self.completed.add(tile.key)
+        self.quarantined.pop(tile.key, None)
+
+    def record_quarantine(self, tile: TileTask, error: str) -> None:
+        """Journal *tile* as quarantined (retries exhausted; never written)."""
+        self._write_line(
+            {"tile": [tile.i0, tile.j0], "status": "quarantined", "error": error}
+        )
+        self.quarantined[tile.key] = error
+
+    def record_torn(self, tile: TileTask) -> None:
+        """Write a deliberately truncated record (fault injection only).
+
+        Simulates a crash mid-append: half a record, no newline, flushed
+        to disk. The caller raises :class:`repro.faults.InjectedCrash`
+        immediately after; a resumed run must tolerate the torn tail.
+        """
+        self._write_line({"tile": [tile.i0, tile.j0]}, torn=True)
 
     def close(self) -> None:
         if self._fh is not None:
@@ -324,7 +456,7 @@ def _init_worker(
     params: BlockingParams,
     kernel: str,
     undefined: float,
-    fault_hook: Callable[[tuple[int, int]], None] | None,
+    faults: FaultPlan | None,
 ) -> None:
     """Attach the shared words segment once per worker process."""
     shm = shared_memory.SharedMemory(name=shm_name)
@@ -338,15 +470,22 @@ def _init_worker(
         params=params,
         kernel=kernel,
         undefined=undefined,
-        fault_hook=fault_hook,
+        faults=faults,
     )
 
 
-def _run_tile_in_worker(tile: TileTask) -> TileResult:
-    """Pool task: compute one tile against the attached shared words."""
+def _run_tile_in_worker(tile: TileTask, epoch: int) -> TileResult:
+    """Pool task: compute one tile against the attached shared words.
+
+    *epoch* is the driver's attempt counter for this tile (per-tile
+    failures plus pool restarts) — the deterministic clock fault
+    injection keys on, and the reason a seeded schedule fires
+    identically regardless of which worker draws the tile.
+    """
     state = _WORKER_STATE
-    if state.get("fault_hook") is not None:
-        state["fault_hook"](tile.key)
+    plan: FaultPlan | None = state.get("faults")
+    if plan is not None:
+        plan.fire("tile_compute", tile.key, epoch, can_kill=True)
     start = time.perf_counter()
     block = compute_tile(
         state["words"],
@@ -358,10 +497,19 @@ def _run_tile_in_worker(tile: TileTask) -> TileResult:
         kernel=state["kernel"],
         undefined=state["undefined"],
     )
+    elapsed = time.perf_counter() - start
+    if plan is not None:
+        plan.fire("tile_deliver", tile.key, epoch)
+    checksum = _crc32_array(block)
+    if plan is not None:
+        # Post-checksum, so the flip models corruption on the handoff
+        # and the driver-side verification is what must catch it.
+        plan.corrupt("tile_deliver", tile.key, epoch, block)
     return TileResult(
         block=block,
-        compute_seconds=time.perf_counter() - start,
+        compute_seconds=elapsed,
         worker=f"pid-{os.getpid()}",
+        checksum=checksum,
     )
 
 
@@ -375,64 +523,283 @@ def _largest_first(tiles: list[TileTask]) -> list[TileTask]:
     return sorted(tiles, key=lambda t: (-t.n_pairs, t.i0, t.j0))
 
 
+class _ExecutorBroken(Exception):
+    """The executor's worker pool cannot be kept alive; degrade or die."""
+
+    def __init__(self, cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+
+
+class _PoolHung(Exception):
+    """Watchdog verdict: these tiles overran their wall-clock budget."""
+
+    def __init__(self, tiles: list[TileTask]) -> None:
+        super().__init__(f"{len(tiles)} tile(s) exceeded the tile timeout")
+        self.tiles = tiles
+
+
+@dataclass
+class _RetryContext:
+    """Driver-side policy + callbacks shared by all three executors."""
+
+    max_retries: int
+    tile_timeout: float | None
+    backoff_base: float
+    backoff_cap: float
+    allow_quarantine: bool
+    deliver: Callable[[TileTask, TileResult], None]
+    quarantine: Callable[[TileTask, BaseException], None]
+    recorder: "MetricsRecorder | None" = None
+
+    def verify(self, tile: TileTask, result: TileResult) -> None:
+        """Check the payload CRC taken in the worker; raise on mismatch."""
+        if result.checksum is None:
+            return
+        actual = _crc32_array(result.block)
+        if actual != result.checksum:
+            raise TileCorruptionError(
+                f"tile {tile.key} failed its handoff checksum "
+                f"(worker {result.checksum:#010x}, driver {actual:#010x}); "
+                "payload corrupted in transit"
+            )
+
+    def backoff_seconds(self, key: tuple[int, int], attempt: int) -> float:
+        """Exponential backoff with deterministic jitter in [0.5, 1.5)x."""
+        if self.backoff_base <= 0.0 or attempt < 1:
+            return 0.0
+        base = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+        jitter = zlib.crc32(f"{key[0]},{key[1]}|{attempt}".encode()) / 2**32
+        return base * (0.5 + jitter)
+
+    def note_failure(self, tile: TileTask, error: BaseException) -> None:
+        if self.recorder is None:
+            return
+        self.recorder.inc("engine.retries")
+        self.recorder.event(
+            "tile_retry", tile=[tile.i0, tile.j0], error=repr(error)
+        )
+        if isinstance(error, TileCorruptionError):
+            self.recorder.inc("engine.corruptions")
+            self.recorder.event("tile_corrupt", tile=[tile.i0, tile.j0])
+        elif isinstance(error, TileTimeoutError):
+            self.recorder.inc("engine.timeouts")
+            self.recorder.event(
+                "tile_timeout", tile=[tile.i0, tile.j0],
+                timeout_s=self.tile_timeout,
+            )
+
+    def note_restart(self, error: BaseException) -> None:
+        if self.recorder is not None:
+            self.recorder.inc("engine.pool_restarts")
+            self.recorder.event("pool_restart", error=repr(error))
+
+    def note_spawn_failure(self, error: BaseException) -> None:
+        if self.recorder is not None:
+            self.recorder.inc("engine.spawn_failures")
+            self.recorder.event("pool_spawn_failed", error=repr(error))
+
+
+def _execute_serial(
+    task: Callable[[TileTask, int], TileResult],
+    tiles: list[TileTask],
+    ctx: _RetryContext,
+) -> int:
+    """In-process loop with the same retry/quarantine discipline as pools.
+
+    The serial engine cannot preempt a running tile, so ``tile_timeout``
+    is enforced post-hoc: a tile that took too long is discarded and
+    charged a failed attempt.
+    """
+    retries = 0
+    for tile in tiles:
+        attempt = 0
+        while True:
+            start = time.perf_counter()
+            try:
+                result = task(tile, attempt)
+                elapsed = time.perf_counter() - start
+                if ctx.tile_timeout is not None and elapsed > ctx.tile_timeout:
+                    raise TileTimeoutError(
+                        f"tile {tile.key} took {elapsed:.3f}s "
+                        f"(budget {ctx.tile_timeout}s)"
+                    )
+                ctx.verify(tile, result)
+            except Exception as error:
+                attempt += 1
+                retries += 1
+                ctx.note_failure(tile, error)
+                if attempt > ctx.max_retries:
+                    if ctx.allow_quarantine:
+                        ctx.quarantine(tile, error)
+                        break
+                    raise
+                delay = ctx.backoff_seconds(tile.key, attempt)
+                if delay > 0:
+                    time.sleep(delay)
+            else:
+                ctx.deliver(tile, result)
+                break
+    return retries
+
+
 def _execute_pooled(
     pool_factory: Callable[[], Executor],
-    task: Callable[[TileTask], TileResult],
+    task: Callable[[TileTask, int], TileResult],
     tiles: list[TileTask],
-    deliver: Callable[[TileTask, TileResult], None],
-    max_retries: int,
-    on_retry: Callable[[TileTask, BaseException], None] | None = None,
-    on_restart: Callable[[BaseException], None] | None = None,
+    ctx: _RetryContext,
+    hard_kill: Callable[[Executor], None] | None = None,
 ) -> int:
-    """Drive *task* over an executor with per-tile retry and pool rebuild.
+    """Drive *task* over an executor with retry, watchdog, and rebuild.
 
     Results are delivered in the driver thread as they complete. A tile
-    whose task raises is resubmitted up to *max_retries* times; a broken
-    process pool (worker killed) is rebuilt up to *max_retries* times, with
-    every undelivered tile resubmitted to the fresh pool. Returns the
-    number of retries performed. *on_retry*/*on_restart* are observability
-    hooks, invoked in the driver thread once per retry increment.
+    whose task raises (or whose payload fails verification) is charged an
+    attempt and resubmitted with exponential backoff; past
+    ``max_retries`` it is quarantined (when allowed) or the run aborts.
+    A broken or hung process pool is killed and rebuilt; when the pool
+    cannot be (re)spawned within the restart budget, ``_ExecutorBroken``
+    escapes so the caller can degrade to a simpler executor. Returns the
+    number of retries performed.
+
+    The watchdog: with ``ctx.tile_timeout`` set, a tile running past its
+    wall-clock budget is abandoned. Under ``processes`` (*hard_kill*
+    provided) the stuck workers are SIGKILLed and the pool rebuilt; under
+    ``threads`` the future is orphaned (threads cannot be killed) and the
+    tile resubmitted.
     """
     retries = 0
     restarts = 0
     attempts = dict.fromkeys(tiles, 0)
-    remaining = list(tiles)
-    while remaining:
-        pool = pool_factory()
-        submitted = remaining
-        remaining = []
-        delivered_now: set[TileTask] = set()
+    pending = set(tiles)
+    order = list(tiles)
+
+    def handle_failure(
+        tile: TileTask,
+        error: BaseException,
+        resubmit: Callable[[TileTask], None] | None,
+    ) -> None:
+        nonlocal retries
+        attempts[tile] += 1
+        retries += 1
+        ctx.note_failure(tile, error)
+        if attempts[tile] > ctx.max_retries:
+            if ctx.allow_quarantine:
+                ctx.quarantine(tile, error)
+                pending.discard(tile)
+                return
+            raise error
+        delay = ctx.backoff_seconds(tile.key, attempts[tile])
+        if delay > 0:
+            time.sleep(delay)
+        if resubmit is not None:
+            resubmit(tile)
+
+    while pending:
         try:
-            futures = {pool.submit(task, tile): tile for tile in submitted}
+            pool = pool_factory()
+        except Exception as error:
+            restarts += 1
+            ctx.note_spawn_failure(error)
+            if restarts > ctx.max_retries:
+                raise _ExecutorBroken(error) from error
+            continue
+        futures: dict = {}
+        started: dict = {}
+        abandoned = False
+
+        def submit(tile: TileTask) -> None:
+            future = pool.submit(task, tile, attempts[tile] + restarts)
+            futures[future] = tile
+            started[future] = time.perf_counter()
+
+        try:
+            for tile in order:
+                if tile in pending:
+                    submit(tile)
             while futures:
-                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                slack = None
+                if ctx.tile_timeout is not None:
+                    now = time.perf_counter()
+                    overdue = [
+                        f for f in list(futures)
+                        if now - started[f] >= ctx.tile_timeout
+                    ]
+                    if overdue:
+                        if hard_kill is not None:
+                            raise _PoolHung([futures[f] for f in overdue])
+                        # Threads cannot be killed: orphan the future
+                        # (its result will be discarded) and recycle the
+                        # tile through the ordinary failure path.
+                        abandoned = True
+                        for f in overdue:
+                            tile = futures.pop(f)
+                            started.pop(f)
+                            handle_failure(
+                                tile,
+                                TileTimeoutError(
+                                    f"tile {tile.key} exceeded the "
+                                    f"{ctx.tile_timeout}s budget"
+                                ),
+                                submit,
+                            )
+                        continue
+                    deadline = min(
+                        started[f] + ctx.tile_timeout for f in futures
+                    )
+                    slack = max(0.0, deadline - now) + 1e-3
+                done, _ = wait(
+                    set(futures), timeout=slack, return_when=FIRST_COMPLETED
+                )
                 for future in done:
                     tile = futures.pop(future)
+                    started.pop(future)
                     error = future.exception()
                     if error is None:
-                        deliver(tile, future.result())
-                        delivered_now.add(tile)
+                        if tile not in pending:
+                            continue
+                        result = future.result()
+                        try:
+                            ctx.verify(tile, result)
+                        except TileCorruptionError as corrupt:
+                            handle_failure(tile, corrupt, submit)
+                            continue
+                        ctx.deliver(tile, result)
+                        pending.discard(tile)
                     elif isinstance(error, BrokenProcessPool):
                         raise error
-                    else:
-                        attempts[tile] += 1
-                        retries += 1
-                        if on_retry is not None:
-                            on_retry(tile, error)
-                        if attempts[tile] > max_retries:
-                            raise error
-                        futures[pool.submit(task, tile)] = tile
-        except BrokenProcessPool as error:
+                    elif tile in pending:
+                        handle_failure(tile, error, submit)
+        except (BrokenProcessPool, _PoolHung) as error:
             restarts += 1
-            retries += 1
-            if on_restart is not None:
-                on_restart(error)
-            if restarts > max_retries:
-                raise
-            remaining = [t for t in submitted if t not in delivered_now]
+            if isinstance(error, _PoolHung):
+                if hard_kill is not None:
+                    hard_kill(pool)
+                for tile in error.tiles:
+                    if tile in pending:
+                        handle_failure(
+                            tile,
+                            TileTimeoutError(
+                                f"tile {tile.key} exceeded the "
+                                f"{ctx.tile_timeout}s budget (worker killed)"
+                            ),
+                            None,
+                        )
+            ctx.note_restart(error)
+            if restarts > ctx.max_retries:
+                raise _ExecutorBroken(error) from error
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            pool.shutdown(wait=not abandoned, cancel_futures=True)
     return retries
+
+
+def _kill_pool_workers(pool: Executor) -> None:
+    """Best-effort SIGKILL of a process pool's workers (hung-pool watchdog)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
 
 
 @dataclass(frozen=True)
@@ -445,11 +812,23 @@ class EngineReport:
     n_computed: int
     n_skipped: int
     n_retries: int
+    engine_used: str = ""
+    n_quarantined: int = 0
+    quarantined: tuple[tuple[int, int], ...] = ()
 
     @property
     def complete(self) -> bool:
-        """All tiles accounted for (computed now or journaled earlier)."""
+        """All tiles accounted for (computed now or journaled earlier).
+
+        Quarantined tiles are neither, so a run with quarantines is
+        never complete — the matrix has holes the caller must not trust.
+        """
         return self.n_computed + self.n_skipped == self.n_tiles
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run finished on a weaker executor than requested."""
+        return bool(self.engine_used) and self.engine_used != self.engine
 
 
 def run_engine(
@@ -467,7 +846,11 @@ def run_engine(
     manifest_path: str | Path | None = None,
     resume: bool = False,
     max_retries: int = 2,
-    fault_hook: Callable[[tuple[int, int]], None] | None = None,
+    tile_timeout: float | None = None,
+    retry_backoff: float = 0.05,
+    retry_backoff_cap: float = 2.0,
+    allow_quarantine: bool = False,
+    faults: FaultPlan | None = None,
     recorder: "MetricsRecorder | None" = None,
     progress: "ProgressReporter | None" = None,
 ) -> EngineReport:
@@ -486,7 +869,10 @@ def run_engine(
         ``"r2"``, ``"D"``, or ``"H"``.
     engine:
         ``"serial"`` (in-process loop), ``"threads"`` (GIL-released numpy
-        workers), or ``"processes"`` (shared-memory worker pool).
+        workers), or ``"processes"`` (shared-memory worker pool). When a
+        worker pool repeatedly fails to spawn, execution degrades
+        ``processes → threads → serial`` rather than aborting; the
+        executor that finished is reported as ``engine_used``.
     n_workers:
         Worker count for ``threads``/``processes`` (default: CPU count).
     manifest_path:
@@ -494,29 +880,49 @@ def run_engine(
         delivered tile is durably recorded so a later run can skip it.
     resume:
         Skip tiles already journaled in *manifest_path* for identical
-        inputs and parameters (fingerprint-checked).
+        inputs and parameters (fingerprint-checked). Tiles journaled as
+        *quarantined* are retried, not skipped.
     max_retries:
         Times a failing tile is recomputed (and a crashed worker pool
-        rebuilt) before the run is abandoned.
-    fault_hook:
-        Fault-injection point for tests: called as ``hook((i0, j0))`` in
-        the worker before each tile is computed.
+        rebuilt) before the tile is quarantined or the run abandoned.
+    tile_timeout:
+        Per-tile wall-clock budget in seconds. Under ``processes`` a
+        hung worker is SIGKILLed and the pool rebuilt; under ``threads``
+        the stuck future is orphaned and the tile resubmitted; the
+        serial loop checks post-hoc. ``None`` (default) disables the
+        watchdog.
+    retry_backoff / retry_backoff_cap:
+        Base and cap (seconds) of the exponential backoff between retry
+        attempts; jitter is deterministic per (tile, attempt). Set the
+        base to 0 to retry immediately.
+    allow_quarantine:
+        After ``max_retries``, journal the poison tile as quarantined and
+        finish the run (reporting it in :class:`EngineReport`) instead of
+        aborting. The sink never receives a quarantined tile.
+    faults:
+        Optional :class:`repro.faults.FaultPlan` — deterministic fault
+        injection at the ``tile_compute`` / ``tile_deliver`` /
+        ``manifest_append`` / ``pool_spawn`` sites. ``None`` (default)
+        costs one pointer comparison per site.
     recorder:
         Optional :class:`repro.observe.MetricsRecorder`. When set, the
         run emits structured events — ``run_start``, one
         ``tile_computed`` per delivered tile (tile key, compute seconds,
         deliver/flush seconds, bytes written, worker id), one
         ``tile_skipped`` per journaled tile honoured on resume,
-        ``tile_retry`` / ``pool_restart`` per recovery action, and
-        ``run_end`` — plus matching ``engine.*`` counters and timers.
-        The default ``None`` costs one pointer comparison per tile.
+        ``tile_retry`` / ``pool_restart`` per recovery action plus
+        ``tile_corrupt`` / ``tile_timeout`` / ``tile_quarantined`` /
+        ``pool_spawn_failed`` / ``executor_degraded`` for the hardened
+        paths, and ``run_end`` — plus matching ``engine.*`` counters and
+        timers. The default ``None`` costs one pointer comparison per
+        tile.
     progress:
         Optional :class:`repro.observe.ProgressReporter`; advanced once
         per delivered or skipped tile by that tile's pair count.
 
     Returns
     -------
-    :class:`EngineReport` with tile/retry accounting.
+    :class:`EngineReport` with tile/retry/quarantine accounting.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
@@ -524,6 +930,10 @@ def run_engine(
         raise ValueError(f"unknown LD statistic {stat!r}; choose r2/D/H")
     if max_retries < 0:
         raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+    if tile_timeout is not None and tile_timeout <= 0:
+        raise ValueError(f"tile_timeout must be positive, got {tile_timeout}")
+    if retry_backoff < 0:
+        raise ValueError(f"retry_backoff must be non-negative, got {retry_backoff}")
     if resume and manifest_path is None:
         raise ValueError("resume=True requires a manifest_path")
     matrix = as_bitmatrix(data)
@@ -539,6 +949,11 @@ def run_engine(
     )
     freqs = matrix.allele_frequencies()
     words = matrix.words
+    # Checksum the handoff whenever results cross a process boundary, and
+    # under any fault plan (so injected bit-flips are detectable on every
+    # engine). In-process engines skip it otherwise: there is no
+    # transport to corrupt, and the CRC is not free.
+    checksum_local = faults is not None
 
     manifest: TileManifest | None = None
     if manifest_path is not None:
@@ -554,6 +969,8 @@ def run_engine(
             todo = list(tiles)
         n_skipped = len(tiles) - len(todo)
         n_computed = 0
+        quarantined: list[tuple[TileTask, str]] = []
+        done_keys: set[tuple[int, int]] = set()
 
         if recorder is not None:
             recorder.event(
@@ -591,8 +1008,16 @@ def run_engine(
                 flush = getattr(sink, "flush", None)
                 if callable(flush):
                     flush()
+                if faults is not None:
+                    if faults.should_tear(tile.key):
+                        manifest.record_torn(tile)
+                        raise InjectedCrash(
+                            f"injected torn manifest append, tile {tile.key}"
+                        )
+                    faults.fire("manifest_append", tile.key, 0)
                 manifest.record(tile)
             n_computed += 1
+            done_keys.add(tile.key)
             if recorder is not None:
                 deliver_seconds = time.perf_counter() - deliver_start
                 recorder.inc("engine.tiles_computed")
@@ -616,21 +1041,33 @@ def run_engine(
             if progress is not None:
                 progress.advance(tile.n_pairs)
 
-        def on_retry(tile: TileTask, error: BaseException) -> None:
+        def quarantine_tile(tile: TileTask, error: BaseException) -> None:
+            quarantined.append((tile, repr(error)))
+            done_keys.add(tile.key)
+            if manifest is not None:
+                manifest.record_quarantine(tile, repr(error))
             if recorder is not None:
-                recorder.inc("engine.retries")
+                recorder.inc("engine.tiles_quarantined")
                 recorder.event(
-                    "tile_retry", tile=[tile.i0, tile.j0], error=repr(error)
+                    "tile_quarantined",
+                    tile=[tile.i0, tile.j0],
+                    error=repr(error),
                 )
 
-        def on_restart(error: BaseException) -> None:
-            if recorder is not None:
-                recorder.inc("engine.pool_restarts")
-                recorder.event("pool_restart", error=repr(error))
+        ctx = _RetryContext(
+            max_retries=max_retries,
+            tile_timeout=tile_timeout,
+            backoff_base=retry_backoff,
+            backoff_cap=retry_backoff_cap,
+            allow_quarantine=allow_quarantine,
+            deliver=deliver,
+            quarantine=quarantine_tile,
+            recorder=recorder,
+        )
 
-        def local_task(tile: TileTask) -> TileResult:
-            if fault_hook is not None:
-                fault_hook(tile.key)
+        def local_task(tile: TileTask, epoch: int) -> TileResult:
+            if faults is not None:
+                faults.fire("tile_compute", tile.key, epoch)
             start = time.perf_counter()
             block = compute_tile(
                 words,
@@ -642,55 +1079,65 @@ def run_engine(
                 kernel=kernel,
                 undefined=undefined,
             )
+            elapsed = time.perf_counter() - start
+            if faults is not None:
+                faults.fire("tile_deliver", tile.key, epoch)
+            checksum = _crc32_array(block) if checksum_local else None
+            if faults is not None:
+                faults.corrupt("tile_deliver", tile.key, epoch, block)
             return TileResult(
                 block=block,
-                compute_seconds=time.perf_counter() - start,
+                compute_seconds=elapsed,
                 worker=threading.current_thread().name,
+                checksum=checksum,
             )
 
-        if not todo:
-            retries = 0
-        elif engine == "serial":
-            retries = 0
-            for tile in todo:
-                for attempt in range(max_retries + 1):
-                    try:
-                        result = local_task(tile)
-                        break
-                    except Exception as error:
-                        retries += 1
-                        on_retry(tile, error)
-                        if attempt == max_retries:
-                            raise
-                deliver(tile, result)
-        elif engine == "threads":
-            workers = min(n_workers, len(todo))
-            retries = _execute_pooled(
-                lambda: ThreadPoolExecutor(max_workers=workers),
-                local_task,
-                _largest_first(todo),
-                deliver,
-                max_retries,
-                on_retry=on_retry,
-                on_restart=on_restart,
-            )
-        else:  # processes
-            retries = _run_process_engine(
-                words=words,
-                freqs=freqs,
-                n_samples=matrix.n_samples,
-                todo=_largest_first(todo),
-                deliver=deliver,
-                n_workers=min(n_workers, len(todo)),
-                stat=stat,
-                params=params,
-                kernel=kernel,
-                undefined=undefined,
-                max_retries=max_retries,
-                fault_hook=fault_hook,
-                on_retry=on_retry,
-                on_restart=on_restart,
-            )
+        retries = 0
+        current = engine
+        work = todo
+        while work:
+            try:
+                if current == "serial":
+                    retries += _execute_serial(local_task, work, ctx)
+                elif current == "threads":
+                    workers = min(n_workers, len(work))
+                    retries += _execute_pooled(
+                        lambda: ThreadPoolExecutor(max_workers=workers),
+                        local_task,
+                        _largest_first(work),
+                        ctx,
+                    )
+                else:  # processes
+                    retries += _run_process_engine(
+                        words=words,
+                        freqs=freqs,
+                        n_samples=matrix.n_samples,
+                        todo=_largest_first(work),
+                        ctx=ctx,
+                        n_workers=min(n_workers, len(work)),
+                        stat=stat,
+                        params=params,
+                        kernel=kernel,
+                        undefined=undefined,
+                        faults=faults,
+                    )
+                break
+            except _ExecutorBroken as broken:
+                fallback = _FALLBACK[current]
+                if fallback is None:  # pragma: no cover - serial never breaks
+                    raise RuntimeError(
+                        "serial executor broke; cannot degrade further"
+                    ) from broken.cause
+                if recorder is not None:
+                    recorder.inc("engine.degradations")
+                    recorder.event(
+                        "executor_degraded",
+                        from_engine=current,
+                        to_engine=fallback,
+                        error=repr(broken.cause),
+                    )
+                current = fallback
+                work = [t for t in work if t.key not in done_keys]
     finally:
         if manifest is not None:
             manifest.close()
@@ -703,6 +1150,7 @@ def run_engine(
             n_computed=n_computed,
             n_skipped=n_skipped,
             n_retries=retries,
+            n_quarantined=len(quarantined),
             seconds=run_seconds,
         )
     return EngineReport(
@@ -712,6 +1160,9 @@ def run_engine(
         n_computed=n_computed,
         n_skipped=n_skipped,
         n_retries=retries,
+        engine_used=current,
+        n_quarantined=len(quarantined),
+        quarantined=tuple(sorted(t.key for t, _ in quarantined)),
     )
 
 
@@ -721,40 +1172,44 @@ def _run_process_engine(
     freqs: np.ndarray,
     n_samples: int,
     todo: list[TileTask],
-    deliver: Callable[[TileTask, TileResult], None],
+    ctx: _RetryContext,
     n_workers: int,
     stat: str,
     params: BlockingParams,
     kernel: str,
     undefined: float,
-    max_retries: int,
-    fault_hook: Callable[[tuple[int, int]], None] | None,
-    on_retry: Callable[[TileTask, BaseException], None] | None = None,
-    on_restart: Callable[[BaseException], None] | None = None,
+    faults: FaultPlan | None,
 ) -> int:
     """Process-pool execution with the packed words in shared memory.
 
     The driver copies the packed word matrix into one
     ``multiprocessing.shared_memory`` segment; each worker maps it via the
     pool initializer, so task submission pickles only a :class:`TileTask`
-    (four ints) and the result block travels back once per tile.
+    (four ints) plus its attempt epoch, and the result block travels back
+    once per tile.
     """
     # Prefer fork where available: worker startup is cheap and initargs are
     # inherited rather than pickled. Everything passed is spawn-safe too.
     if "fork" in get_all_start_methods():
-        ctx = get_context("fork")
+        ctx_mp = get_context("fork")
     else:  # pragma: no cover - non-POSIX fallback
-        ctx = get_context()
+        ctx_mp = get_context()
     words = np.ascontiguousarray(words, dtype=np.uint64)
     shm = shared_memory.SharedMemory(create=True, size=max(1, words.nbytes))
+    spawn_count = 0
     try:
         shared = np.ndarray(words.shape, dtype=np.uint64, buffer=shm.buf)
         shared[:] = words
 
         def pool_factory() -> ProcessPoolExecutor:
+            nonlocal spawn_count
+            index = spawn_count
+            spawn_count += 1
+            if faults is not None:
+                faults.fire("pool_spawn", (-1, -1), index)
             return ProcessPoolExecutor(
                 max_workers=n_workers,
-                mp_context=ctx,
+                mp_context=ctx_mp,
                 initializer=_init_worker,
                 initargs=(
                     shm.name,
@@ -765,13 +1220,13 @@ def _run_process_engine(
                     params,
                     kernel,
                     undefined,
-                    fault_hook,
+                    faults,
                 ),
             )
 
         return _execute_pooled(
-            pool_factory, _run_tile_in_worker, todo, deliver, max_retries,
-            on_retry=on_retry, on_restart=on_restart,
+            pool_factory, _run_tile_in_worker, todo, ctx,
+            hard_kill=_kill_pool_workers,
         )
     finally:
         shm.close()

@@ -32,9 +32,15 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
-from repro.core.engine import compute_tile, enumerate_tiles
+from repro.core.engine import (
+    TileCorruptionError,
+    _crc32_array,
+    compute_tile,
+    enumerate_tiles,
+)
 from repro.core.ldmatrix import as_bitmatrix
 from repro.encoding.bitmatrix import BitMatrix
+from repro.faults import FaultPlan
 
 if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
     from repro.observe.metrics import MetricsRecorder
@@ -182,6 +188,7 @@ def stream_ld_blocks(
     kernel: str = "numpy",
     undefined: float = np.nan,
     include_diagonal_blocks: bool = True,
+    faults: FaultPlan | None = None,
     recorder: "MetricsRecorder | None" = None,
     progress: "ProgressReporter | None" = None,
 ) -> int:
@@ -205,6 +212,15 @@ def stream_ld_blocks(
         ``block_snps² × 8`` bytes.
     include_diagonal_blocks:
         Deliver the ``I == J`` blocks (contain the trivial diagonal).
+    faults:
+        Optional :class:`repro.faults.FaultPlan`, consulted at the
+        ``tile_compute`` and ``tile_deliver`` sites of every block. The
+        streaming loop has no retry machinery, so an injected failure
+        propagates to the caller; an injected ``bitflip`` is caught by a
+        payload checksum and raised as
+        :class:`repro.core.engine.TileCorruptionError` rather than
+        silently delivered. ``None`` (default) costs one comparison per
+        block.
     recorder:
         Optional :class:`repro.observe.MetricsRecorder`; one
         ``tile_computed`` event per delivered block (compute vs. deliver
@@ -224,11 +240,22 @@ def stream_ld_blocks(
         matrix.n_snps, block_snps, include_diagonal=include_diagonal_blocks
     )
     for tile in tiles:
+        if faults is not None:
+            faults.fire("tile_compute", tile.key, 0)
         start = time.perf_counter()
         block = compute_tile(
             matrix.words, freqs, matrix.n_samples, tile,
             stat=stat, params=params, kernel=kernel, undefined=undefined,
         )
+        if faults is not None:
+            faults.fire("tile_deliver", tile.key, 0)
+            checksum = _crc32_array(block)
+            faults.corrupt("tile_deliver", tile.key, 0, block)
+            if _crc32_array(block) != checksum:
+                raise TileCorruptionError(
+                    f"tile {tile.key} payload corrupted before delivery "
+                    "(checksum mismatch); refusing to write it"
+                )
         mid = time.perf_counter() if recorder is not None else 0.0
         sink(tile.i0, tile.j0, block)
         if recorder is not None:

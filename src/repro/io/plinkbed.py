@@ -97,8 +97,17 @@ def write_plink_bed(
 def read_plink_bed(prefix: str | Path) -> PlinkDataset:
     """Read ``<prefix>.bed`` / ``.bim`` / ``.fam`` into a :class:`PlinkDataset`."""
     prefix = Path(prefix)
-    bim_lines = prefix.with_suffix(".bim").read_text().splitlines()
-    fam_lines = prefix.with_suffix(".fam").read_text().splitlines()
+    for suffix in (".bed", ".bim", ".fam"):
+        member = prefix.with_suffix(suffix)
+        if not member.exists():
+            raise FileNotFoundError(
+                f"{member} not found; a PLINK fileset needs all three of "
+                f"{prefix.with_suffix('.bed').name}/.bim/.fam"
+            )
+    bim_path = prefix.with_suffix(".bim")
+    fam_path = prefix.with_suffix(".fam")
+    bim_lines = bim_path.read_text().splitlines()
+    fam_lines = fam_path.read_text().splitlines()
     n_variants = len(bim_lines)
     n_individuals = len(fam_lines)
     if n_variants == 0 or n_individuals == 0:
@@ -108,22 +117,55 @@ def read_plink_bed(prefix: str | Path) -> PlinkDataset:
     for idx, line in enumerate(bim_lines):
         fields = line.split()
         if len(fields) != 6:
-            raise ValueError(f".bim line {idx + 1}: expected 6 fields")
+            raise ValueError(
+                f"{bim_path}:{idx + 1}: expected 6 fields "
+                "(chrom, id, cM, bp, a1, a2), got "
+                f"{len(fields)}: {line!r}"
+            )
         variant_ids.append(fields[1])
-        positions[idx] = int(fields[3])
-    sample_ids = [line.split()[1] for line in fam_lines]
+        try:
+            positions[idx] = int(fields[3])
+        except ValueError:
+            raise ValueError(
+                f"{bim_path}:{idx + 1}: bp position must be an integer, "
+                f"got {fields[3]!r}"
+            ) from None
+    sample_ids = []
+    for idx, line in enumerate(fam_lines):
+        fields = line.split()
+        if len(fields) < 2:
+            raise ValueError(
+                f"{fam_path}:{idx + 1}: expected at least fid and iid "
+                f"columns, got {line!r}"
+            )
+        sample_ids.append(fields[1])
 
-    raw = Path(prefix.with_suffix(".bed")).read_bytes()
-    if raw[:3] != _MAGIC:
+    bed_path = prefix.with_suffix(".bed")
+    raw = bed_path.read_bytes()
+    if len(raw) < 3:
         raise ValueError(
-            f"bad .bed magic {raw[:3]!r}; only SNP-major v1 files supported"
+            f"truncated .bed {bed_path}: only {len(raw)} bytes, shorter "
+            "than the 3-byte magic"
+        )
+    if raw[:3] != _MAGIC:
+        if raw[:2] == _MAGIC[:2] and raw[2] == 0x00:
+            raise ValueError(
+                f"{bed_path} is a sample-major .bed (third byte 00); only "
+                "SNP-major v1 files (6c 1b 01) are supported — rewrite it "
+                "with a modern PLINK"
+            )
+        raise ValueError(
+            f"bad .bed magic {raw[:3].hex(' ')!r} in {bed_path} "
+            "(expected '6c 1b 01'); not a PLINK v1 SNP-major file"
         )
     bytes_per_variant = (n_individuals + 3) // 4
     expected = 3 + n_variants * bytes_per_variant
     if len(raw) != expected:
+        detail = "truncated" if len(raw) < expected else "has trailing bytes"
         raise ValueError(
-            f".bed size {len(raw)} != expected {expected} for "
-            f"{n_variants} variants x {n_individuals} individuals"
+            f"{bed_path} {detail}: size {len(raw)} bytes but .bim/.fam "
+            f"imply {expected} (3-byte magic + {n_variants} variants x "
+            f"{bytes_per_variant} bytes for {n_individuals} individuals)"
         )
     payload = np.frombuffer(raw, dtype=np.uint8, offset=3).reshape(
         n_variants, bytes_per_variant

@@ -22,8 +22,19 @@ import numpy as np
 
 def _read_text(path: Path) -> str:
     if path.suffix == ".gz":
-        with gzip.open(path, "rt") as fh:
-            return fh.read()
+        try:
+            with gzip.open(path, "rt") as fh:
+                return fh.read()
+        except gzip.BadGzipFile as exc:
+            raise ValueError(
+                f"{path} is not valid gzip data ({exc}); re-download or "
+                "decompress it"
+            ) from exc
+        except EOFError as exc:
+            raise ValueError(
+                f"{path} is truncated: the gzip stream ends mid-member "
+                "(interrupted download?)"
+            ) from exc
     return path.read_text()
 
 
@@ -176,9 +187,15 @@ def read_vcf(path: str | Path) -> VcfPanel:
             )
         ref, alt = fields[3], fields[4]
         if "," in alt:
-            raise ValueError(f"line {lineno}: multi-allelic records unsupported")
+            raise ValueError(
+                f"line {lineno}: multi-allelic record (ALT={alt!r}) "
+                "unsupported; split it (e.g. bcftools norm -m-) first"
+            )
         if len(ref) != 1 or len(alt) != 1:
-            raise ValueError(f"line {lineno}: only SNP records supported")
+            raise ValueError(
+                f"line {lineno}: only biallelic SNP records supported, "
+                f"got REF={ref!r} ALT={alt!r} (indel/structural?)"
+            )
         fmt = fields[8].split(":")
         if fmt[0] != "GT":
             raise ValueError(f"line {lineno}: first FORMAT field must be GT")
@@ -209,7 +226,12 @@ def read_vcf(path: str | Path) -> VcfPanel:
                     raise ValueError(
                         f"line {lineno}: unexpected allele {allele!r}"
                     )
-        positions.append(int(fields[1]))
+        try:
+            positions.append(int(fields[1]))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: POS must be an integer, got {fields[1]!r}"
+            ) from None
         ids.append(fields[2])
         hap_rows.append(site_calls)
         valid_rows.append(site_valid)

@@ -18,6 +18,16 @@ layer, threaded through :func:`repro.core.engine.run_engine`,
   ops/cycle and placed against :mod:`repro.machine.perfmodel`'s
   prediction, reproducing the paper's %-of-peak framing (Figs. 3–4) as
   a first-class artifact.
+
+The engine's fault-tolerance machinery reports through the same channel:
+``tile_retry`` events carry the specific failure (plus ``tile_corrupt``
+for handoff-checksum mismatches and ``tile_timeout`` for watchdog
+evictions), ``tile_quarantined`` marks a poison tile taken out of the
+run, ``pool_spawn_failed`` / ``pool_restart`` track worker-pool churn,
+and ``executor_degraded`` records a processes → threads → serial
+fallback — with matching ``engine.corruptions`` / ``engine.timeouts`` /
+``engine.tiles_quarantined`` / ``engine.spawn_failures`` /
+``engine.degradations`` counters.
 """
 
 from repro.observe.metrics import Histogram, JsonlTraceSink, MetricsRecorder

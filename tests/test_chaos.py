@@ -1,0 +1,166 @@
+"""Chaos property tests: seeded fault schedules never change the answer.
+
+The acceptance property of the fault-injection layer: for any seeded
+FaultPlan whose failures stay within the retry budget, run_engine — plus
+a resume after any injected crash — produces a final r² matrix that is
+bit-identical to an uninterrupted fault-free run. Schedules are built
+from a seeded RNG over kills, transient raises, bit-flips, delays, and
+torn manifest appends, so every run of this suite replays the exact same
+failure histories.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.engine import run_engine
+from repro.core.streaming import NpyMemmapSink
+from repro.faults import FaultPlan, FaultSpec, InjectedCrash
+
+N_SCHEDULES = 24
+MAX_RETRIES = 3
+
+
+@pytest.fixture(scope="module")
+def chaos_panel():
+    rng = np.random.default_rng(0xFA17)
+    return rng.integers(0, 2, size=(48, 41)).astype(np.uint8)
+
+
+@pytest.fixture(scope="module")
+def clean_matrix(chaos_panel, tmp_path_factory):
+    path = tmp_path_factory.mktemp("chaos-ref") / "clean.npy"
+    with NpyMemmapSink(path, chaos_panel.shape[1]) as sink:
+        report = run_engine(chaos_panel, sink, engine="serial", block_snps=7)
+    assert report.complete
+    return np.load(path)
+
+
+def _tile_keys(n_snps: int, block: int) -> list[tuple[int, int]]:
+    return [
+        (i0, j0)
+        for i0 in range(0, n_snps, block)
+        for j0 in range(0, i0 + 1, block)
+    ]
+
+
+def _random_schedule(
+    seed: int, keys: list[tuple[int, int]], *, with_kills: bool
+) -> FaultPlan:
+    """A random-but-replayable mix of failures, all within the budget.
+
+    Per tile at most one spec, each with ``attempts_below <= MAX_RETRIES``,
+    so every injected failure is retried past; a torn manifest append (a
+    simulated power cut) may additionally end the run early, which the
+    test recovers from with resume.
+    """
+    draw = random.Random(seed)
+    specs: list[FaultSpec] = []
+    victims = draw.sample(keys, k=min(len(keys), draw.randint(2, 5)))
+    for key in victims:
+        kind = draw.choice(["raise", "bitflip", "delay"])
+        if kind == "raise":
+            specs.append(FaultSpec(
+                site="tile_compute", tile=key,
+                attempts_below=draw.randint(1, MAX_RETRIES - 1),
+            ))
+        elif kind == "bitflip":
+            specs.append(FaultSpec(
+                site="tile_deliver", action="bitflip", tile=key,
+                attempts_below=draw.randint(1, MAX_RETRIES - 1),
+            ))
+        else:
+            specs.append(FaultSpec(
+                site="tile_compute", action="delay", tile=key,
+                attempts_below=1, delay_seconds=0.01,
+            ))
+    if with_kills and draw.random() < 0.7:
+        specs.append(FaultSpec(
+            site="tile_compute", action="kill", tile=draw.choice(keys),
+            attempts_below=1,
+        ))
+    if draw.random() < 0.5:
+        specs.append(FaultSpec(
+            site="manifest_append", action="torn", tile=draw.choice(keys),
+        ))
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+def _run_until_complete(panel, out, manifest, plan, *, engine, n) -> int:
+    """Faulted run + resumes until the engine finishes; returns run count.
+
+    The first run executes under the fault plan and may die on an
+    injected crash (torn manifest append). Resumes run fault-free — after
+    a real crash the operator restarts without the chaos harness — and
+    must finish from the journal.
+    """
+    runs = 0
+    mode = "w+"
+    faults = plan
+    while True:
+        runs += 1
+        assert runs <= 4, "chaos schedule failed to converge"
+        try:
+            with NpyMemmapSink(out, n, mode=mode) as sink:
+                report = run_engine(
+                    panel, sink, engine=engine, block_snps=7, n_workers=2,
+                    manifest_path=manifest, resume=(mode == "r+"),
+                    max_retries=MAX_RETRIES, retry_backoff=0.0,
+                    faults=faults,
+                )
+            assert report.complete
+            assert report.n_quarantined == 0
+            return runs
+        except InjectedCrash:
+            mode = "r+"
+            faults = None
+
+
+class TestChaosSchedules:
+    @pytest.mark.parametrize("seed", range(N_SCHEDULES))
+    def test_serial_schedule_is_bit_identical(
+        self, chaos_panel, clean_matrix, tmp_path, seed
+    ):
+        n = chaos_panel.shape[1]
+        plan = _random_schedule(
+            seed, _tile_keys(n, 7), with_kills=False
+        )
+        out = tmp_path / "chaos.npy"
+        _run_until_complete(
+            chaos_panel, out, tmp_path / "chaos.manifest", plan,
+            engine="serial", n=n,
+        )
+        np.testing.assert_array_equal(np.load(out), clean_matrix)
+
+    @pytest.mark.parametrize("seed", [101, 102, 103, 104])
+    def test_process_schedule_with_kills_is_bit_identical(
+        self, chaos_panel, clean_matrix, tmp_path, seed
+    ):
+        n = chaos_panel.shape[1]
+        plan = _random_schedule(
+            seed, _tile_keys(n, 7), with_kills=True
+        )
+        out = tmp_path / "chaos.npy"
+        _run_until_complete(
+            chaos_panel, out, tmp_path / "chaos.manifest", plan,
+            engine="processes", n=n,
+        )
+        np.testing.assert_array_equal(np.load(out), clean_matrix)
+
+    @pytest.mark.parametrize("seed", [201, 202])
+    def test_thread_schedule_is_bit_identical(
+        self, chaos_panel, clean_matrix, tmp_path, seed
+    ):
+        n = chaos_panel.shape[1]
+        plan = _random_schedule(
+            seed, _tile_keys(n, 7), with_kills=False
+        )
+        out = tmp_path / "chaos.npy"
+        _run_until_complete(
+            chaos_panel, out, tmp_path / "chaos.manifest", plan,
+            engine="threads", n=n,
+        )
+        np.testing.assert_array_equal(np.load(out), clean_matrix)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -297,6 +299,83 @@ class TestLdEngineOption:
         ]) == 0
         assert manifest.exists()
         assert not (tmp_path / "ld.npy.manifest").exists()
+
+
+class TestLdFaultToleranceFlags:
+    @pytest.mark.parametrize(
+        "flag", [
+            ["--fault-plan", "plan.json"],
+            ["--tile-timeout", "5"],
+            ["--max-retries", "3"],
+            ["--allow-quarantine"],
+        ],
+    )
+    def test_fault_flags_require_engine(self, ms_panel, tmp_path, flag):
+        path, _ = ms_panel
+        with pytest.raises(SystemExit, match="add --engine"):
+            main(["ld", str(path), "--out", str(tmp_path / "ld.npy"), *flag])
+
+    def test_fault_plan_within_budget_exits_zero(
+        self, ms_panel, tmp_path, capsys
+    ):
+        path, haps = ms_panel
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "seed": 7,
+            "specs": [{"site": "tile_compute", "action": "raise",
+                       "tile": [16, 0], "attempts_below": 2}],
+        }))
+        out = tmp_path / "ld.npy"
+        assert main([
+            "ld", str(path), "--engine", "serial", "--block-snps", "16",
+            "--fault-plan", str(plan), "--max-retries", "2",
+            "--out", str(out),
+        ]) == 0
+        assert "2 retries" in capsys.readouterr().out
+        from repro.core.ldmatrix import ld_matrix
+
+        np.testing.assert_array_equal(np.load(out), ld_matrix(haps))
+
+    def test_quarantine_surfaces_exit_code_three(
+        self, ms_panel, tmp_path, capsys
+    ):
+        path, _ = ms_panel
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({
+            "specs": [{"site": "tile_deliver", "action": "bitflip",
+                       "tile": [16, 0]}],
+        }))
+        assert main([
+            "ld", str(path), "--engine", "serial", "--block-snps", "16",
+            "--fault-plan", str(plan), "--max-retries", "1",
+            "--allow-quarantine", "--out", str(tmp_path / "ld.npy"),
+        ]) == 3
+        err = capsys.readouterr().err
+        assert "quarantined" in err and "(16, 0)" in err
+
+    def test_missing_and_invalid_fault_plan_files(self, ms_panel, tmp_path):
+        path, _ = ms_panel
+        base = [
+            "ld", str(path), "--engine", "serial",
+            "--out", str(tmp_path / "ld.npy"),
+        ]
+        with pytest.raises(SystemExit, match="not found"):
+            main(base + ["--fault-plan", str(tmp_path / "absent.json")])
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"specs": [{"site": "warp_core"}]}')
+        with pytest.raises(SystemExit, match="invalid fault plan"):
+            main(base + ["--fault-plan", str(bad)])
+
+    def test_tile_timeout_flag_passes_through(self, ms_panel, tmp_path):
+        path, haps = ms_panel
+        out = tmp_path / "ld.npy"
+        assert main([
+            "ld", str(path), "--engine", "serial", "--block-snps", "16",
+            "--tile-timeout", "60", "--out", str(out),
+        ]) == 0
+        from repro.core.ldmatrix import ld_matrix
+
+        np.testing.assert_array_equal(np.load(out), ld_matrix(haps))
 
 
 class TestAnalysisCommands:

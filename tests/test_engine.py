@@ -17,6 +17,7 @@ from repro.core.engine import (
 )
 from repro.core.ldmatrix import as_bitmatrix, ld_matrix
 from repro.core.streaming import NpyMemmapSink
+from repro.faults import FaultPlan, FaultSpec, InjectedFault
 from repro.observe import MetricsRecorder
 
 
@@ -187,36 +188,28 @@ class TestRunEngine:
         np.testing.assert_array_equal(np.load(path), ld_matrix(panel, undefined=0.0))
 
 
-class _FailNTimes:
-    """Picklable fault hook: raise on a chosen tile, n times, via a counter file."""
-
-    def __init__(self, key: tuple[int, int], counter_path) -> None:
-        self.key = key
-        self.counter_path = counter_path
-
-    def __call__(self, key: tuple[int, int]) -> None:
-        if key != self.key:
-            return
-        remaining = int(self.counter_path.read_text())
-        if remaining > 0:
-            self.counter_path.write_text(str(remaining - 1))
-            raise RuntimeError(f"injected failure on tile {key}")
-
-
 class TestRetries:
+    """Retry behaviour, driven deterministically through FaultPlan.
+
+    The plans key every decision on (tile, attempt), so these tests see
+    the exact same failure schedule on every run and every executor — no
+    real worker crashes, no counter files, no flakiness.
+    """
+
     @pytest.mark.parametrize("engine", ENGINES)
-    def test_transient_failures_are_retried(self, panel, tmp_path, engine):
-        counter = tmp_path / "failures"
-        counter.write_text("2")
+    def test_transient_failures_are_retried(self, panel, engine):
+        plan = FaultPlan(seed=11, specs=(
+            FaultSpec(site="tile_compute", tile=(10, 10), attempts_below=2),
+        ))
         sink = _AssemblingSink(panel.shape[1])
         recorder = MetricsRecorder(keep_events=True)
         report = run_engine(
             panel, sink, engine=engine, block_snps=10, n_workers=2,
-            max_retries=2, fault_hook=_FailNTimes((10, 10), counter),
-            recorder=recorder,
+            max_retries=2, retry_backoff=0.0, faults=plan, recorder=recorder,
         )
         assert report.n_retries == 2
         assert report.n_computed == report.n_tiles
+        assert report.n_quarantined == 0
         # The recorder sees every retry the report counts, attributed to
         # the injected tile.
         assert recorder.counters["engine.retries"] == report.n_retries
@@ -232,14 +225,15 @@ class TestRetries:
         )
 
     @pytest.mark.parametrize("engine", ENGINES)
-    def test_persistent_failure_raises_after_retries(self, panel, tmp_path, engine):
-        counter = tmp_path / "failures"
-        counter.write_text("100")
-        with pytest.raises(RuntimeError, match="injected failure"):
+    def test_persistent_failure_raises_after_retries(self, panel, engine):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="tile_compute", tile=(0, 0)),
+        ))
+        with pytest.raises(InjectedFault, match="injected raise"):
             run_engine(
                 panel, _AssemblingSink(panel.shape[1]), engine=engine,
                 block_snps=10, n_workers=2, max_retries=1,
-                fault_hook=_FailNTimes((0, 0), counter),
+                retry_backoff=0.0, faults=plan,
             )
 
 

@@ -254,3 +254,101 @@ class TestPlinkBed:
         ref = np.corrcoef(genos.astype(float).T) ** 2
         defined = ~np.isnan(r2)
         np.testing.assert_allclose(r2[defined], ref[defined], atol=1e-10)
+
+
+class TestVcfMalformedInput:
+    """Hardening: malformed VCFs fail with messages naming what was found."""
+
+    HEADER = (
+        "##fileformat=VCFv4.2\n"
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\tsample0\n"
+    )
+
+    def test_truncated_gzip_names_the_file(self, tmp_path, rng):
+        haps = rng.integers(0, 2, size=(4, 3)).astype(np.uint8)
+        path = tmp_path / "cut.vcf.gz"
+        write_vcf(path, haps, np.arange(3) + 1)
+        path.write_bytes(path.read_bytes()[:-5])  # interrupted download
+        with pytest.raises(ValueError, match="truncated"):
+            read_vcf(path)
+
+    def test_non_gzip_bytes_behind_gz_suffix(self, tmp_path):
+        path = tmp_path / "fake.vcf.gz"
+        path.write_text("this is not gzip")
+        with pytest.raises(ValueError, match="not valid gzip"):
+            read_vcf(path)
+
+    def test_error_names_offending_alleles(self, tmp_path):
+        path = tmp_path / "indel.vcf"
+        path.write_text(self.HEADER + "1\t5\ts\tAC\tT\t.\tPASS\t.\tGT\t0|0\n")
+        with pytest.raises(ValueError, match=r"REF='AC' ALT='T'"):
+            read_vcf(path)
+        path.write_text(self.HEADER + "1\t5\ts\tA\tT,G\t.\tPASS\t.\tGT\t0|0\n")
+        with pytest.raises(ValueError, match=r"ALT='T,G'"):
+            read_vcf(path)
+
+    def test_ragged_record_names_column_counts(self, tmp_path):
+        path = tmp_path / "ragged.vcf"
+        path.write_text(self.HEADER + "1\t5\ts\tA\tT\t.\tPASS\t.\tGT\n")
+        with pytest.raises(ValueError, match="expected 10 columns, got 9"):
+            read_vcf(path)
+
+    def test_non_integer_pos(self, tmp_path):
+        path = tmp_path / "pos.vcf"
+        path.write_text(self.HEADER + "1\tfive\ts\tA\tT\t.\tPASS\t.\tGT\t0|0\n")
+        with pytest.raises(ValueError, match="POS must be an integer"):
+            read_vcf(path)
+
+
+class TestPlinkMalformedInput:
+    """Hardening: malformed PLINK filesets fail with actionable messages."""
+
+    def _write_set(self, tmp_path, rng, name="ds"):
+        genos = rng.integers(0, 3, size=(9, 4)).astype(np.int8)
+        prefix = tmp_path / name
+        write_plink_bed(prefix, GenotypeMatrix.from_dense(genos))
+        return prefix
+
+    def test_missing_member_file_is_named(self, tmp_path, rng):
+        prefix = self._write_set(tmp_path, rng)
+        prefix.with_suffix(".fam").unlink()
+        with pytest.raises(FileNotFoundError, match=r"\.fam"):
+            read_plink_bed(prefix)
+
+    def test_bed_shorter_than_magic(self, tmp_path, rng):
+        prefix = self._write_set(tmp_path, rng)
+        prefix.with_suffix(".bed").write_bytes(b"\x6c")
+        with pytest.raises(ValueError, match="only 1 bytes"):
+            read_plink_bed(prefix)
+
+    def test_sample_major_bed_gets_specific_message(self, tmp_path, rng):
+        prefix = self._write_set(tmp_path, rng)
+        bed = prefix.with_suffix(".bed")
+        bed.write_bytes(b"\x6c\x1b\x00" + bed.read_bytes()[3:])
+        with pytest.raises(ValueError, match="sample-major"):
+            read_plink_bed(prefix)
+
+    def test_truncation_message_reports_both_sizes(self, tmp_path, rng):
+        prefix = self._write_set(tmp_path, rng)
+        bed = prefix.with_suffix(".bed")
+        bed.write_bytes(bed.read_bytes()[:-2])
+        with pytest.raises(ValueError, match="truncated.*imply"):
+            read_plink_bed(prefix)
+
+    def test_bad_bim_position_names_line_and_value(self, tmp_path, rng):
+        prefix = self._write_set(tmp_path, rng)
+        bim = prefix.with_suffix(".bim")
+        lines = bim.read_text().splitlines()
+        lines[2] = lines[2].replace("\t3\t", "\tthree\t")
+        bim.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"bim:3.*'three'"):
+            read_plink_bed(prefix)
+
+    def test_short_fam_line_is_rejected(self, tmp_path, rng):
+        prefix = self._write_set(tmp_path, rng)
+        fam = prefix.with_suffix(".fam")
+        lines = fam.read_text().splitlines()
+        lines[1] = "lonely"
+        fam.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="fam:2"):
+            read_plink_bed(prefix)
