@@ -1,0 +1,229 @@
+"""Kernel-level benchmark: the fused macro-kernel vs the micro drivers.
+
+Times ``repro.core.gemm.popcount_gemm`` for the legacy per-micro-tile
+``numpy`` driver against the fused bit-plane macro-kernel (``fused``) on
+three rectangular shapes — including the paper-scale Gram block
+``m = n = 4096, k = 64`` words — and scores each run against the
+analytical Haswell model (%-of-peak framing, Figs. 3–4). Throughput is
+reported in word-MACs/s (``m·n·k`` packed-word AND+POPCNT
+accumulations per GEMM). Results go to ``BENCH_gemm.json``; the checked
+-in copy of that file is the regression baseline for CI's perf-smoke
+job. Runnable three ways:
+
+as a script::
+
+    python benchmarks/bench_gemm.py             # full shapes
+    python benchmarks/bench_gemm.py --quick     # CI smoke subset
+
+as a regression gate (CI perf-smoke)::
+
+    python benchmarks/bench_gemm.py --quick --check benchmarks/BENCH_gemm.json
+
+under the pytest benchmark harness::
+
+    pytest benchmarks/bench_gemm.py --benchmark-only -s
+
+The ``--check`` gate compares fused throughput on every shape present in
+both the fresh run and the baseline file, and fails (exit 1) when any
+drops below ``--min-ratio`` (default 0.7, i.e. a >30 % regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.gemm import popcount_gemm, resolve_blocking  # noqa: E402
+from repro.core.macrokernel import GemmWorkspace  # noqa: E402
+from repro.observe import compare_to_model  # noqa: E402
+
+#: (m, n, k_words) per benchmarked shape. The first is the paper-scale
+#: Gram block the ISSUE's 2x acceptance bar is measured on.
+FULL_SHAPES = [(4096, 4096, 64), (2048, 2048, 32), (1024, 1024, 16)]
+#: --quick must stay a subset of FULL_SHAPES so a full-run baseline file
+#: always has matching rows for the CI gate. The mid-size shape is the
+#: smallest whose timing is stable enough for a 30 % regression floor.
+QUICK_SHAPES = [(2048, 2048, 32)]
+
+#: Old hot path first, new hot path second; --check gates on the latter.
+KERNELS = ("numpy", "fused")
+
+
+def time_kernel(
+    a: np.ndarray,
+    b: np.ndarray,
+    kernel: str,
+    *,
+    repeats: int,
+    workspace: GemmWorkspace,
+) -> tuple[float, np.ndarray]:
+    """Best-of-*repeats* seconds for one popcount GEMM (plus its result)."""
+    best = float("inf")
+    c = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        c = popcount_gemm(a, b, kernel=kernel, workspace=workspace)
+        best = min(best, time.perf_counter() - start)
+    return best, c
+
+
+def bench_gemm_shapes(
+    shapes: list[tuple[int, int, int]], *, repeats: int
+) -> list[dict]:
+    """Time every (shape, kernel) pair and print the comparison table."""
+    rng = np.random.default_rng(20160516)
+    workspace = GemmWorkspace()
+    rows: list[dict] = []
+    print(f"{'shape (m,n,k)':>18} | {'kernel':>7} | {'seconds':>8} | "
+          f"{'Gword/s':>8} | {'%peak':>6} | {'vs numpy':>8}")
+    for m, n, k in shapes:
+        a = rng.integers(0, 2**63, size=(m, k), dtype=np.int64).astype(np.uint64)
+        b = rng.integers(0, 2**63, size=(n, k), dtype=np.int64).astype(np.uint64)
+        words = m * n * k
+        baseline_s = None
+        reference = None
+        for kernel in KERNELS:
+            seconds, c = time_kernel(
+                a, b, kernel, repeats=repeats, workspace=workspace
+            )
+            if reference is None:
+                reference = c
+            else:
+                # The bench doubles as a differential check: both hot
+                # paths must produce bit-identical popcount Grams.
+                np.testing.assert_array_equal(c, reference)
+            comparison = compare_to_model(
+                m, n, k, seconds, params=resolve_blocking(None, kernel)
+            )
+            if baseline_s is None:
+                baseline_s = seconds
+            rows.append({
+                "m": m,
+                "n": n,
+                "k_words": k,
+                "kernel": kernel,
+                "seconds": seconds,
+                "words": words,
+                "words_per_second": words / seconds,
+                "measured_percent_of_peak":
+                    comparison.measured_percent_of_peak,
+                "modeled_percent_of_peak": comparison.modeled_percent_of_peak,
+                "speedup_vs_numpy": baseline_s / seconds,
+            })
+            print(f"{f'{m}x{n}x{k}':>18} | {kernel:>7} | {seconds:>8.3f} | "
+                  f"{words / seconds / 1e9:>8.2f} | "
+                  f"{comparison.measured_percent_of_peak:>6.2f} | "
+                  f"{baseline_s / seconds:>7.2f}x")
+    return rows
+
+
+def write_report(rows: list[dict], path: str | Path) -> None:
+    """Serialize the result rows as ``BENCH_gemm.json``."""
+    payload = {
+        "schema": "repro-bench-gemm/1",
+        "model": "HASWELL analytical (repro.machine), per-kernel default "
+                 "blocking, scalar64 peak",
+        "kernels": list(KERNELS),
+        "results": rows,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    print(f"wrote {len(rows)} result rows -> {path}")
+
+
+def check_against_baseline(
+    rows: list[dict], baseline_path: str | Path, *, min_ratio: float
+) -> int:
+    """Gate fused throughput against a committed baseline file.
+
+    Every (m, n, k) shape present in both runs is compared; a fresh
+    fused throughput below ``min_ratio`` of the baseline's fails the
+    gate. Returns a process exit code.
+    """
+    try:
+        payload = json.loads(Path(baseline_path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check: cannot read baseline {baseline_path}: {error}")
+        return 1
+    baseline = {
+        (r["m"], r["n"], r["k_words"]): r["words_per_second"]
+        for r in payload.get("results", [])
+        if r.get("kernel") == "fused"
+    }
+    compared = 0
+    failed = 0
+    for row in rows:
+        if row["kernel"] != "fused":
+            continue
+        shape = (row["m"], row["n"], row["k_words"])
+        if shape not in baseline:
+            continue
+        compared += 1
+        ratio = row["words_per_second"] / baseline[shape]
+        verdict = "ok" if ratio >= min_ratio else "REGRESSION"
+        print(f"check: fused {shape}: {ratio:.2f}x baseline "
+              f"(floor {min_ratio:.2f}) {verdict}")
+        if ratio < min_ratio:
+            failed += 1
+    if compared == 0:
+        print("check: no overlapping fused shapes between run and baseline")
+        return 1
+    if failed:
+        print(f"check: FAILED - {failed}/{compared} shape(s) regressed "
+              f"more than {(1 - min_ratio) * 100:.0f}%")
+        return 1
+    print(f"check: passed on {compared} shape(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke subset of FULL_SHAPES (CI; seconds)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timings per (shape, kernel); best is kept")
+    parser.add_argument("--json", default="BENCH_gemm.json", metavar="PATH",
+                        help="result file (default: %(default)s)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare fused throughput against this "
+                             "committed BENCH_gemm.json; exit 1 on "
+                             "regression past --min-ratio")
+    parser.add_argument("--min-ratio", type=float, default=0.7,
+                        help="minimum fused throughput as a fraction of "
+                             "the baseline (default: %(default)s)")
+    args = parser.parse_args(argv)
+    shapes = QUICK_SHAPES if args.quick else FULL_SHAPES
+    rows = bench_gemm_shapes(shapes, repeats=args.repeats)
+    write_report(rows, args.json)
+    if args.check:
+        return check_against_baseline(
+            rows, args.check, min_ratio=args.min_ratio
+        )
+    return 0
+
+
+def test_bench_gemm_fused(benchmark):
+    """pytest-benchmark entry: fused kernel on the quick shape."""
+    rng = np.random.default_rng(20160516)
+    m, n, k = QUICK_SHAPES[0]
+    a = rng.integers(0, 2**63, size=(m, k), dtype=np.int64).astype(np.uint64)
+    b = rng.integers(0, 2**63, size=(n, k), dtype=np.int64).astype(np.uint64)
+    workspace = GemmWorkspace()
+    popcount_gemm(a, b, kernel="fused", workspace=workspace)  # warm carve
+
+    def run():
+        return popcount_gemm(a, b, kernel="fused", workspace=workspace)
+
+    c = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert c.shape == (m, n)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

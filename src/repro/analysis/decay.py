@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL
 from repro.core.ldmatrix import as_bitmatrix, compute_ld
 from repro.encoding.bitmatrix import BitMatrix
 
@@ -68,8 +69,8 @@ def ld_decay_curve(
     *,
     n_bins: int = 20,
     max_distance: float | None = None,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> DecayCurve:
     """Mean r² as a function of pairwise genomic distance.
 

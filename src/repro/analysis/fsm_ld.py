@@ -28,8 +28,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
-from repro.core.gemm import popcount_gemm
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL, popcount_gemm
 from repro.encoding.fsm import DNA_STATES, FiniteSitesMatrix
 
 __all__ = ["fsm_ld_matrix", "fsm_ld_pair"]
@@ -77,8 +77,8 @@ def fsm_ld_pair(matrix: FiniteSitesMatrix, i: int, j: int) -> float:
 def fsm_ld_matrix(
     matrix: FiniteSitesMatrix,
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     undefined: float = np.nan,
 ) -> np.ndarray:
     """All-pairs T statistic via 25 blocked popcount GEMMs.

@@ -27,8 +27,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
-from repro.core.gemm import popcount_gemm, popcount_gram
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL, popcount_gemm, popcount_gram
 from repro.core.ldmatrix import as_bitmatrix
 from repro.encoding.bitmatrix import BitMatrix
 from repro.encoding.masks import ValidityMask
@@ -94,8 +94,8 @@ def masked_ld_matrix(
     mask: ValidityMask,
     stat: str = "r2",
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     undefined: float = np.nan,
 ) -> np.ndarray:
     """All-pairs gap-aware LD as four blocked popcount GEMMs.

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.blocking import BlockingParams
 from repro.core.windowed import BandedLDMatrix, banded_ld
 from repro.encoding.bitmatrix import BitMatrix
 
@@ -48,7 +48,7 @@ def find_haplotype_blocks(
     r2_threshold: float = 0.5,
     min_fraction: float = 0.7,
     min_block_snps: int = 2,
-    params: BlockingParams = DEFAULT_BLOCKING,
+    params: BlockingParams | None = None,
     band: BandedLDMatrix | None = None,
 ) -> list[HaplotypeBlock]:
     """Greedy haplotype-block partition of a SNP region.

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
-from repro.core.gemm import popcount_gemm
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL, popcount_gemm
 from repro.core.ldmatrix import as_bitmatrix
 from repro.encoding.bitmatrix import BitMatrix
 
@@ -82,8 +82,8 @@ def third_order_d_window(
     start: int,
     stop: int,
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> np.ndarray:
     """All D_ijk within the SNP window ``[start, stop)`` via W GEMMs.
 

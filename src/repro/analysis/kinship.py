@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
-from repro.core.gemm import popcount_gram
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL, popcount_gram
 from repro.core.ldmatrix import as_bitmatrix
 from repro.encoding.bitmatrix import BitMatrix
 
@@ -29,8 +29,8 @@ __all__ = ["kinship_matrix"]
 def kinship_matrix(
     data: BitMatrix | np.ndarray,
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     drop_monomorphic: bool = True,
 ) -> np.ndarray:
     """Allele-sharing kinship matrix over samples (haploid VanRaden form).

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL
 from repro.core.ldmatrix import as_bitmatrix, compute_ld
 from repro.encoding.bitmatrix import BitMatrix
 
@@ -25,8 +26,8 @@ def ld_prune(
     window: int = 50,
     step: int = 5,
     r2_threshold: float = 0.2,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> np.ndarray:
     """Greedy LD pruning, PLINK ``--indep-pairwise`` semantics.
 

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.omega import omega_scan_from_ld
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL
 from repro.core.ldmatrix import as_bitmatrix, compute_ld
 from repro.encoding.bitmatrix import BitMatrix
 
@@ -78,8 +79,8 @@ def sweep_scan(
     max_window: int = 100,
     search: str = "split",
     threshold: float | None = None,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     n_threads: int = 1,
 ) -> SweepScanResult:
     """Scan a region for selective sweeps via ω on the GEMM LD matrix.

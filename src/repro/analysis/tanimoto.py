@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
-from repro.core.gemm import popcount_gemm, popcount_gram
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL, popcount_gemm, popcount_gram
 from repro.encoding.bitmatrix import BitMatrix
 
 __all__ = ["pack_fingerprints", "tanimoto_matrix", "tanimoto_pair"]
@@ -57,8 +57,8 @@ def tanimoto_matrix(
     fingerprints: np.ndarray | BitMatrix,
     others: np.ndarray | BitMatrix | None = None,
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> np.ndarray:
     """All-pairs Tanimoto similarity via the blocked popcount GEMM.
 

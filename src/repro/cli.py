@@ -13,6 +13,7 @@ prune        PLINK-style LD pruning → kept SNP indices
 blocks       haplotype-block partition → .tsv
 decay        LD-decay curve → .tsv
 model        machine-model report (%-of-peak, SIMD analysis, GPU roofline)
+tune         time the blocking candidate grid, persist the per-machine winner
 ===========  ================================================================
 
 Every command takes ``--seed`` where randomness is involved and prints a
@@ -34,6 +35,7 @@ from repro.analysis.ldprune import ld_prune
 from repro.analysis.sweeps import sweep_scan
 from repro.core.blocking import DEFAULT_BLOCKING
 from repro.core.engine import ENGINES, enumerate_tiles, run_engine
+from repro.core.gemm import DEFAULT_KERNEL, GEMM_KERNELS
 from repro.faults import FaultPlan
 from repro.core.ldmatrix import ld_matrix
 from repro.core.streaming import NpyMemmapSink
@@ -122,7 +124,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix) -> int:
+def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix, params=None) -> int:
     """Sharded tiled execution path of the ``ld`` command (``--engine``)."""
     out = Path(args.out)
     if out.suffix != ".npy":
@@ -168,6 +170,8 @@ def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix) -> int:
                 block_snps=args.block_snps,
                 engine=args.engine,
                 n_workers=args.workers,
+                batch_tiles=args.batch_tiles,
+                params=params,
                 resume=args.resume,
                 manifest_path=manifest,
                 max_retries=max_retries,
@@ -240,6 +244,7 @@ def _write_engine_metrics(
         "n_retries": report.n_retries,
         "n_quarantined": report.n_quarantined,
         "quarantined": [list(t) for t in report.quarantined],
+        "n_batches": report.n_batches,
         "engine_used": report.engine_used or report.engine,
         "wall_seconds": wall_seconds,
         "pairs_computed": pairs_computed,
@@ -259,26 +264,38 @@ def _cmd_ld(args: argparse.Namespace) -> int:
         freqs = panel.allele_frequencies()
         keep = np.minimum(freqs, 1.0 - freqs) >= args.maf
         panel = panel.select(np.flatnonzero(keep))
+    params = None
+    if args.autotune:
+        # First run pays the timed search and persists the winner; every
+        # later run reloads the identical parameters from the profile.
+        from repro.core.tuning import profile_path, tuned_blocking
+
+        params = tuned_blocking(DEFAULT_KERNEL)
+        print(f"ld: autotuned blocking mc={params.mc} nc={params.nc} "
+              f"kc={params.kc} (profile: {profile_path()})", file=sys.stderr)
     if args.engine:
-        return _cmd_ld_engine(args, panel)
+        return _cmd_ld_engine(args, panel, params=params)
     if args.progress or args.metrics_out or args.trace_out:
         raise SystemExit(
             "--progress/--metrics-out/--trace-out instrument the tiled "
             "engine; add --engine serial|threads|processes"
         )
     if (args.fault_plan or args.tile_timeout is not None
-            or args.max_retries is not None or args.allow_quarantine):
+            or args.max_retries is not None or args.allow_quarantine
+            or args.batch_tiles is not None):
         raise SystemExit(
-            "--fault-plan/--tile-timeout/--max-retries/--allow-quarantine "
-            "configure the tiled engine; add --engine "
+            "--fault-plan/--tile-timeout/--max-retries/--allow-quarantine/"
+            "--batch-tiles configure the tiled engine; add --engine "
             "serial|threads|processes"
         )
     if args.window:
-        band = banded_ld(panel, window=args.window, stat=args.stat)
+        band = banded_ld(panel, window=args.window, stat=args.stat,
+                         params=params)
         matrix = band.values
         kind = f"banded (window {args.window}, diagonal-major)"
     else:
-        matrix = ld_matrix(panel, stat=args.stat, n_threads=args.threads)
+        matrix = ld_matrix(panel, stat=args.stat, n_threads=args.threads,
+                           params=params)
         kind = "full"
     out = Path(args.out)
     _save_matrix(matrix, out)
@@ -345,6 +362,38 @@ def _cmd_decay(args: argparse.Namespace) -> int:
     )
     print(f"decay: {args.bins} bins, half-decay distance "
           f"{curve.half_decay_distance():.4g} -> {out}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.core.tuning import (
+        DEFAULT_TUNE_SHAPE,
+        autotune,
+        machine_fingerprint,
+        profile_path,
+        save_profile,
+    )
+
+    shape = tuple(args.shape) if args.shape else DEFAULT_TUNE_SHAPE
+    result = autotune(
+        args.kernel, shape=shape, repeats=args.repeats,
+        budget_seconds=args.budget_seconds,
+    )
+    print(f"tune: kernel={args.kernel} shape={shape} "
+          f"fingerprint={machine_fingerprint()}")
+    for timing in result.candidates:
+        p = timing.params
+        marker = " <- best" if p == result.params else ""
+        print(f"  mc={p.mc:<5d} nc={p.nc:<5d} kc={p.kc:<4d} "
+              f"mr={p.mr:<3d} nr={p.nr:<3d} "
+              f"{timing.seconds:8.4f} s  "
+              f"{timing.words_per_second / 1e9:7.2f} Gword/s{marker}")
+    if args.dry_run:
+        print("tune: dry run, profile not written")
+    else:
+        target = save_profile(result)
+        print(f"tune: best blocking persisted to {target} "
+              f"(reloaded automatically by ld --autotune)")
     return 0
 
 
@@ -428,6 +477,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None, metavar="JSONL",
                    help="write the per-tile JSONL event trace here "
                         "(--engine only)")
+    p.add_argument("--batch-tiles", type=int, default=None, metavar="N",
+                   help="tiles dispatched per worker submission "
+                        "(--engine threads/processes; default: auto)")
+    p.add_argument("--autotune", action="store_true",
+                   help="use the persisted per-machine tuned blocking, "
+                        "running the timed search first if absent "
+                        "(see `repro tune`)")
     p.set_defaults(func=_cmd_ld)
 
     p = sub.add_parser("scan", help="omega-statistic sweep scan")
@@ -463,6 +519,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snps", type=int, default=4096)
     p.add_argument("--samples", type=int, default=10000)
     p.set_defaults(func=_cmd_model)
+
+    p = sub.add_parser(
+        "tune",
+        help="time the blocking candidate grid and persist the winner",
+    )
+    p.add_argument("--kernel", choices=GEMM_KERNELS, default=DEFAULT_KERNEL)
+    p.add_argument("--shape", type=int, nargs=3, default=None,
+                   metavar=("M", "N", "K"),
+                   help="timing shape in SNPs x SNPs x words "
+                        "(default: 1024 1024 32)")
+    p.add_argument("--repeats", type=int, default=2,
+                   help="timings per candidate; best is kept")
+    p.add_argument("--budget-seconds", type=float, default=None,
+                   help="stop the search after this many seconds "
+                        "(already-timed candidates still compete)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print the timing table without writing the profile")
+    p.set_defaults(func=_cmd_tune)
 
     return parser
 

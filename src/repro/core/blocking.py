@@ -22,7 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["BlockingParams", "DEFAULT_BLOCKING", "MICRO_BLOCKING", "select_blocking"]
+__all__ = [
+    "BlockingParams",
+    "DEFAULT_BLOCKING",
+    "FUSED_BLOCKING",
+    "MICRO_BLOCKING",
+    "select_blocking",
+]
 
 #: Bytes per packed element (one uint64 word of 64 alleles).
 ELEMENT_BYTES = 8
@@ -130,3 +136,14 @@ DEFAULT_BLOCKING = BlockingParams(mc=256, nc=2048, kc=512, mr=128, nr=128)
 #: Blocking with a hardware-realistic 8×8 register tile; used by the scalar
 #: reference kernel and by the machine model, which counts real registers.
 MICRO_BLOCKING = BlockingParams(mc=256, nc=2048, kc=256, mr=8, nr=8)
+
+#: Blocking for the fused macro-kernel (:mod:`repro.core.macrokernel`). The
+#: macro-kernel computes a whole ``mc × nc`` block per call, so ``mc``/``nc``
+#: are large to amortize the per-block bit-plane expansion while ``kc`` is
+#: short: each ``kc`` chunk of 64-allele words expands 64× when unpacked to
+#: bit planes, and kc=64 keeps one expanded operand panel inside the LLC.
+#: ``mr``/``nr`` only affect the popcount fall-back path and the operation
+#: counts; the BLAS contraction has no register tile of its own. Values
+#: selected empirically (see benchmarks/BENCH_gemm.json); ``repro tune`` can
+#: re-derive them per machine.
+FUSED_BLOCKING = BlockingParams(mc=2048, nc=4096, kc=64, mr=8, nr=8)

@@ -42,6 +42,7 @@ import os
 import threading
 import time
 import zlib
+from collections import deque
 from collections.abc import Callable
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -51,15 +52,15 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from multiprocessing import get_all_start_methods, get_context, shared_memory
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
-from repro.core.gemm import popcount_gemm
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL, popcount_gemm
 from repro.core.ldmatrix import as_bitmatrix
 from repro.core.stats import r_squared_matrix
 from repro.encoding.bitmatrix import BitMatrix
@@ -157,8 +158,8 @@ def compute_tile(
     tile: TileTask,
     *,
     stat: str = "r2",
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     undefined: float = np.nan,
     recorder: "MetricsRecorder | None" = None,
 ) -> np.ndarray:
@@ -447,20 +448,117 @@ class TileManifest:
 _WORKER_STATE: dict = {}
 
 
+@dataclass(frozen=True)
+class _TileOutcome:
+    """One tile's result within a batched future.
+
+    Exactly one of ``result``/``error`` is set. Batched dispatch reports
+    per-tile failures in-band (the original exception instance, pickled
+    across the pool boundary exactly as ``future.exception()`` used to
+    be) rather than failing the whole future, so batch-mates still land.
+    When the block traveled through the shared-memory arena,
+    ``result.block`` is ``None`` and ``arena_offset``/``shape`` locate
+    the payload inside the batch's slot.
+    """
+
+    index: int
+    result: TileResult | None
+    error: BaseException | None
+    arena_offset: int | None = None
+    shape: tuple[int, int] | None = None
+
+
+@dataclass(frozen=True)
+class _BatchOutcome:
+    """Return value of one batched dispatch unit (one future)."""
+
+    items: tuple[_TileOutcome, ...]
+
+
+class _ResultArena:
+    """Driver-owned shared-memory staging for ``processes`` result blocks.
+
+    One slot per in-flight batch: workers write each tile's statistic
+    block into their batch's slot (float64, tiles packed back to back)
+    and send back only offsets + CRC32s, so result payloads never travel
+    through pickle. Slots are recycled as futures complete; the driver
+    reads a slot *before* releasing it, and verification (the same CRC32
+    handshake as before) happens on the driver's view of the bytes.
+    """
+
+    def __init__(self, n_slots: int, slot_elems: int) -> None:
+        self.n_slots = max(1, int(n_slots))
+        self.slot_elems = max(1, int(slot_elems))
+        nbytes = self.n_slots * self.slot_elems * 8
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        self._flat = np.ndarray(
+            (self.n_slots * self.slot_elems,), dtype=np.float64,
+            buffer=self._shm.buf,
+        )
+        self._free: list[int] = list(range(self.n_slots))
+
+    @property
+    def name(self) -> str:
+        """Shared-memory segment name (workers attach by it)."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Total arena footprint in bytes."""
+        return self.n_slots * self.slot_elems * 8
+
+    def acquire(self) -> int | None:
+        """A free slot index, or ``None`` when all are in flight."""
+        return self._free.pop() if self._free else None
+
+    def release(self, slot: int) -> None:
+        """Return *slot* to the free pool."""
+        self._free.append(slot)
+
+    def reset(self) -> None:
+        """Free every slot (after a pool teardown orphans in-flight work)."""
+        self._free = list(range(self.n_slots))
+
+    def read(self, slot: int, offset: int, shape: tuple[int, int]) -> np.ndarray:
+        """The driver's view of one tile block inside *slot* (no copy)."""
+        base = slot * self.slot_elems + offset
+        count = int(shape[0]) * int(shape[1])
+        return self._flat[base : base + count].reshape(shape)
+
+    def close(self) -> None:
+        """Release and unlink the segment."""
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+
+
 def _init_worker(
     shm_name: str,
     words_shape: tuple[int, int],
     freqs: np.ndarray,
     n_samples: int,
     stat: str,
-    params: BlockingParams,
+    params: BlockingParams | None,
     kernel: str,
     undefined: float,
     faults: FaultPlan | None,
+    arena_name: str | None = None,
+    arena_n_slots: int = 0,
+    arena_slot_elems: int = 0,
 ) -> None:
-    """Attach the shared words segment once per worker process."""
+    """Attach the shared words (and result arena) once per worker process."""
     shm = shared_memory.SharedMemory(name=shm_name)
     words = np.ndarray(words_shape, dtype=np.uint64, buffer=shm.buf)
+    arena_shm = None
+    arena = None
+    if arena_name is not None:
+        arena_shm = shared_memory.SharedMemory(name=arena_name)
+        arena = np.ndarray(
+            (arena_n_slots * arena_slot_elems,), dtype=np.float64,
+            buffer=arena_shm.buf,
+        )
     _WORKER_STATE.update(
         shm=shm,
         words=words,
@@ -471,16 +569,25 @@ def _init_worker(
         kernel=kernel,
         undefined=undefined,
         faults=faults,
+        arena_shm=arena_shm,
+        arena=arena,
+        arena_slot_elems=arena_slot_elems,
     )
 
 
-def _run_tile_in_worker(tile: TileTask, epoch: int) -> TileResult:
+def _run_tile_in_worker(
+    tile: TileTask, epoch: int, arena_out: np.ndarray | None = None
+) -> TileResult:
     """Pool task: compute one tile against the attached shared words.
 
     *epoch* is the driver's attempt counter for this tile (per-tile
     failures plus pool restarts) — the deterministic clock fault
     injection keys on, and the reason a seeded schedule fires
     identically regardless of which worker draws the tile.
+
+    With *arena_out* set, the block is staged into that shared-memory
+    view; the CRC32 (and any injected corruption) applies to the arena
+    bytes the driver will verify, exactly as it did to pickled payloads.
     """
     state = _WORKER_STATE
     plan: FaultPlan | None = state.get("faults")
@@ -497,6 +604,9 @@ def _run_tile_in_worker(tile: TileTask, epoch: int) -> TileResult:
         kernel=state["kernel"],
         undefined=state["undefined"],
     )
+    if arena_out is not None:
+        arena_out[...] = block
+        block = arena_out
     elapsed = time.perf_counter() - start
     if plan is not None:
         plan.fire("tile_deliver", tile.key, epoch)
@@ -511,6 +621,51 @@ def _run_tile_in_worker(tile: TileTask, epoch: int) -> TileResult:
         worker=f"pid-{os.getpid()}",
         checksum=checksum,
     )
+
+
+def _run_batch_in_worker(
+    unit: tuple[TileTask, ...], epochs: tuple[int, ...], slot: int | None
+) -> _BatchOutcome:
+    """Pool task: compute a batch of tiles, reporting per-tile outcomes.
+
+    A tile that raises is reported in-band (its batch-mates are
+    unaffected) so the driver can charge the attempt to that tile alone
+    and resubmit it as a singleton. Kill faults still take down the whole
+    future — that is the worker-crash path, handled at pool level.
+    """
+    state = _WORKER_STATE
+    arena: np.ndarray | None = state.get("arena")
+    slot_elems = state.get("arena_slot_elems", 0)
+    items: list[_TileOutcome] = []
+    offset = 0
+    for index, (tile, epoch) in enumerate(zip(unit, epochs)):
+        rows = tile.i1 - tile.i0
+        cols = tile.j1 - tile.j0
+        out = None
+        if arena is not None and slot is not None:
+            base = slot * slot_elems + offset
+            out = arena[base : base + rows * cols].reshape(rows, cols)
+        try:
+            result = _run_tile_in_worker(tile, epoch, arena_out=out)
+        except Exception as error:  # noqa: BLE001 - reported in-band
+            items.append(_TileOutcome(index=index, result=None, error=error))
+        else:
+            if out is not None:
+                items.append(
+                    _TileOutcome(
+                        index=index,
+                        result=replace(result, block=None),
+                        error=None,
+                        arena_offset=offset,
+                        shape=(rows, cols),
+                    )
+                )
+            else:
+                items.append(
+                    _TileOutcome(index=index, result=result, error=None)
+                )
+        offset += rows * cols
+    return _BatchOutcome(items=tuple(items))
 
 
 def _largest_first(tiles: list[TileTask]) -> list[TileTask]:
@@ -537,6 +692,24 @@ class _PoolHung(Exception):
     def __init__(self, tiles: list[TileTask]) -> None:
         super().__init__(f"{len(tiles)} tile(s) exceeded the tile timeout")
         self.tiles = tiles
+
+
+def _chunk_batches(
+    order: list[TileTask], pending: set[TileTask], batch_size: int
+) -> "deque[tuple[TileTask, ...]]":
+    """Chunk still-pending tiles (in schedule order) into dispatch units."""
+    queue: deque[tuple[TileTask, ...]] = deque()
+    chunk: list[TileTask] = []
+    for tile in order:
+        if tile not in pending:
+            continue
+        chunk.append(tile)
+        if len(chunk) >= batch_size:
+            queue.append(tuple(chunk))
+            chunk = []
+    if chunk:
+        queue.append(tuple(chunk))
+    return queue
 
 
 @dataclass
@@ -645,30 +818,40 @@ def _execute_serial(
 
 def _execute_pooled(
     pool_factory: Callable[[], Executor],
-    task: Callable[[TileTask, int], TileResult],
+    task: Callable[
+        [tuple[TileTask, ...], tuple[int, ...], int | None], _BatchOutcome
+    ],
     tiles: list[TileTask],
     ctx: _RetryContext,
     hard_kill: Callable[[Executor], None] | None = None,
-) -> int:
-    """Drive *task* over an executor with retry, watchdog, and rebuild.
+    batch_size: int = 1,
+    arena: _ResultArena | None = None,
+) -> tuple[int, int]:
+    """Drive batched *task* units over an executor with retry and watchdog.
 
-    Results are delivered in the driver thread as they complete. A tile
-    whose task raises (or whose payload fails verification) is charged an
-    attempt and resubmitted with exponential backoff; past
-    ``max_retries`` it is quarantined (when allowed) or the run aborts.
-    A broken or hung process pool is killed and rebuilt; when the pool
-    cannot be (re)spawned within the restart budget, ``_ExecutorBroken``
-    escapes so the caller can degrade to a simpler executor. Returns the
-    number of retries performed.
+    Tiles are dispatched ``batch_size`` per future (amortizing submit/
+    result overhead); each unit reports per-tile outcomes, so a failing
+    tile is charged an attempt and resubmitted as a singleton while its
+    batch-mates land normally. Past ``max_retries`` a tile is quarantined
+    (when allowed) or the run aborts. A broken or hung process pool is
+    killed and rebuilt; when the pool cannot be (re)spawned within the
+    restart budget, ``_ExecutorBroken`` escapes so the caller can degrade
+    to a simpler executor. Returns ``(retries, units_submitted)``.
 
-    The watchdog: with ``ctx.tile_timeout`` set, a tile running past its
-    wall-clock budget is abandoned. Under ``processes`` (*hard_kill*
-    provided) the stuck workers are SIGKILLed and the pool rebuilt; under
-    ``threads`` the future is orphaned (threads cannot be killed) and the
-    tile resubmitted.
+    With an *arena*, submission is windowed by its slot count: units wait
+    in the queue until a shared-memory slot frees up, and each completed
+    future's blocks are read (and verified) from its slot before release.
+
+    The watchdog: with ``ctx.tile_timeout`` set, a unit running past its
+    wall-clock budget is abandoned (callers force ``batch_size=1`` with a
+    timeout so the budget stays per-tile). Under ``processes``
+    (*hard_kill* provided) the stuck workers are SIGKILLed and the pool
+    rebuilt; under ``threads`` the future is orphaned (threads cannot be
+    killed) and its tiles resubmitted.
     """
     retries = 0
     restarts = 0
+    submissions = 0
     attempts = dict.fromkeys(tiles, 0)
     pending = set(tiles)
     order = list(tiles)
@@ -706,17 +889,40 @@ def _execute_pooled(
         futures: dict = {}
         started: dict = {}
         abandoned = False
+        if arena is not None:
+            # A pool teardown orphans whatever was in flight; those slots
+            # can never be released by their (dead) futures.
+            arena.reset()
+        queue = _chunk_batches(order, pending, batch_size)
 
-        def submit(tile: TileTask) -> None:
-            future = pool.submit(task, tile, attempts[tile] + restarts)
-            futures[future] = tile
+        def try_submit(unit: tuple[TileTask, ...]) -> bool:
+            nonlocal submissions
+            slot = None
+            if arena is not None:
+                slot = arena.acquire()
+                if slot is None:
+                    return False
+            epochs = tuple(attempts[t] + restarts for t in unit)
+            future = pool.submit(task, unit, epochs, slot)
+            futures[future] = (unit, slot)
             started[future] = time.perf_counter()
+            submissions += 1
+            return True
+
+        def resubmit_tile(tile: TileTask) -> None:
+            queue.append((tile,))
+
+        def pump() -> None:
+            while queue and try_submit(queue[0]):
+                queue.popleft()
 
         try:
-            for tile in order:
-                if tile in pending:
-                    submit(tile)
-            while futures:
+            pump()
+            while futures or queue:
+                if not futures:
+                    pump()
+                    if not futures:  # pragma: no cover - defensive
+                        break
                 slack = None
                 if ctx.tile_timeout is not None:
                     now = time.perf_counter()
@@ -726,22 +932,33 @@ def _execute_pooled(
                     ]
                     if overdue:
                         if hard_kill is not None:
-                            raise _PoolHung([futures[f] for f in overdue])
+                            raise _PoolHung(
+                                [
+                                    tile
+                                    for f in overdue
+                                    for tile in futures[f][0]
+                                ]
+                            )
                         # Threads cannot be killed: orphan the future
                         # (its result will be discarded) and recycle the
-                        # tile through the ordinary failure path.
+                        # tiles through the ordinary failure path.
                         abandoned = True
                         for f in overdue:
-                            tile = futures.pop(f)
+                            unit, slot = futures.pop(f)
                             started.pop(f)
-                            handle_failure(
-                                tile,
-                                TileTimeoutError(
-                                    f"tile {tile.key} exceeded the "
-                                    f"{ctx.tile_timeout}s budget"
-                                ),
-                                submit,
-                            )
+                            if slot is not None:  # pragma: no cover
+                                arena.release(slot)
+                            for tile in unit:
+                                if tile in pending:
+                                    handle_failure(
+                                        tile,
+                                        TileTimeoutError(
+                                            f"tile {tile.key} exceeded the "
+                                            f"{ctx.tile_timeout}s budget"
+                                        ),
+                                        resubmit_tile,
+                                    )
+                        pump()
                         continue
                     deadline = min(
                         started[f] + ctx.tile_timeout for f in futures
@@ -751,24 +968,50 @@ def _execute_pooled(
                     set(futures), timeout=slack, return_when=FIRST_COMPLETED
                 )
                 for future in done:
-                    tile = futures.pop(future)
+                    unit, slot = futures.pop(future)
                     started.pop(future)
                     error = future.exception()
                     if error is None:
-                        if tile not in pending:
-                            continue
-                        result = future.result()
-                        try:
-                            ctx.verify(tile, result)
-                        except TileCorruptionError as corrupt:
-                            handle_failure(tile, corrupt, submit)
-                            continue
-                        ctx.deliver(tile, result)
-                        pending.discard(tile)
+                        outcome = future.result()
+                        for item in outcome.items:
+                            tile = unit[item.index]
+                            if tile not in pending:
+                                continue
+                            if item.error is not None:
+                                handle_failure(
+                                    tile, item.error, resubmit_tile
+                                )
+                                continue
+                            result = item.result
+                            if (
+                                arena is not None
+                                and slot is not None
+                                and item.shape is not None
+                            ):
+                                result = replace(
+                                    result,
+                                    block=arena.read(
+                                        slot, item.arena_offset, item.shape
+                                    ),
+                                )
+                            try:
+                                ctx.verify(tile, result)
+                            except TileCorruptionError as corrupt:
+                                handle_failure(tile, corrupt, resubmit_tile)
+                                continue
+                            # The arena view is only valid until the slot
+                            # is released below; deliver consumes it now.
+                            ctx.deliver(tile, result)
+                            pending.discard(tile)
                     elif isinstance(error, BrokenProcessPool):
                         raise error
-                    elif tile in pending:
-                        handle_failure(tile, error, submit)
+                    else:
+                        for tile in unit:
+                            if tile in pending:
+                                handle_failure(tile, error, resubmit_tile)
+                    if slot is not None:
+                        arena.release(slot)
+                    pump()
         except (BrokenProcessPool, _PoolHung) as error:
             restarts += 1
             if isinstance(error, _PoolHung):
@@ -789,7 +1032,7 @@ def _execute_pooled(
                 raise _ExecutorBroken(error) from error
         finally:
             pool.shutdown(wait=not abandoned, cancel_futures=True)
-    return retries
+    return retries, submissions
 
 
 def _kill_pool_workers(pool: Executor) -> None:
@@ -815,6 +1058,7 @@ class EngineReport:
     engine_used: str = ""
     n_quarantined: int = 0
     quarantined: tuple[tuple[int, int], ...] = ()
+    n_batches: int = 0
 
     @property
     def complete(self) -> bool:
@@ -839,8 +1083,9 @@ def run_engine(
     block_snps: int = 512,
     engine: str = "serial",
     n_workers: int | None = None,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    batch_tiles: int | None = None,
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     undefined: float = np.nan,
     include_diagonal_blocks: bool = True,
     manifest_path: str | Path | None = None,
@@ -875,6 +1120,13 @@ def run_engine(
         executor that finished is reported as ``engine_used``.
     n_workers:
         Worker count for ``threads``/``processes`` (default: CPU count).
+    batch_tiles:
+        Tiles dispatched per pool future under ``threads``/``processes``
+        (amortizes submission and result overhead; failures within a
+        batch are isolated per tile). ``None`` (default) picks a size
+        from the tile count and worker count, and a ``tile_timeout``
+        forces batches of 1 so the watchdog budget stays per-tile. The
+        serial engine ignores it.
     manifest_path:
         Path of the tile journal. Required for ``resume``; when set, every
         delivered tile is durably recorded so a later run can skip it.
@@ -934,6 +1186,8 @@ def run_engine(
         raise ValueError(f"tile_timeout must be positive, got {tile_timeout}")
     if retry_backoff < 0:
         raise ValueError(f"retry_backoff must be non-negative, got {retry_backoff}")
+    if batch_tiles is not None and batch_tiles < 1:
+        raise ValueError(f"batch_tiles must be positive, got {batch_tiles}")
     if resume and manifest_path is None:
         raise ValueError("resume=True requires a manifest_path")
     matrix = as_bitmatrix(data)
@@ -1092,7 +1346,39 @@ def run_engine(
                 checksum=checksum,
             )
 
+        def local_batch(
+            unit: tuple[TileTask, ...],
+            epochs: tuple[int, ...],
+            slot: int | None,
+        ) -> _BatchOutcome:
+            # Thread-pool twin of _run_batch_in_worker: per-tile outcomes
+            # so a failing tile cannot sink its batch-mates. No arena —
+            # thread workers share the driver's address space already.
+            items = []
+            for index, (tile, epoch) in enumerate(zip(unit, epochs)):
+                try:
+                    result = local_task(tile, epoch)
+                except Exception as error:  # noqa: BLE001 - in-band report
+                    items.append(
+                        _TileOutcome(index=index, result=None, error=error)
+                    )
+                else:
+                    items.append(
+                        _TileOutcome(index=index, result=result, error=None)
+                    )
+            return _BatchOutcome(items=tuple(items))
+
+        def resolve_batch_size(n_tiles: int, workers: int) -> int:
+            # A timeout is a per-tile budget: batching would let one slow
+            # tile spend its batch-mates' allowance.
+            if tile_timeout is not None:
+                return 1
+            if batch_tiles is not None:
+                return batch_tiles
+            return max(1, min(8, n_tiles // (4 * workers)))
+
         retries = 0
+        batches = 0
         current = engine
         work = todo
         while work:
@@ -1101,26 +1387,33 @@ def run_engine(
                     retries += _execute_serial(local_task, work, ctx)
                 elif current == "threads":
                     workers = min(n_workers, len(work))
-                    retries += _execute_pooled(
+                    delta, subs = _execute_pooled(
                         lambda: ThreadPoolExecutor(max_workers=workers),
-                        local_task,
+                        local_batch,
                         _largest_first(work),
                         ctx,
+                        batch_size=resolve_batch_size(len(work), workers),
                     )
+                    retries += delta
+                    batches += subs
                 else:  # processes
-                    retries += _run_process_engine(
+                    workers = min(n_workers, len(work))
+                    delta, subs = _run_process_engine(
                         words=words,
                         freqs=freqs,
                         n_samples=matrix.n_samples,
                         todo=_largest_first(work),
                         ctx=ctx,
-                        n_workers=min(n_workers, len(work)),
+                        n_workers=workers,
                         stat=stat,
                         params=params,
                         kernel=kernel,
                         undefined=undefined,
                         faults=faults,
+                        batch_size=resolve_batch_size(len(work), workers),
                     )
+                    retries += delta
+                    batches += subs
                 break
             except _ExecutorBroken as broken:
                 fallback = _FALLBACK[current]
@@ -1145,12 +1438,15 @@ def run_engine(
     if recorder is not None:
         run_seconds = time.perf_counter() - run_start
         recorder.observe_time("engine.run_seconds", run_seconds)
+        if batches:
+            recorder.inc("engine.batches_dispatched", batches)
         recorder.event(
             "run_end",
             n_computed=n_computed,
             n_skipped=n_skipped,
             n_retries=retries,
             n_quarantined=len(quarantined),
+            n_batches=batches,
             seconds=run_seconds,
         )
     return EngineReport(
@@ -1163,6 +1459,7 @@ def run_engine(
         engine_used=current,
         n_quarantined=len(quarantined),
         quarantined=tuple(sorted(t.key for t, _ in quarantined)),
+        n_batches=batches,
     )
 
 
@@ -1175,18 +1472,22 @@ def _run_process_engine(
     ctx: _RetryContext,
     n_workers: int,
     stat: str,
-    params: BlockingParams,
+    params: BlockingParams | None,
     kernel: str,
     undefined: float,
     faults: FaultPlan | None,
-) -> int:
-    """Process-pool execution with the packed words in shared memory.
+    batch_size: int = 1,
+) -> tuple[int, int]:
+    """Process-pool execution with both directions in shared memory.
 
     The driver copies the packed word matrix into one
     ``multiprocessing.shared_memory`` segment; each worker maps it via the
-    pool initializer, so task submission pickles only a :class:`TileTask`
-    (four ints) plus its attempt epoch, and the result block travels back
-    once per tile.
+    pool initializer, so task submission pickles only :class:`TileTask`
+    keys (four ints each) plus attempt epochs. Results flow back through
+    a driver-owned :class:`_ResultArena`: workers write statistic blocks
+    straight into their batch's shared-memory slot and pickle only
+    offsets, shapes, and CRC32s — result payloads never cross the pipe.
+    Returns ``(retries, units_submitted)``.
     """
     # Prefer fork where available: worker startup is cheap and initargs are
     # inherited rather than pickled. Everything passed is spawn-safe too.
@@ -1197,9 +1498,21 @@ def _run_process_engine(
     words = np.ascontiguousarray(words, dtype=np.uint64)
     shm = shared_memory.SharedMemory(create=True, size=max(1, words.nbytes))
     spawn_count = 0
+    arena: _ResultArena | None = None
     try:
         shared = np.ndarray(words.shape, dtype=np.uint64, buffer=shm.buf)
         shared[:] = words
+
+        # A slot must hold the largest possible unit; keep a couple of
+        # spare slots beyond the worker count so completed futures can be
+        # drained while fresh units are already queued.
+        slot_elems = batch_size * max(t.n_pairs for t in todo)
+        n_units = -(-len(todo) // batch_size)
+        arena = _ResultArena(
+            n_slots=min(n_units, 2 * n_workers + 2), slot_elems=slot_elems
+        )
+        if ctx.recorder is not None:
+            ctx.recorder.inc("engine.arena_bytes", arena.nbytes)
 
         def pool_factory() -> ProcessPoolExecutor:
             nonlocal spawn_count
@@ -1221,14 +1534,21 @@ def _run_process_engine(
                     kernel,
                     undefined,
                     faults,
+                    arena.name,
+                    arena.n_slots,
+                    arena.slot_elems,
                 ),
             )
 
         return _execute_pooled(
-            pool_factory, _run_tile_in_worker, todo, ctx,
+            pool_factory, _run_batch_in_worker, todo, ctx,
             hard_kill=_kill_pool_workers,
+            batch_size=batch_size,
+            arena=arena,
         )
     finally:
+        if arena is not None:
+            arena.close()
         shm.close()
         try:
             shm.unlink()

@@ -19,9 +19,22 @@ packed words — Figure 2), computing ``GᵀG`` is already the rank-k update
 shape GotoBLAS optimizes (Section III-B): both inputs here are ``(snps,
 words)`` and the contraction runs over words.
 
-Edge handling follows BLIS: C is logically padded to multiples of
-``m_r``/``n_r``; packed fringe slivers are zero-padded, and zero words are
-inert under AND/POPCNT, so the micro-kernel needs no fringe cases.
+Four interchangeable kernels drive the nest (:data:`GEMM_KERNELS`):
+
+- ``"fused"`` (default): the bit-plane BLAS macro-kernel
+  (:func:`repro.core.macrokernel.macrokernel_fused`) — whole cache blocks
+  per call, zero hot-loop allocation, exact by the float32 integer-range
+  argument documented there.
+- ``"fused-popcount"``: the allocation-free AND/POPCNT/SUM macro-kernel,
+  same instruction mix the machine model prices.
+- ``"numpy"`` / ``"scalar"``: the original per-micro-tile kernels from
+  :mod:`repro.core.microkernel`, kept as the executable specification and
+  differential-test oracles.
+
+Edge handling follows BLIS: packed fringe slivers are zero-padded, and zero
+words are inert under AND/POPCNT, so kernels need no fringe cases. The
+output C is allocated at its exact ``(m, n)`` shape — fringe padding lives
+only in workspace scratch, never in a full padded C.
 
 :func:`gemm_operation_counts` walks the same loop bounds without executing
 the kernels, producing the exact instruction/traffic counts the machine model
@@ -36,7 +49,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.blocking import DEFAULT_BLOCKING, FUSED_BLOCKING, BlockingParams
+from repro.core.macrokernel import (
+    GemmWorkspace,
+    macrokernel_fused,
+    macrokernel_popcount,
+    shared_workspace,
+)
 from repro.core.microkernel import MICRO_KERNELS
 from repro.core.packing import pack_block_a, pack_panel_b
 
@@ -44,12 +63,41 @@ if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
     from repro.observe.metrics import MetricsRecorder
 
 __all__ = [
+    "DEFAULT_KERNEL",
+    "FUSED_KERNELS",
+    "GEMM_KERNELS",
     "GemmCounts",
     "popcount_gemm",
     "popcount_gemm_flat",
     "popcount_gram",
     "gemm_operation_counts",
+    "resolve_blocking",
 ]
+
+#: Macro-kernel-driven kernels (block-at-a-time, workspace scratch).
+FUSED_KERNELS = ("fused", "fused-popcount")
+
+#: All kernels accepted by the blocked drivers, fastest first.
+GEMM_KERNELS = FUSED_KERNELS + tuple(MICRO_KERNELS)
+
+#: Production default: the bit-plane BLAS macro-kernel.
+DEFAULT_KERNEL = "fused"
+
+
+def resolve_blocking(
+    params: BlockingParams | None, kernel: str = DEFAULT_KERNEL
+) -> BlockingParams:
+    """The blocking to use for *kernel* when the caller passed ``None``.
+
+    Fused macro-kernels want large ``mc``/``nc`` blocks and short ``kc``
+    chunks (:data:`repro.core.blocking.FUSED_BLOCKING`); the per-tile micro
+    kernels keep the historical :data:`~repro.core.blocking.DEFAULT_BLOCKING`.
+    A tuned profile (see :mod:`repro.core.tuning`) is *not* consulted here —
+    tuning is opt-in via ``repro tune`` / ``ld --autotune``.
+    """
+    if params is not None:
+        return params
+    return FUSED_BLOCKING if kernel in FUSED_KERNELS else DEFAULT_BLOCKING
 
 
 def _check_operands(a_words: np.ndarray, b_words: np.ndarray) -> tuple[int, int, int]:
@@ -67,13 +115,115 @@ def _check_operands(a_words: np.ndarray, b_words: np.ndarray) -> tuple[int, int,
     return a_words.shape[0], b_words.shape[0], a_words.shape[1]
 
 
+def _check_kernel(kernel: str) -> None:
+    if kernel not in GEMM_KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {', '.join(GEMM_KERNELS)}"
+        )
+
+
+def _gemm_micro(
+    a_words: np.ndarray,
+    b_words: np.ndarray,
+    c: np.ndarray,
+    params: BlockingParams,
+    kernel: str,
+    workspace: GemmWorkspace,
+    *,
+    symmetric: bool = False,
+) -> int:
+    """Legacy per-micro-tile driver for the ``numpy``/``scalar`` kernels.
+
+    Accumulates into the exact ``(m, n)`` output: interior tiles update C
+    views directly; fringe tiles stage through a workspace-carved padded
+    tile and add back the valid region. Returns micro-tile visits.
+    """
+    m, n = c.shape
+    k = a_words.shape[1]
+    micro = MICRO_KERNELS[kernel]
+    mr, nr = params.mr, params.nr
+    b_kn = np.ascontiguousarray(b_words.T)  # (k, n) panel orientation
+    tile_visits = 0
+    fringe = workspace.carve("micro.c_fringe", np.int64, (mr, nr))
+    for jc in range(0, n, params.nc):
+        nc_eff = min(params.nc, n - jc)
+        for pc in range(0, k, params.kc):
+            kc_eff = min(params.kc, k - pc)
+            packed_b = pack_panel_b(b_kn[pc : pc + kc_eff, jc : jc + nc_eff], nr)
+            for ic in range(0, m, params.mc):
+                mc_eff = min(params.mc, m - ic)
+                if symmetric and ic + mc_eff <= jc:
+                    continue
+                packed_a = pack_block_a(
+                    a_words[ic : ic + mc_eff, pc : pc + kc_eff], mr
+                )
+                for jr_sliver in range(packed_b.shape[0]):
+                    j0 = jc + jr_sliver * nr
+                    cols = min(nr, n - j0)
+                    b_micro = packed_b[jr_sliver]
+                    for ir_sliver in range(packed_a.shape[0]):
+                        i0 = ic + ir_sliver * mr
+                        if symmetric and i0 + mr <= j0:
+                            continue
+                        tile_visits += 1
+                        rows = min(mr, m - i0)
+                        if rows == mr and cols == nr:
+                            micro(
+                                packed_a[ir_sliver],
+                                b_micro,
+                                c[i0 : i0 + mr, j0 : j0 + nr],
+                            )
+                        else:
+                            fringe[...] = 0
+                            micro(packed_a[ir_sliver], b_micro, fringe)
+                            c[i0 : i0 + rows, j0 : j0 + cols] += fringe[
+                                :rows, :cols
+                            ]
+    return tile_visits
+
+
+def _run_kernel(
+    a_words: np.ndarray,
+    b_rows: np.ndarray,
+    c: np.ndarray,
+    params: BlockingParams,
+    kernel: str,
+    workspace: GemmWorkspace,
+    *,
+    symmetric: bool,
+) -> int:
+    """Dispatch one full GEMM over column strips; returns tile visits."""
+    m, n = c.shape
+    if kernel in MICRO_KERNELS:
+        return _gemm_micro(
+            a_words, b_rows, c, params, kernel, workspace, symmetric=symmetric
+        )
+    macro = macrokernel_fused if kernel == "fused" else macrokernel_popcount
+    tile_visits = 0
+    for jc in range(0, n, params.nc):
+        nc_eff = min(params.nc, n - jc)
+        visits = macro(
+            a_words,
+            b_rows[jc : jc + nc_eff],
+            c[:, jc : jc + nc_eff],
+            params,
+            workspace,
+            row_offset=0,
+            col_offset=jc,
+            symmetric=symmetric,
+        )
+        tile_visits += visits or 0
+    return tile_visits
+
+
 def popcount_gemm(
     a_words: np.ndarray,
     b_words: np.ndarray,
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     recorder: "MetricsRecorder | None" = None,
+    workspace: GemmWorkspace | None = None,
 ) -> np.ndarray:
     """All-pairs popcount inner products via the blocked GotoBLAS nest.
 
@@ -83,15 +233,20 @@ def popcount_gemm(
         Packed SNP-major word matrices of shapes ``(m, k)`` and ``(n, k)``
         (``k`` = words per SNP). The result contracts over words.
     params:
-        Blocking parameters (cache/register tile sizes).
+        Blocking parameters (cache/register tile sizes); ``None`` selects
+        the per-kernel default via :func:`resolve_blocking`.
     kernel:
-        Micro-kernel name from :data:`repro.core.microkernel.MICRO_KERNELS`
-        (``"numpy"`` production kernel or ``"scalar"`` reference).
+        One of :data:`GEMM_KERNELS` — ``"fused"`` (bit-plane BLAS macro,
+        default), ``"fused-popcount"``, ``"numpy"``, or ``"scalar"``. All
+        produce bit-identical results.
     recorder:
         Optional :class:`repro.observe.MetricsRecorder`; when set, the
         call emits one ``gemm`` event (shape, kernel, seconds) and
-        accumulates ``gemm.*`` counters/timers. ``None`` costs a single
-        ``None`` comparison.
+        accumulates ``gemm.*`` counters/timers, including workspace
+        allocation/reuse deltas. ``None`` costs a single comparison.
+    workspace:
+        Scratch pools to carve from; ``None`` uses the calling thread's
+        persistent :func:`~repro.core.macrokernel.shared_workspace`.
 
     Returns
     -------
@@ -99,37 +254,21 @@ def popcount_gemm(
     ``C[i, j] = s_iᵀ s_j``.
     """
     m, n, k = _check_operands(a_words, b_words)
+    _check_kernel(kernel)
+    params = resolve_blocking(params, kernel)
+    ws = shared_workspace() if workspace is None else workspace
     start = time.perf_counter() if recorder is not None else 0.0
-    micro = MICRO_KERNELS[kernel]
-    mr, nr = params.mr, params.nr
-    m_pad = -(-max(m, 1) // mr) * mr
-    n_pad = -(-max(n, 1) // nr) * nr
-    c = np.zeros((m_pad, n_pad), dtype=np.int64)
-    b_kn = np.ascontiguousarray(b_words.T)  # (k, n) panel orientation
-
-    for jc in range(0, n, params.nc):
-        nc_eff = min(params.nc, n - jc)
-        for pc in range(0, k, params.kc):
-            kc_eff = min(params.kc, k - pc)
-            packed_b = pack_panel_b(b_kn[pc : pc + kc_eff, jc : jc + nc_eff], nr)
-            for ic in range(0, m, params.mc):
-                mc_eff = min(params.mc, m - ic)
-                packed_a = pack_block_a(
-                    a_words[ic : ic + mc_eff, pc : pc + kc_eff], mr
-                )
-                for jr_sliver in range(packed_b.shape[0]):
-                    j0 = jc + jr_sliver * nr
-                    b_micro = packed_b[jr_sliver]
-                    for ir_sliver in range(packed_a.shape[0]):
-                        i0 = ic + ir_sliver * mr
-                        micro(
-                            packed_a[ir_sliver],
-                            b_micro,
-                            c[i0 : i0 + mr, j0 : j0 + nr],
-                        )
+    allocs0, reuses0 = ws.n_allocations, ws.n_reuses
+    c = np.zeros((m, n), dtype=np.int64)
+    tile_visits = _run_kernel(
+        a_words, b_words, c, params, kernel, ws, symmetric=False
+    )
     if recorder is not None:
-        _record_gemm_call(recorder, "gemm", m, n, k, kernel, start)
-    return c[:m, :n]
+        _record_gemm_call(
+            recorder, "gemm", m, n, k, kernel, start, ws, allocs0, reuses0,
+            tile_visits,
+        )
+    return c
 
 
 def _record_gemm_call(
@@ -140,69 +279,63 @@ def _record_gemm_call(
     k: int,
     kernel: str,
     start: float,
+    workspace: GemmWorkspace | None = None,
+    allocs0: int = 0,
+    reuses0: int = 0,
+    tile_visits: int = 0,
 ) -> None:
     """Aggregate one blocked-driver invocation into *recorder*."""
     seconds = time.perf_counter() - start
     recorder.inc(f"{name}.calls")
     recorder.inc(f"{name}.word_ops", 3 * m * n * k)
     recorder.observe_time(f"{name}.seconds", seconds)
+    if workspace is not None:
+        recorder.inc(
+            f"{name}.workspace_allocations", workspace.n_allocations - allocs0
+        )
+        recorder.inc(f"{name}.workspace_reuses", workspace.n_reuses - reuses0)
+    if tile_visits:
+        recorder.inc(f"{name}.tile_visits", tile_visits)
     recorder.event(name, m=m, n=n, k=k, kernel=kernel, seconds=seconds)
 
 
 def popcount_gram(
     a_words: np.ndarray,
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     recorder: "MetricsRecorder | None" = None,
+    workspace: GemmWorkspace | None = None,
 ) -> np.ndarray:
     """Symmetric case ``C = A Aᵀ`` (the ``GᵀG`` of Equation 5).
 
-    Skips micro-tiles strictly above the diagonal and mirrors the lower
-    triangle afterwards — the N(N+1)/2 pairwise-count traversal the paper
-    reports for the GEMM implementation (Section VI). *recorder* behaves
-    as in :func:`popcount_gemm`, emitting ``gram`` events/counters.
+    Skips blocks and micro-tiles strictly above the diagonal and mirrors the
+    lower triangle in place afterwards — the N(N+1)/2 pairwise-count
+    traversal the paper reports for the GEMM implementation (Section VI),
+    without the two full ``m × m`` temporaries the old ``np.tril`` mirror
+    allocated. *recorder* behaves as in :func:`popcount_gemm`, emitting
+    ``gram`` events/counters.
     """
+    from repro.core.macrokernel import mirror_lower_inplace
+
     a_words = np.asarray(a_words)
     m, _, k = _check_operands(a_words, a_words)
+    _check_kernel(kernel)
+    params = resolve_blocking(params, kernel)
+    ws = shared_workspace() if workspace is None else workspace
     start = time.perf_counter() if recorder is not None else 0.0
-    micro = MICRO_KERNELS[kernel]
-    mr, nr = params.mr, params.nr
-    m_pad = -(-max(m, 1) // mr) * mr
-    n_pad = -(-max(m, 1) // nr) * nr
-    c = np.zeros((m_pad, n_pad), dtype=np.int64)
-    a_kn = np.ascontiguousarray(a_words.T)
-
-    for jc in range(0, m, params.nc):
-        nc_eff = min(params.nc, m - jc)
-        for pc in range(0, k, params.kc):
-            kc_eff = min(params.kc, k - pc)
-            packed_b = pack_panel_b(a_kn[pc : pc + kc_eff, jc : jc + nc_eff], nr)
-            for ic in range(0, m, params.mc):
-                # Macro-blocks entirely above the diagonal contribute nothing
-                # to the lower triangle; skip before packing.
-                if ic + min(params.mc, m - ic) <= jc:
-                    continue
-                mc_eff = min(params.mc, m - ic)
-                packed_a = pack_block_a(
-                    a_words[ic : ic + mc_eff, pc : pc + kc_eff], mr
-                )
-                for jr_sliver in range(packed_b.shape[0]):
-                    j0 = jc + jr_sliver * nr
-                    b_micro = packed_b[jr_sliver]
-                    for ir_sliver in range(packed_a.shape[0]):
-                        i0 = ic + ir_sliver * mr
-                        if i0 + mr <= j0:  # tile strictly above diagonal
-                            continue
-                        micro(
-                            packed_a[ir_sliver],
-                            b_micro,
-                            c[i0 : i0 + mr, j0 : j0 + nr],
-                        )
-    lower = np.tril(c[:m, :m])
+    allocs0, reuses0 = ws.n_allocations, ws.n_reuses
+    c = np.zeros((m, m), dtype=np.int64)
+    tile_visits = _run_kernel(
+        a_words, a_words, c, params, kernel, ws, symmetric=True
+    )
+    mirror_lower_inplace(c)
     if recorder is not None:
-        _record_gemm_call(recorder, "gram", m, m, k, kernel, start)
-    return lower + np.tril(lower, -1).T
+        _record_gemm_call(
+            recorder, "gram", m, m, k, kernel, start, ws, allocs0, reuses0,
+            tile_visits,
+        )
+    return c
 
 
 def popcount_gemm_flat(
@@ -235,15 +368,18 @@ def popcount_gemm_flat(
 class GemmCounts:
     """Exact operation and traffic counts for one blocked GEMM execution.
 
-    All word-level counts include fringe zero-padding, exactly as executed —
-    the machine model charges padded work the way real silicon would.
+    All word-level counts include fringe zero-padding, exactly as executed
+    by the popcount-formulation kernels — the machine model charges padded
+    work the way real silicon would. (The ``"fused"`` BLAS kernel performs
+    the same logical contraction through bit planes; the model prices the
+    popcount instruction mix, which is the paper's cost unit.)
 
     Attributes
     ----------
     and_ops, popcnt_ops, add_ops:
         Word-level AND / POPCNT / accumulate operations in the micro-kernels.
     kernel_calls:
-        Micro-kernel invocations.
+        Micro-kernel invocations (micro-tile visits × pc chunks).
     a_pack_words, b_pack_words:
         Words moved (read+write once each) while packing A blocks / B panels.
     a_load_words, b_load_words:
@@ -278,10 +414,11 @@ def gemm_operation_counts(
 ) -> GemmCounts:
     """Walk the blocked loop nest symbolically and return exact counts.
 
-    Mirrors :func:`popcount_gemm` / :func:`popcount_gram` block for block
-    (including fringe padding and the symmetric tile-skipping rule) without
-    touching data. Used by the machine model and by tests that pin the
-    driver's structure.
+    Mirrors the popcount drivers block for block (including fringe padding
+    and the symmetric block- and tile-skipping rules) without touching
+    data — ``kernel_calls`` equals the ``*.tile_visits`` counter the
+    restructured drivers record (one visit per micro-tile per pc chunk),
+    and tests pin that equivalence against the executing driver.
 
     The walk is closed-form over the pc loop and the ir sliver loop (their
     contributions are arithmetic in the loop bounds), so paper-scale shapes

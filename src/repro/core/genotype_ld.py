@@ -34,8 +34,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.plink import PlinkPlanes, prepare_planes
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
-from repro.core.gemm import popcount_gemm, popcount_gram
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL, popcount_gemm, popcount_gram
 from repro.encoding.genotypes import GenotypeMatrix
 
 __all__ = ["genotype_r2_matrix"]
@@ -44,8 +44,8 @@ __all__ = ["genotype_r2_matrix"]
 def genotype_r2_matrix(
     genotypes: GenotypeMatrix,
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     undefined: float = np.nan,
 ) -> np.ndarray:
     """All-pairs genotype (dosage) r² via six blocked popcount GEMMs.

@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL
 from repro.core.parallel import popcount_gemm_parallel
 from repro.core.stats import d_matrix, d_prime_matrix, r_squared_matrix
 from repro.encoding.bitmatrix import BitMatrix
@@ -101,8 +102,8 @@ def compute_ld(
     data: BitMatrix | np.ndarray,
     other: BitMatrix | np.ndarray | None = None,
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     n_threads: int = 1,
 ) -> LDResult:
     """Run the GEMM pipeline and return the full :class:`LDResult`.
@@ -140,8 +141,8 @@ def ld_matrix(
     data: BitMatrix | np.ndarray,
     stat: str = "r2",
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     n_threads: int = 1,
     undefined: float = np.nan,
 ) -> np.ndarray:
@@ -170,8 +171,8 @@ def ld_cross(
     b: BitMatrix | np.ndarray,
     stat: str = "r2",
     *,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     n_threads: int = 1,
     undefined: float = np.nan,
 ) -> np.ndarray:

@@ -1,0 +1,316 @@
+"""Fused macro-kernels: whole cache blocks per call, zero hot-loop allocation.
+
+The micro-kernel layer (:mod:`repro.core.microkernel`) pays interpreter and
+allocator overhead per ``m_r × n_r`` tile. This module raises the unit of
+work to an entire ``m_c × n_c`` cache block (one *macro-kernel* call per
+block, chunked over k), with every temporary carved from a caller-owned
+:class:`GemmWorkspace` — after warm-up the hot loop performs **zero**
+allocations.
+
+Two macro-kernels are provided:
+
+``macrokernel_fused``
+    The production path. Each k-chunk of packed words is expanded to ±0/1
+    *bit planes* in float32 and the block is contracted with one BLAS
+    ``sgemm`` (``np.matmul``). This is exact, not approximate: every partial
+    product is 0 or 1 and every partial sum is an integer bounded by
+    ``64 · k_chunk ≤ 2²⁴``, below the float32 integer-exactness limit, so the
+    result is bit-identical to the popcount formulation regardless of BLAS
+    summation order or threading. It restates the paper's thesis — LD *is*
+    dense linear algebra — by handing the inner loop to the best dense
+    kernel on the machine.
+
+``macrokernel_popcount``
+    The same block walk in the AND/POPCNT/SUM instruction mix of the paper's
+    kernel, vectorized over short k-chunks with preallocated ``out=``
+    buffers. Slower than the bit-plane path in pure numpy but allocation-free
+    and structurally identical to :func:`repro.core.gemm.gemm_operation_counts`,
+    which the machine model prices.
+
+Both operate on SNP-major operands: ``a_words (m, k)`` and ``b_rows (n, k)``
+uint64, accumulating into an exact ``(m, n_c)`` int64 column strip of C —
+no full padded C matrix exists anywhere (fringe padding lives only in the
+workspace-carved packed slivers / accumulator block).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.core.blocking import BlockingParams
+from repro.core.packing import pack_block_a_into
+
+__all__ = [
+    "GemmWorkspace",
+    "shared_workspace",
+    "macrokernel_fused",
+    "macrokernel_popcount",
+    "mirror_lower_inplace",
+]
+
+#: Bit positions within one byte, LSB first (numpy uint64 is little-endian in
+#: memory, so byte b, bit s of a word is allele index 8·b + s — both operands
+#: use the same order, and the contraction is order-invariant anyway).
+_SHIFTS = np.arange(8, dtype=np.uint8)
+
+#: Exactness cap: one k-chunk may contribute at most 64 · kc counts to a
+#: float32 partial sum, which must stay ≤ 2²⁴ (the float32 integer limit).
+_EXACT_KC_WORDS = 1 << 18
+
+#: Memory guard: the expanded float32 bit-plane panel for one operand is
+#: ``rows · kstep · 64 · 4`` bytes; cap the per-operand panel at
+#: ``_PANEL_BUDGET_WORDS · 64`` bits (= 128 MiB of float32) regardless of how
+#: large a ``kc`` the caller requests.
+_PANEL_BUDGET_WORDS = 1 << 19
+
+#: Inner k-chunk (words) for the popcount macro-kernel: short chunks keep the
+#: (chunk, mr, nr) joint/popcount temporaries L1/L2-resident (measured best
+#: on the reference machine; see benchmarks/BENCH_gemm.json).
+_POPCOUNT_K_CHUNK = 8
+
+
+class GemmWorkspace:
+    """Grow-only scratch pools for the blocked GEMM drivers.
+
+    ``carve(name, dtype, shape)`` returns a contiguous view of a named flat
+    pool, growing the pool only when the request exceeds its current size.
+    After the first block of a steady-state shape every carve is a pure view
+    — no allocation — which is what the zero-allocation acceptance test
+    pins. One workspace serves any mix of shapes, kernels, and blocking
+    parameters because pools are keyed by role, not by geometry.
+
+    Not thread-safe by design: each thread gets its own instance via
+    :func:`shared_workspace` (the engine's ``threads`` executor runs one
+    GEMM per tile per thread).
+    """
+
+    __slots__ = ("_pools", "n_allocations", "n_reuses", "bytes_allocated")
+
+    def __init__(self) -> None:
+        self._pools: dict[tuple[str, str], np.ndarray] = {}
+        self.n_allocations = 0
+        self.n_reuses = 0
+        self.bytes_allocated = 0
+
+    def carve(
+        self, name: str, dtype: np.dtype | type, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """A ``shape`` view of the pool *name*, allocating only on growth."""
+        dt = np.dtype(dtype)
+        n = 1
+        for extent in shape:
+            n *= int(extent)
+        key = (name, dt.char)
+        pool = self._pools.get(key)
+        if pool is None or pool.size < n:
+            pool = np.empty(max(n, 1), dtype=dt)
+            self._pools[key] = pool
+            self.n_allocations += 1
+            self.bytes_allocated += pool.nbytes
+        else:
+            self.n_reuses += 1
+        return pool[:n].reshape(shape)
+
+    @property
+    def pool_bytes(self) -> int:
+        """Current total footprint of all pools."""
+        return sum(p.nbytes for p in self._pools.values())
+
+    def release(self) -> None:
+        """Drop all pools (memory returns to the allocator)."""
+        self._pools.clear()
+
+
+_THREAD_LOCAL = threading.local()
+
+
+def shared_workspace() -> GemmWorkspace:
+    """The calling thread's persistent :class:`GemmWorkspace`.
+
+    Allocated on first use per thread and reused for every subsequent GEMM
+    call on that thread, so repeated calls at a steady shape do no scratch
+    allocation at all.
+    """
+    ws = getattr(_THREAD_LOCAL, "workspace", None)
+    if ws is None:
+        ws = GemmWorkspace()
+        _THREAD_LOCAL.workspace = ws
+    return ws
+
+
+def _unpack_bits_f32(
+    workspace: GemmWorkspace,
+    tag: str,
+    words: np.ndarray,
+    out_f32: np.ndarray,
+) -> None:
+    """Expand ``(rows, kw)`` uint64 words into ``(rows, kw·64)`` 0/1 float32.
+
+    All temporaries are workspace-carved: the strided word slice is staged
+    contiguous, viewed as bytes, shifted against the 8 bit positions with an
+    ``out=`` broadcast, masked in place, and cast-assigned into the float32
+    bit-plane panel.
+    """
+    rows, kw = words.shape
+    staged = workspace.carve(tag + ".words", np.uint64, (rows, kw))
+    staged[...] = words
+    as_bytes = staged.view(np.uint8)  # (rows, kw·8)
+    bits = workspace.carve(tag + ".bits", np.uint8, (rows, kw * 8, 8))
+    np.right_shift(as_bytes[:, :, None], _SHIFTS[None, None, :], out=bits)
+    np.bitwise_and(bits, 1, out=bits)
+    out_f32[...] = bits.reshape(rows, kw * 64)
+
+
+def _fused_k_step(kc: int, rows_max: int) -> int:
+    """k-chunk (words) honouring both the exactness cap and memory budget."""
+    step = min(kc, _EXACT_KC_WORDS)
+    if rows_max > 0:
+        step = min(step, max(1, _PANEL_BUDGET_WORDS // rows_max))
+    return max(1, step)
+
+
+def macrokernel_fused(
+    a_words: np.ndarray,
+    b_rows: np.ndarray,
+    c_strip: np.ndarray,
+    params: BlockingParams,
+    workspace: GemmWorkspace,
+    *,
+    row_offset: int = 0,
+    col_offset: int = 0,
+    symmetric: bool = False,
+) -> None:
+    """Accumulate ``C_strip += A · Bᵀ`` over one n_c column strip, exactly.
+
+    Parameters
+    ----------
+    a_words:
+        ``(m, k)`` uint64 — all A rows for this strip.
+    b_rows:
+        ``(n_eff, k)`` uint64 — the strip's B rows (SNP-major, same
+        orientation as A; the contraction transposes implicitly).
+    c_strip:
+        ``(m, n_eff)`` int64 view of the exact output, updated in place.
+    row_offset, col_offset:
+        Global coordinates of ``c_strip[0, 0]``; with ``symmetric=True``,
+        ``m_c`` row blocks strictly above the diagonal are skipped (the
+        Gram traversal of Section VI).
+    """
+    m, k = a_words.shape
+    n_eff = b_rows.shape[0]
+    if m == 0 or n_eff == 0 or k == 0:
+        return
+    mc = params.mc
+    kstep = _fused_k_step(params.kc, max(min(mc, m), n_eff))
+    for pc in range(0, k, kstep):
+        kc_eff = min(kstep, k - pc)
+        kb = kc_eff * 64
+        b_f32 = workspace.carve("fused.b_f32", np.float32, (n_eff, kb))
+        _unpack_bits_f32(workspace, "fused.b", b_rows[:, pc : pc + kc_eff], b_f32)
+        for ic in range(0, m, mc):
+            mc_eff = min(mc, m - ic)
+            if symmetric and row_offset + ic + mc_eff <= col_offset:
+                continue
+            a_f32 = workspace.carve("fused.a_f32", np.float32, (mc_eff, kb))
+            _unpack_bits_f32(
+                workspace, "fused.a", a_words[ic : ic + mc_eff, pc : pc + kc_eff], a_f32
+            )
+            c_f32 = workspace.carve("fused.c_f32", np.float32, (mc_eff, n_eff))
+            np.matmul(a_f32, b_f32.T, out=c_f32)
+            block = c_strip[ic : ic + mc_eff]
+            np.add(block, c_f32, out=block, casting="unsafe")
+
+
+def macrokernel_popcount(
+    a_words: np.ndarray,
+    b_rows: np.ndarray,
+    c_strip: np.ndarray,
+    params: BlockingParams,
+    workspace: GemmWorkspace,
+    *,
+    row_offset: int = 0,
+    col_offset: int = 0,
+    symmetric: bool = False,
+) -> int:
+    """AND/POPCNT/SUM macro-kernel over one column strip, allocation-free.
+
+    Walks the same jc-strip × pc × ic × (jr, ir) structure that
+    :func:`repro.core.gemm.gemm_operation_counts` prices (including the
+    symmetric tile-skip rule), with packed slivers, joint/popcount
+    temporaries, and the padded C accumulator all carved from *workspace*.
+    Returns the number of micro-tile visits (one per tile per pc chunk) so
+    drivers can cross-check the operation-count model.
+    """
+    m, k = a_words.shape
+    n_eff = b_rows.shape[0]
+    if m == 0 or n_eff == 0 or k == 0:
+        return 0
+    mc, kc, mr, nr = params.mc, params.kc, params.mr, params.nr
+    sb_max = (n_eff + nr - 1) // nr
+    tile_visits = 0
+    joint = workspace.carve(
+        "pop.joint", np.uint64, (_POPCOUNT_K_CHUNK, mr, nr)
+    )
+    pop = workspace.carve("pop.pop", np.uint8, (_POPCOUNT_K_CHUNK, mr, nr))
+    tsum = workspace.carve("pop.tsum", np.int64, (mr, nr))
+    for pc in range(0, k, kc):
+        kc_eff = min(kc, k - pc)
+        pb_pool = workspace.carve("pop.b_pack", np.uint64, (sb_max, kc_eff, nr))
+        packed_b = pack_block_a_into(b_rows[:, pc : pc + kc_eff], nr, pb_pool)
+        for ic in range(0, m, mc):
+            mc_eff = min(mc, m - ic)
+            if symmetric and row_offset + ic + mc_eff <= col_offset:
+                continue
+            sa = (mc_eff + mr - 1) // mr
+            pa_pool = workspace.carve("pop.a_pack", np.uint64, (sa, kc_eff, mr))
+            packed_a = pack_block_a_into(
+                a_words[ic : ic + mc_eff, pc : pc + kc_eff], mr, pa_pool
+            )
+            c_pad = workspace.carve("pop.c_pad", np.int64, (sa * mr, packed_b.shape[0] * nr))
+            c_pad[...] = 0
+            for jr in range(packed_b.shape[0]):
+                j0 = jr * nr
+                b_micro = packed_b[jr]
+                for ir in range(sa):
+                    i0 = ir * mr
+                    if symmetric and row_offset + ic + i0 + mr <= col_offset + j0:
+                        continue
+                    tile_visits += 1
+                    c_tile = c_pad[i0 : i0 + mr, j0 : j0 + nr]
+                    for p0 in range(0, kc_eff, _POPCOUNT_K_CHUNK):
+                        span = min(_POPCOUNT_K_CHUNK, kc_eff - p0)
+                        np.bitwise_and(
+                            packed_a[ir][p0 : p0 + span, :, None],
+                            b_micro[p0 : p0 + span, None, :],
+                            out=joint[:span],
+                        )
+                        np.bitwise_count(joint[:span], out=pop[:span])
+                        np.sum(pop[:span], axis=0, dtype=np.int64, out=tsum)
+                        c_tile += tsum
+            block = c_strip[ic : ic + mc_eff]
+            np.add(block, c_pad[:mc_eff, :n_eff], out=block)
+    return tile_visits
+
+
+def mirror_lower_inplace(c: np.ndarray, *, block: int = 256) -> np.ndarray:
+    """Reflect the lower triangle of square *c* onto the upper, in place.
+
+    Replaces the ``np.tril(c) + np.tril(c, -1).T`` idiom, which materializes
+    two full ``m × m`` copies; this walks diagonal blocks with bounded
+    ``block × block`` staging (off-diagonal strips are disjoint transposed
+    assignments with no staging at all).
+    """
+    m = c.shape[0]
+    if c.ndim != 2 or c.shape[1] != m:
+        raise ValueError(f"expected a square matrix, got shape {c.shape}")
+    for j0 in range(0, m, block):
+        j1 = min(j0 + block, m)
+        # Strip to the right of the diagonal block: rows j0:j1 above columns
+        # j1:, sourced from the disjoint lower region below the block.
+        c[j0:j1, j1:] = c[j1:, j0:j1].T
+        diag = c[j0:j1, j0:j1]
+        low = np.tril_indices(j1 - j0, -1)
+        diag.T[low] = diag[low]
+    return c

@@ -30,8 +30,8 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
-from repro.core.gemm import popcount_gemm
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL, popcount_gemm
 
 __all__ = ["partition_ranges", "partition_triangle_rows", "popcount_gemm_parallel"]
 
@@ -81,8 +81,8 @@ def popcount_gemm_parallel(
     b_words: np.ndarray | None = None,
     *,
     n_threads: int = 1,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> np.ndarray:
     """Multithreaded all-pairs popcount inner products.
 

@@ -31,7 +31,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.blocking import DEFAULT_BLOCKING, BlockingParams
+from repro.core.blocking import BlockingParams
+from repro.core.gemm import DEFAULT_KERNEL
 from repro.core.engine import (
     TileCorruptionError,
     _crc32_array,
@@ -184,8 +185,8 @@ def stream_ld_blocks(
     *,
     stat: str = "r2",
     block_snps: int = 512,
-    params: BlockingParams = DEFAULT_BLOCKING,
-    kernel: str = "numpy",
+    params: BlockingParams | None = None,
+    kernel: str = DEFAULT_KERNEL,
     undefined: float = np.nan,
     include_diagonal_blocks: bool = True,
     faults: FaultPlan | None = None,

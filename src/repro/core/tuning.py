@@ -1,0 +1,320 @@
+"""Empirical blocking autotuner with a persistent per-machine profile.
+
+The analytical rules in :func:`repro.core.blocking.select_blocking` (and the
+measured defaults) encode one machine's cache hierarchy; the paper's "no
+tuning needed" claim holds for its C kernel, but the numpy/BLAS realization
+shifts the optimum with BLAS build, core count, and cache sizes. This module
+closes the loop empirically:
+
+- :func:`candidate_blockings` builds a small kc/mc/nc (and, for the micro
+  kernels, mr/nr) candidate grid seeded by ``select_blocking``;
+- :func:`autotune` times each candidate on a representative popcount-GEMM
+  shape (best-of-``repeats``, deterministic operands) and returns a
+  :class:`TuningResult`;
+- :func:`save_profile` / :func:`load_tuned_blocking` persist the winner to a
+  JSON profile keyed by a machine fingerprint, so later runs (``ld
+  --autotune``) reload it transparently.
+
+Profile location: ``$REPRO_TUNING_PROFILE`` if set, else
+``~/.cache/repro/tuning.json`` (see :func:`profile_path`). Schema::
+
+    {"schema": "repro-tuning/1",
+     "profiles": {"<fingerprint>": {"<kernel>": {
+         "params": {"mc":..., "nc":..., "kc":..., "mr":..., "nr":...},
+         "words_per_second": ..., "shape": [m, n, k], "tuned_at": ...}}}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.blocking import (
+    DEFAULT_BLOCKING,
+    FUSED_BLOCKING,
+    BlockingParams,
+    select_blocking,
+)
+from repro.core.gemm import DEFAULT_KERNEL, FUSED_KERNELS, GEMM_KERNELS
+
+__all__ = [
+    "CandidateTiming",
+    "TuningResult",
+    "autotune",
+    "candidate_blockings",
+    "load_tuned_blocking",
+    "machine_fingerprint",
+    "profile_path",
+    "save_profile",
+    "tuned_blocking",
+]
+
+PROFILE_SCHEMA = "repro-tuning/1"
+PROFILE_ENV = "REPRO_TUNING_PROFILE"
+
+#: Default timing shape: large enough that per-call overhead is amortized,
+#: small enough that a full grid search stays in single-digit seconds.
+DEFAULT_TUNE_SHAPE = (1024, 1024, 32)
+
+
+def machine_fingerprint() -> str:
+    """A stable identifier for "this machine, this numpy" profiles.
+
+    Combines CPU architecture, OS, logical core count, and the numpy version
+    (the BLAS build travels with it) — the factors that move the blocking
+    optimum. Deliberately excludes hostname so identical containers share
+    profiles.
+    """
+    parts = (
+        platform.machine() or "unknown",
+        platform.system() or "unknown",
+        str(os.cpu_count() or 0),
+        f"numpy-{np.__version__}",
+    )
+    return "-".join(parts).lower()
+
+
+def profile_path() -> Path:
+    """Where the tuning profile lives (env override, else user cache)."""
+    override = os.environ.get(PROFILE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "tuning.json"
+
+
+@dataclass(frozen=True)
+class CandidateTiming:
+    """One timed candidate: parameters and best-of-repeats throughput."""
+
+    params: BlockingParams
+    seconds: float
+    words_per_second: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one :func:`autotune` search."""
+
+    kernel: str
+    params: BlockingParams
+    words_per_second: float
+    shape: tuple[int, int, int]
+    fingerprint: str
+    candidates: tuple[CandidateTiming, ...]
+
+
+def candidate_blockings(
+    kernel: str = DEFAULT_KERNEL,
+    *,
+    seed: BlockingParams | None = None,
+) -> list[BlockingParams]:
+    """The candidate grid for *kernel*, seeded by the analytical model.
+
+    Fused macro-kernels sweep the cache-block shape (mc, nc, kc) — they have
+    no register tile of their own; the micro kernels sweep kc and the
+    "virtual register" tile mr = nr. The analytical ``select_blocking``
+    answer and the shipped default are always included, so tuning can never
+    pick something worse than the defaults on the tuning shape.
+    """
+    if kernel not in GEMM_KERNELS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; expected one of {', '.join(GEMM_KERNELS)}"
+        )
+    candidates: list[BlockingParams] = []
+
+    def add(params: BlockingParams) -> None:
+        if params not in candidates:
+            candidates.append(params)
+
+    if kernel in FUSED_KERNELS:
+        add(FUSED_BLOCKING)
+        analytical = seed if seed is not None else select_blocking()
+        add(analytical)
+        mr, nr = FUSED_BLOCKING.mr, FUSED_BLOCKING.nr
+        for mc in (512, 1024, 2048):
+            for nc in (2048, 4096):
+                for kc in (32, 64, 128):
+                    add(BlockingParams(mc=mc, nc=nc, kc=kc, mr=mr, nr=nr))
+    else:
+        add(DEFAULT_BLOCKING)
+        analytical = seed if seed is not None else select_blocking(mr=64, nr=64)
+        add(analytical)
+        for tile in (64, 128, 256):
+            for kc in (256, 512):
+                add(
+                    BlockingParams(
+                        mc=max(tile, 256 // tile * tile),
+                        nc=2048 // tile * tile or tile,
+                        kc=kc,
+                        mr=tile,
+                        nr=tile,
+                    )
+                )
+    return candidates
+
+
+def autotune(
+    kernel: str = DEFAULT_KERNEL,
+    *,
+    shape: tuple[int, int, int] = DEFAULT_TUNE_SHAPE,
+    repeats: int = 2,
+    candidates: list[BlockingParams] | None = None,
+    budget_seconds: float | None = None,
+) -> TuningResult:
+    """Time the candidate grid on *shape* and return the fastest blocking.
+
+    Operands are deterministic (seeded RNG) so repeated tunes on the same
+    machine see the same work. ``budget_seconds`` caps the search: once
+    exceeded, remaining candidates are skipped (the already-timed prefix
+    always includes the shipped default, which is first in the grid).
+    """
+    import time
+
+    from repro.core.gemm import popcount_gemm
+    from repro.core.macrokernel import GemmWorkspace
+
+    m, n, k = shape
+    if min(m, n, k) <= 0:
+        raise ValueError(f"tuning shape must be positive, got {shape}")
+    grid = candidates if candidates is not None else candidate_blockings(kernel)
+    if not grid:
+        raise ValueError("empty candidate grid")
+    rng = np.random.default_rng(20160516)  # IPPS'16 — deterministic operands
+    a = rng.integers(0, 2**63, size=(m, k), dtype=np.int64).astype(np.uint64)
+    b = rng.integers(0, 2**63, size=(n, k), dtype=np.int64).astype(np.uint64)
+    words = 3 * m * n * k
+    workspace = GemmWorkspace()
+    timings: list[CandidateTiming] = []
+    search_start = time.perf_counter()
+    for params in grid:
+        if (
+            budget_seconds is not None
+            and timings
+            and time.perf_counter() - search_start > budget_seconds
+        ):
+            break
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            popcount_gemm(a, b, params=params, kernel=kernel, workspace=workspace)
+            best = min(best, time.perf_counter() - start)
+        timings.append(
+            CandidateTiming(
+                params=params, seconds=best, words_per_second=words / best
+            )
+        )
+    winner = min(timings, key=lambda t: t.seconds)
+    return TuningResult(
+        kernel=kernel,
+        params=winner.params,
+        words_per_second=winner.words_per_second,
+        shape=(m, n, k),
+        fingerprint=machine_fingerprint(),
+        candidates=tuple(timings),
+    )
+
+
+def _params_to_json(params: BlockingParams) -> dict:
+    return {
+        "mc": params.mc,
+        "nc": params.nc,
+        "kc": params.kc,
+        "mr": params.mr,
+        "nr": params.nr,
+    }
+
+
+def _params_from_json(payload: dict) -> BlockingParams:
+    return BlockingParams(
+        mc=int(payload["mc"]),
+        nc=int(payload["nc"]),
+        kc=int(payload["kc"]),
+        mr=int(payload["mr"]),
+        nr=int(payload["nr"]),
+    )
+
+
+def _load_profile_file(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {"schema": PROFILE_SCHEMA, "profiles": {}}
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != PROFILE_SCHEMA
+        or not isinstance(payload.get("profiles"), dict)
+    ):
+        return {"schema": PROFILE_SCHEMA, "profiles": {}}
+    return payload
+
+
+def save_profile(result: TuningResult, *, path: Path | None = None) -> Path:
+    """Merge *result* into the JSON profile (atomic replace) and return it."""
+    import datetime
+
+    target = path if path is not None else profile_path()
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = _load_profile_file(target)
+    entry = payload["profiles"].setdefault(result.fingerprint, {})
+    entry[result.kernel] = {
+        "params": _params_to_json(result.params),
+        "words_per_second": result.words_per_second,
+        "shape": list(result.shape),
+        "tuned_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+    }
+    tmp = target.with_suffix(target.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, target)
+    return target
+
+
+def load_tuned_blocking(
+    kernel: str = DEFAULT_KERNEL,
+    *,
+    path: Path | None = None,
+    fingerprint: str | None = None,
+) -> BlockingParams | None:
+    """The persisted tuned blocking for this machine, or ``None``.
+
+    Malformed profiles, foreign fingerprints, and invalid parameter records
+    all return ``None`` — a stale profile can never break a run, only fail
+    to accelerate it.
+    """
+    target = path if path is not None else profile_path()
+    payload = _load_profile_file(target)
+    fp = fingerprint if fingerprint is not None else machine_fingerprint()
+    record = payload["profiles"].get(fp, {}).get(kernel)
+    if not isinstance(record, dict) or "params" not in record:
+        return None
+    try:
+        return _params_from_json(record["params"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def tuned_blocking(
+    kernel: str = DEFAULT_KERNEL,
+    *,
+    path: Path | None = None,
+    shape: tuple[int, int, int] = DEFAULT_TUNE_SHAPE,
+    repeats: int = 2,
+    budget_seconds: float | None = None,
+) -> BlockingParams:
+    """Load the tuned blocking, tuning (and persisting) first if absent.
+
+    This is the ``ld --autotune`` entry point: the first run pays the
+    timed search, every later run reloads the identical parameters.
+    """
+    params = load_tuned_blocking(kernel, path=path)
+    if params is not None:
+        return params
+    result = autotune(
+        kernel, shape=shape, repeats=repeats, budget_seconds=budget_seconds
+    )
+    save_profile(result, path=path)
+    return result.params

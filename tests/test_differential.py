@@ -3,8 +3,8 @@
 One seeded generator produces panels across awkward shapes (sample counts
 off 64-bit word boundaries, monomorphic all-zero/all-one columns, more
 SNPs than samples and vice versa), and every implementation in the repo —
-the naive Section II-B baseline, the blocked GEMM under each registered
-micro-kernel, the threaded driver at several widths, the streaming loop,
+the naive Section II-B baseline, the blocked GEMM under every registered
+kernel (both fused macro-kernels and both legacy micro-kernels), the threaded driver at several widths, the streaming loop,
 and all three sharded-engine executors — is required to reproduce the
 same r² matrix to float64 round-off.
 """
@@ -17,6 +17,7 @@ import pytest
 from repro.baselines.naive import naive_ld_matrix
 from repro.core.engine import run_engine
 from repro.core.ldmatrix import compute_ld, ld_matrix
+from repro.core.gemm import GEMM_KERNELS
 from repro.core.microkernel import MICRO_KERNELS
 from repro.core.parallel import popcount_gemm_parallel
 from repro.core.stats import r_squared_matrix
@@ -78,7 +79,7 @@ class TestDifferentialR2:
         dense, expected = case
         assert_allclose_nan(naive_ld_matrix(dense), expected, atol=1e-12)
 
-    @pytest.mark.parametrize("kernel", sorted(MICRO_KERNELS))
+    @pytest.mark.parametrize("kernel", sorted(GEMM_KERNELS))
     def test_every_micro_kernel(self, case, kernel):
         dense, expected = case
         result = compute_ld(dense, kernel=kernel)
@@ -104,7 +105,7 @@ class TestDifferentialR2:
         assert_allclose_nan(assembled[il], expected[il], atol=1e-12)
 
     @pytest.mark.parametrize("engine", ["serial", "threads", "processes"])
-    @pytest.mark.parametrize("kernel", sorted(MICRO_KERNELS))
+    @pytest.mark.parametrize("kernel", sorted(GEMM_KERNELS))
     def test_kernel_engine_cross_product(self, kernel, engine):
         """Every micro-kernel under every executor, one awkward shape."""
         dense = make_panel(70, 23, seed=1234)
@@ -151,7 +152,7 @@ def test_all_paths_bit_identical_to_each_other():
     il = np.tril_indices(29)
 
     results = {}
-    for kernel in MICRO_KERNELS:
+    for kernel in GEMM_KERNELS:
         results[f"kernel:{kernel}"] = ld_matrix(dense, kernel=kernel)[il]
     for n_threads in (2, 5):
         results[f"threads:{n_threads}"] = ld_matrix(dense, n_threads=n_threads)[il]

@@ -311,3 +311,93 @@ class TestCrashResume:
                 changed, lambda *a: None, block_snps=10,
                 manifest_path=manifest, resume=True,
             )
+
+
+class TestBatchedDispatch:
+    """Batched tile units and the shared-memory result arena."""
+
+    @pytest.mark.parametrize("engine", ["threads", "processes"])
+    @pytest.mark.parametrize("batch", [1, 2, 3, 100])
+    def test_batched_matrix_is_bit_identical(self, panel, engine, batch):
+        n = panel.shape[1]
+        sink = _AssemblingSink(n)
+        report = run_engine(
+            panel, sink, engine=engine, block_snps=10, n_workers=2,
+            batch_tiles=batch,
+        )
+        assert report.complete
+        n_units = -(-report.n_tiles // batch)
+        assert report.n_batches == n_units
+        il = np.tril_indices(n)
+        np.testing.assert_array_equal(sink.matrix[il], ld_matrix(panel)[il])
+
+    def test_serial_ignores_batching(self, panel):
+        report = run_engine(
+            panel, _AssemblingSink(panel.shape[1]), engine="serial",
+            block_snps=10, batch_tiles=4,
+        )
+        assert report.complete and report.n_batches == 0
+
+    def test_rejects_nonpositive_batch(self, panel):
+        with pytest.raises(ValueError, match="batch_tiles"):
+            run_engine(
+                panel, lambda *a: None, engine="threads", batch_tiles=0
+            )
+
+    @pytest.mark.parametrize("engine", ["threads", "processes"])
+    def test_batch_accounting_in_recorder(self, panel, engine):
+        recorder = MetricsRecorder()
+        report = run_engine(
+            panel, _AssemblingSink(panel.shape[1]), engine=engine,
+            block_snps=10, n_workers=2, batch_tiles=2, recorder=recorder,
+        )
+        assert recorder.counters["engine.batches_dispatched"] == report.n_batches
+        if engine == "processes":
+            # The result arena's footprint is reported once per run.
+            assert recorder.counters["engine.arena_bytes"] > 0
+        else:
+            assert "engine.arena_bytes" not in recorder.counters
+
+    @pytest.mark.parametrize("engine", ["threads", "processes"])
+    def test_tile_timeout_forces_singleton_batches(self, panel, engine):
+        report = run_engine(
+            panel, _AssemblingSink(panel.shape[1]), engine=engine,
+            block_snps=10, n_workers=2, batch_tiles=5, tile_timeout=60.0,
+        )
+        # The per-tile watchdog budget only makes sense with one tile per
+        # future, so the requested batch size is overridden.
+        assert report.complete
+        assert report.n_batches == report.n_tiles
+
+    @pytest.mark.parametrize("engine", ["threads", "processes"])
+    def test_transient_failure_inside_batch_retries_only_that_tile(
+        self, panel, engine
+    ):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="tile_compute", tile=(10, 10), attempts_below=2),
+        ))
+        n = panel.shape[1]
+        sink = _AssemblingSink(n)
+        recorder = MetricsRecorder()
+        report = run_engine(
+            panel, sink, engine=engine, block_snps=10, n_workers=2,
+            batch_tiles=3, max_retries=2, retry_backoff=0.0, faults=plan,
+            recorder=recorder,
+        )
+        assert report.complete
+        assert report.n_retries == 2
+        retry_events = [e for e in recorder.events if e["event"] == "tile_retry"]
+        assert all(e["tile"] == [10, 10] for e in retry_events)
+        il = np.tril_indices(n)
+        np.testing.assert_array_equal(sink.matrix[il], ld_matrix(panel)[il])
+
+    def test_persistent_failure_in_batch_raises_original_type(self, panel):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="tile_compute", tile=(0, 0)),
+        ))
+        with pytest.raises(InjectedFault, match="injected raise"):
+            run_engine(
+                panel, _AssemblingSink(panel.shape[1]), engine="processes",
+                block_snps=10, n_workers=2, batch_tiles=4, max_retries=1,
+                retry_backoff=0.0, faults=plan,
+            )

@@ -1,0 +1,204 @@
+"""Tests for the fused macro-kernel layer (repro.core.macrokernel).
+
+Pins the three tentpole guarantees: bit-identity of both macro-kernels
+with the legacy scalar micro-kernel on every fringe shape, zero scratch
+allocation in the hot loop after workspace warm-up, and the operation-
+count model (`gemm_operation_counts`) mirroring the restructured drivers
+tile visit for tile visit.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import FUSED_BLOCKING, BlockingParams
+from repro.core.gemm import (
+    GEMM_KERNELS,
+    gemm_operation_counts,
+    popcount_gemm,
+    popcount_gram,
+    resolve_blocking,
+)
+from repro.core.macrokernel import (
+    GemmWorkspace,
+    macrokernel_fused,
+    mirror_lower_inplace,
+    shared_workspace,
+)
+
+#: (m, n, k) shapes covering interior-only, fringe-in-every-dimension,
+#: k smaller than any kc, single-row/column, and empty operands.
+SHAPES = [
+    (16, 16, 4),    # aligned to the tiny blocking below
+    (17, 19, 3),    # fringe in m, n, and k
+    (5, 33, 1),     # single-word contraction
+    (1, 1, 7),      # single tile
+    (8, 0, 4),      # empty n
+    (0, 9, 4),      # empty m
+    (9, 8, 0),      # empty k: the zero matrix
+    (40, 23, 11),   # multiple cache blocks with fringe everywhere
+]
+
+#: Small enough that every loop level (jc/pc/ic/jr/ir) iterates.
+TINY = BlockingParams(mc=8, nc=8, kc=4, mr=4, nr=4)
+
+
+def make_words(m: int, k: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**63, size=(m, k), dtype=np.int64).astype(np.uint64)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("shape", SHAPES, ids=str)
+    @pytest.mark.parametrize("kernel", sorted(GEMM_KERNELS))
+    def test_gemm_matches_scalar_oracle(self, shape, kernel):
+        m, n, k = shape
+        a = make_words(m, k, seed=m * 101 + k)
+        b = make_words(n, k, seed=n * 103 + k)
+        expected = popcount_gemm(a, b, kernel="scalar", params=TINY)
+        result = popcount_gemm(a, b, kernel=kernel, params=TINY)
+        np.testing.assert_array_equal(result, expected)
+
+    @pytest.mark.parametrize("m,k", [(16, 4), (29, 3), (1, 5), (0, 2)])
+    @pytest.mark.parametrize("kernel", sorted(GEMM_KERNELS))
+    def test_gram_matches_scalar_oracle(self, m, k, kernel):
+        a = make_words(m, k, seed=m * 107 + k)
+        expected = popcount_gram(a, kernel="scalar", params=TINY)
+        result = popcount_gram(a, kernel=kernel, params=TINY)
+        np.testing.assert_array_equal(result, expected)
+
+    def test_kc_larger_than_k(self):
+        # The pc loop must clamp, not read past the operand.
+        a = make_words(10, 2, seed=7)
+        b = make_words(12, 2, seed=8)
+        big_kc = BlockingParams(mc=8, nc=8, kc=512, mr=4, nr=4)
+        np.testing.assert_array_equal(
+            popcount_gemm(a, b, kernel="fused", params=big_kc),
+            popcount_gemm(a, b, kernel="scalar", params=TINY),
+        )
+
+    def test_default_blocking_per_kernel(self):
+        # resolve_blocking picks FUSED_BLOCKING for the macro-kernels and
+        # the results still agree at production parameters.
+        assert resolve_blocking(None, "fused") is FUSED_BLOCKING
+        assert resolve_blocking(TINY, "fused") is TINY
+        a = make_words(50, 3, seed=11)
+        np.testing.assert_array_equal(
+            popcount_gram(a, kernel="fused"),
+            popcount_gram(a, kernel="numpy"),
+        )
+
+
+class TestWorkspace:
+    def test_carve_reuses_pools(self):
+        ws = GemmWorkspace()
+        first = ws.carve("x", np.float32, (4, 8))
+        assert ws.n_allocations == 1 and ws.n_reuses == 0
+        second = ws.carve("x", np.float32, (2, 8))
+        assert ws.n_allocations == 1 and ws.n_reuses == 1
+        # Same pool: the smaller carve is a view of the same memory.
+        assert second.base is first.base
+        ws.carve("x", np.float32, (16, 16))  # growth
+        assert ws.n_allocations == 2
+        ws.release()
+        assert ws.pool_bytes == 0
+
+    def test_same_name_different_dtype_gets_own_pool(self):
+        ws = GemmWorkspace()
+        ws.carve("x", np.uint8, (8,))
+        ws.carve("x", np.float32, (8,))
+        assert ws.n_allocations == 2
+
+    def test_shared_workspace_is_per_thread_singleton(self):
+        assert shared_workspace() is shared_workspace()
+
+    @pytest.mark.parametrize("kernel", ["fused", "fused-popcount"])
+    def test_second_call_allocates_nothing_from_workspace(self, kernel):
+        ws = GemmWorkspace()
+        a = make_words(64, 4, seed=3)
+        b = make_words(48, 4, seed=4)
+        popcount_gemm(a, b, kernel=kernel, params=TINY, workspace=ws)
+        allocs = ws.n_allocations
+        popcount_gemm(a, b, kernel=kernel, params=TINY, workspace=ws)
+        assert ws.n_allocations == allocs
+        assert ws.n_reuses > 0
+
+    def test_hot_loop_is_allocation_free_after_warmup(self):
+        """The zero-allocation acceptance test (tracemalloc-measured).
+
+        After one warm-up call at a steady shape, a further call may
+        allocate the exact (m, n) int64 output and interpreter noise —
+        but no workspace-scale scratch. The threshold is the output size
+        plus a small slack; a single leaked bit-plane panel or padded C
+        copy would exceed it by an order of magnitude.
+        """
+        ws = GemmWorkspace()
+        m, n, k = 256, 256, 8
+        a = make_words(m, k, seed=5)
+        b = make_words(n, k, seed=6)
+        popcount_gemm(a, b, kernel="fused", workspace=ws)  # warm the pools
+        tracemalloc.start()
+        popcount_gemm(a, b, kernel="fused", workspace=ws)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        output_bytes = m * n * 8
+        assert peak < output_bytes + (256 << 10), (
+            f"hot-loop peak {peak} bytes exceeds output ({output_bytes}) "
+            f"+ 256 KiB slack; scratch is being allocated per call"
+        )
+
+
+class TestOperationCountMirror:
+    @pytest.mark.parametrize("kernel", ["numpy", "scalar", "fused-popcount"])
+    @pytest.mark.parametrize("shape", [(17, 19, 3), (40, 23, 11), (9, 8, 0)])
+    def test_gemm_tile_visits_match_model(self, kernel, shape):
+        from repro.observe import MetricsRecorder
+
+        m, n, k = shape
+        a = make_words(m, k, seed=21)
+        b = make_words(n, k, seed=22)
+        recorder = MetricsRecorder()
+        popcount_gemm(
+            a, b, kernel=kernel, params=TINY, recorder=recorder
+        )
+        counts = gemm_operation_counts(m, n, k, TINY)
+        assert recorder.counters.get("gemm.tile_visits", 0) == counts.kernel_calls
+
+    @pytest.mark.parametrize("kernel", ["numpy", "fused-popcount"])
+    @pytest.mark.parametrize("m,k", [(29, 3), (40, 5)])
+    def test_gram_tile_visits_match_symmetric_model(self, kernel, m, k):
+        from repro.observe import MetricsRecorder
+
+        a = make_words(m, k, seed=23)
+        recorder = MetricsRecorder()
+        popcount_gram(a, kernel=kernel, params=TINY, recorder=recorder)
+        counts = gemm_operation_counts(m, m, k, TINY, symmetric=True)
+        assert recorder.counters.get("gram.tile_visits", 0) == counts.kernel_calls
+
+
+class TestMirrorLowerInplace:
+    @pytest.mark.parametrize("m", [0, 1, 5, 64, 100, 300])
+    def test_matches_tril_idiom(self, m):
+        rng = np.random.default_rng(m)
+        c = rng.integers(-50, 50, size=(m, m)).astype(np.int64)
+        expected = np.tril(c) + np.tril(c, -1).T
+        result = mirror_lower_inplace(c.copy(), block=64)
+        np.testing.assert_array_equal(result, expected)
+
+    def test_in_place_and_returns_same_object(self):
+        c = np.arange(16, dtype=np.int64).reshape(4, 4)
+        out = mirror_lower_inplace(c)
+        assert out is c
+        np.testing.assert_array_equal(c, c.T)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            mirror_lower_inplace(np.zeros((3, 4)))
+
+    def test_gram_output_is_symmetric(self):
+        a = make_words(33, 4, seed=77)
+        c = popcount_gram(a, params=TINY)
+        np.testing.assert_array_equal(c, c.T)

@@ -1,0 +1,199 @@
+"""Tests for the blocking autotuner and its persistent profile."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import DEFAULT_BLOCKING, FUSED_BLOCKING, BlockingParams
+from repro.core.gemm import GEMM_KERNELS
+from repro.core.tuning import (
+    DEFAULT_TUNE_SHAPE,
+    PROFILE_ENV,
+    PROFILE_SCHEMA,
+    autotune,
+    candidate_blockings,
+    load_tuned_blocking,
+    machine_fingerprint,
+    profile_path,
+    save_profile,
+    tuned_blocking,
+)
+
+#: Small deterministic timing shape so the full test suite stays fast.
+SMALL_SHAPE = (128, 128, 4)
+
+
+class TestCandidates:
+    @pytest.mark.parametrize("kernel", sorted(GEMM_KERNELS))
+    def test_grid_is_nonempty_and_unique(self, kernel):
+        grid = candidate_blockings(kernel)
+        assert grid
+        assert len(grid) == len(set(grid))
+        assert all(isinstance(p, BlockingParams) for p in grid)
+
+    def test_shipped_defaults_lead_the_grid(self):
+        # The shipped default is always timed first, so a budget-capped
+        # search can never pick something worse than the default.
+        assert candidate_blockings("fused")[0] == FUSED_BLOCKING
+        assert candidate_blockings("numpy")[0] == DEFAULT_BLOCKING
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            candidate_blockings("simd512")
+
+
+class TestAutotune:
+    def test_returns_fastest_candidate(self):
+        result = autotune("fused", shape=SMALL_SHAPE, repeats=1)
+        assert result.kernel == "fused"
+        assert result.shape == SMALL_SHAPE
+        assert result.fingerprint == machine_fingerprint()
+        best = min(result.candidates, key=lambda t: t.seconds)
+        assert result.params == best.params
+        assert result.words_per_second == best.words_per_second
+
+    def test_budget_skips_tail_but_keeps_default(self):
+        result = autotune(
+            "fused", shape=SMALL_SHAPE, repeats=1, budget_seconds=0.0
+        )
+        # Budget 0 still times the first candidate (the shipped default).
+        assert len(result.candidates) >= 1
+        assert result.candidates[0].params == FUSED_BLOCKING
+
+    def test_explicit_candidates_are_honoured(self):
+        tiny = BlockingParams(mc=16, nc=16, kc=4, mr=8, nr=8)
+        result = autotune(
+            "fused", shape=SMALL_SHAPE, repeats=1, candidates=[tiny]
+        )
+        assert result.params == tiny
+
+    def test_rejects_degenerate_shape(self):
+        with pytest.raises(ValueError, match="positive"):
+            autotune("fused", shape=(0, 4, 4))
+
+
+class TestProfilePersistence:
+    def test_round_trip(self, tmp_path, monkeypatch):
+        """tune -> persist -> reload returns identical parameters."""
+        profile = tmp_path / "tuning.json"
+        monkeypatch.setenv(PROFILE_ENV, str(profile))
+        assert profile_path() == profile
+        result = autotune("fused", shape=SMALL_SHAPE, repeats=1)
+        save_profile(result)
+        loaded = load_tuned_blocking("fused")
+        assert loaded == result.params
+        payload = json.loads(profile.read_text())
+        assert payload["schema"] == PROFILE_SCHEMA
+        record = payload["profiles"][machine_fingerprint()]["fused"]
+        assert record["shape"] == list(SMALL_SHAPE)
+        assert "tuned_at" in record
+
+    def test_tuned_blocking_tunes_once_then_reloads(self, tmp_path):
+        profile = tmp_path / "tuning.json"
+        first = tuned_blocking(
+            "fused", path=profile, shape=SMALL_SHAPE, repeats=1,
+            budget_seconds=0.0,
+        )
+        assert profile.exists()
+        mtime = profile.stat().st_mtime_ns
+        again = tuned_blocking("fused", path=profile, shape=SMALL_SHAPE)
+        assert again == first
+        # No re-tune: the profile file was not rewritten.
+        assert profile.stat().st_mtime_ns == mtime
+
+    def test_missing_profile_returns_none(self, tmp_path):
+        assert load_tuned_blocking("fused", path=tmp_path / "nope.json") is None
+
+    @pytest.mark.parametrize("content", [
+        "not json at all",
+        '{"schema": "other/9", "profiles": {}}',
+        '{"schema": "repro-tuning/1"}',
+        '{"schema": "repro-tuning/1", "profiles": {"x": 3}}',
+    ])
+    def test_malformed_profile_returns_none(self, tmp_path, content):
+        bad = tmp_path / "tuning.json"
+        bad.write_text(content)
+        assert load_tuned_blocking("fused", path=bad) is None
+
+    def test_invalid_params_record_returns_none(self, tmp_path):
+        bad = tmp_path / "tuning.json"
+        bad.write_text(json.dumps({
+            "schema": PROFILE_SCHEMA,
+            "profiles": {machine_fingerprint(): {
+                "fused": {"params": {"mc": "huge"}},
+            }},
+        }))
+        assert load_tuned_blocking("fused", path=bad) is None
+
+    def test_foreign_fingerprint_is_ignored(self, tmp_path):
+        result = autotune("fused", shape=SMALL_SHAPE, repeats=1,
+                          budget_seconds=0.0)
+        path = save_profile(result, path=tmp_path / "tuning.json")
+        assert load_tuned_blocking(
+            "fused", path=path, fingerprint="arm64-plan9-512-numpy-9.9"
+        ) is None
+
+    def test_merge_preserves_other_kernels(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        for kernel in ("fused", "numpy"):
+            save_profile(
+                autotune(kernel, shape=SMALL_SHAPE, repeats=1,
+                         budget_seconds=0.0),
+                path=path,
+            )
+        assert load_tuned_blocking("fused", path=path) is not None
+        assert load_tuned_blocking("numpy", path=path) is not None
+
+
+class TestFingerprint:
+    def test_stable_and_informative(self):
+        fp = machine_fingerprint()
+        assert fp == machine_fingerprint()
+        assert f"numpy-{np.__version__}" in fp
+
+
+class TestTuneCli:
+    def test_tune_writes_profile_and_ld_autotune_reloads(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        profile = tmp_path / "tuning.json"
+        monkeypatch.setenv(PROFILE_ENV, str(profile))
+        panel = tmp_path / "panel.ms"
+        assert main([
+            "simulate", "--samples", "32", "--snps", "40",
+            "--out", str(panel),
+        ]) == 0
+        assert main([
+            "tune", "--shape", "64", "64", "2", "--repeats", "1",
+            "--budget-seconds", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best" in out and str(profile) in out
+        assert profile.exists()
+        tuned = load_tuned_blocking("fused")
+        assert tuned is not None
+        assert main([
+            "ld", str(panel), "--autotune", "--out", str(tmp_path / "ld.npy"),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert f"mc={tuned.mc}" in err
+
+    def test_tune_dry_run_writes_nothing(self, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        profile = tmp_path / "tuning.json"
+        monkeypatch.setenv(PROFILE_ENV, str(profile))
+        assert main([
+            "tune", "--shape", "64", "64", "2", "--repeats", "1",
+            "--budget-seconds", "0", "--dry-run",
+        ]) == 0
+        assert not profile.exists()
+
+    def test_default_shape_constant_sane(self):
+        m, n, k = DEFAULT_TUNE_SHAPE
+        assert m > 0 and n > 0 and k > 0
