@@ -129,7 +129,7 @@ def bench_engine_scaling(
     return rows
 
 
-def write_report(rows: list[dict], path: str | Path) -> None:
+def write_report(rows: list[dict], path: str | Path) -> dict:
     """Serialize the accumulated rows as ``BENCH_engine.json``."""
     payload = {
         "schema": "repro-bench-engine/1",
@@ -140,6 +140,22 @@ def write_report(rows: list[dict], path: str | Path) -> None:
     Path(path).write_text(json.dumps(payload, indent=2) + "\n",
                           encoding="utf-8")
     print(f"wrote {len(rows)} result rows -> {path}")
+    return payload
+
+
+def append_history(payload: dict, path: str | Path) -> None:
+    """Append one timestamped run record to the bench history JSONL.
+
+    The history file accumulates across runs (CI appends on every
+    engine-smoke pass), one full ``repro-bench-engine/1`` payload per
+    line, so ``repro report benchmarks/BENCH_history.jsonl`` renders the
+    throughput trajectory without any extra tooling.
+    """
+    record = dict(payload)
+    record["timestamp"] = time.time()
+    with Path(path).open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+    print(f"appended history record -> {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -152,6 +168,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
     parser.add_argument("--json", default="BENCH_engine.json", metavar="PATH",
                         help="result file (default: %(default)s)")
+    parser.add_argument("--history", default=None, metavar="JSONL",
+                        help="also append the timestamped payload to this "
+                             "JSONL history file (one line per run)")
     args = parser.parse_args(argv)
     if args.samples is not None or args.snps is not None:
         # Explicit single shape from the command line.
@@ -168,7 +187,9 @@ def main(argv: list[str] | None = None) -> int:
         ))
     # Smoke criterion: every executor finished every tile, on every shape.
     assert len(rows) == len(shapes) * (1 + 2 * len(args.workers))
-    write_report(rows, args.json)
+    payload = write_report(rows, args.json)
+    if args.history:
+        append_history(payload, args.history)
     print("ok: all engines completed")
     return 0
 

@@ -14,6 +14,8 @@ blocks       haplotype-block partition → .tsv
 decay        LD-decay curve → .tsv
 model        machine-model report (%-of-peak, SIMD analysis, GPU roofline)
 tune         time the blocking candidate grid, persist the per-machine winner
+profile      run an LD workload with span profiling on → repro-profile/1 JSON
+report       render any metrics/trace/profile/bench artifact as text
 ===========  ================================================================
 
 Every command takes ``--seed`` where randomness is involved and prints a
@@ -23,6 +25,8 @@ one-line summary to stdout; data goes to the ``--out`` path.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -37,12 +41,13 @@ from repro.core.blocking import DEFAULT_BLOCKING
 from repro.core.engine import ENGINES, enumerate_tiles, run_engine
 from repro.core.gemm import DEFAULT_KERNEL, GEMM_KERNELS
 from repro.faults import FaultPlan
-from repro.core.ldmatrix import ld_matrix
+from repro.core.ldmatrix import as_bitmatrix, ld_matrix
 from repro.core.streaming import NpyMemmapSink
 from repro.observe import (
     JsonlTraceSink,
     MetricsRecorder,
     ProgressReporter,
+    SpanProfiler,
     compare_to_model,
 )
 from repro.core.windowed import banded_ld
@@ -151,9 +156,16 @@ def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix, params=None) -> i
             raise SystemExit(str(exc))
 
     recorder: MetricsRecorder | None = None
-    if args.metrics_out or args.trace_out:
+    if args.metrics_out or args.trace_out or args.profile_out:
         trace = JsonlTraceSink(args.trace_out) if args.trace_out else None
-        recorder = MetricsRecorder(trace=trace)
+        # The profile's worker timeline is reconstructed from retained
+        # tile_computed events, so --profile-out implies keep_events.
+        recorder = MetricsRecorder(
+            trace=trace, keep_events=bool(args.profile_out)
+        )
+    profiler: SpanProfiler | None = None
+    if args.profile_out:
+        profiler = SpanProfiler()
     progress: ProgressReporter | None = None
     if args.progress:
         tiles = enumerate_tiles(panel.n_snps, args.block_snps)
@@ -180,6 +192,7 @@ def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix, params=None) -> i
                 faults=faults,
                 recorder=recorder,
                 progress=progress,
+                profiler=profiler,
             )
     finally:
         if progress is not None:
@@ -190,6 +203,10 @@ def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix, params=None) -> i
 
     if args.metrics_out:
         _write_engine_metrics(args, panel, report, recorder, wall)
+    if args.profile_out:
+        _write_engine_profile(
+            args, panel, report, recorder, profiler, wall, params
+        )
     print(f"ld: engine={report.engine} workers={report.n_workers} "
           f"computed {report.n_computed}/{report.n_tiles} tiles "
           f"(skipped {report.n_skipped} journaled, {report.n_retries} retries) "
@@ -256,6 +273,42 @@ def _write_engine_metrics(
     recorder.write_json(args.metrics_out, extra=payload)
 
 
+def _workload_dict(args: argparse.Namespace, panel: BitMatrix) -> dict:
+    """The problem description a ``repro-profile/1`` payload carries."""
+    return {
+        "stat": args.stat,
+        "n_snps": panel.n_snps,
+        "n_samples": panel.n_samples,
+        "k_words": panel.n_words,
+        "block_snps": args.block_snps,
+    }
+
+
+def _write_engine_profile(
+    args: argparse.Namespace,
+    panel: BitMatrix,
+    report,
+    recorder: MetricsRecorder,
+    profiler: SpanProfiler,
+    wall_seconds: float,
+    params,
+) -> None:
+    """Serialize the run's phase attribution as ``repro-profile/1``."""
+    from repro.observe.report import build_profile_payload
+
+    payload = build_profile_payload(
+        recorder=recorder,
+        profiler=profiler,
+        report=report,
+        wall_seconds=wall_seconds,
+        workload=_workload_dict(args, panel),
+        params=params if params is not None else DEFAULT_BLOCKING,
+    )
+    Path(args.profile_out).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
 def _cmd_ld(args: argparse.Namespace) -> int:
     panel, _positions = load_panel(args.input)
     if args.drop_monomorphic:
@@ -275,10 +328,11 @@ def _cmd_ld(args: argparse.Namespace) -> int:
               f"kc={params.kc} (profile: {profile_path()})", file=sys.stderr)
     if args.engine:
         return _cmd_ld_engine(args, panel, params=params)
-    if args.progress or args.metrics_out or args.trace_out:
+    if (args.progress or args.metrics_out or args.trace_out
+            or args.profile_out):
         raise SystemExit(
-            "--progress/--metrics-out/--trace-out instrument the tiled "
-            "engine; add --engine serial|threads|processes"
+            "--progress/--metrics-out/--trace-out/--profile-out instrument "
+            "the tiled engine; add --engine serial|threads|processes"
         )
     if (args.fault_plan or args.tile_timeout is not None
             or args.max_retries is not None or args.allow_quarantine
@@ -414,6 +468,90 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run an LD workload with span profiling on; emit ``repro-profile/1``."""
+    import tempfile
+
+    from repro.observe.report import build_profile_payload
+
+    if args.input:
+        panel, _positions = load_panel(args.input)
+        source = str(args.input)
+    else:
+        rng = np.random.default_rng(args.seed)
+        panel = as_bitmatrix(
+            simulate_sfs_panel(args.samples, args.snps, rng=rng)
+        )
+        source = f"sfs(snps={args.snps}, samples={args.samples}, " \
+                 f"seed={args.seed})"
+    recorder = MetricsRecorder(keep_events=True)
+    profiler = SpanProfiler()
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
+        matrix_out = (
+            Path(args.matrix_out) if args.matrix_out
+            else Path(tmp) / "ld.npy"
+        )
+        start = time.perf_counter()
+        with NpyMemmapSink(matrix_out, panel.n_snps) as sink:
+            report = run_engine(
+                panel, sink,
+                stat=args.stat,
+                block_snps=args.block_snps,
+                engine=args.engine,
+                n_workers=args.workers,
+                manifest_path=Path(tmp) / "ld.npy.manifest",
+                recorder=recorder,
+                progress=None,
+                profiler=profiler,
+            )
+        wall = time.perf_counter() - start
+    workload = _workload_dict(args, panel)
+    workload["source"] = source
+    payload = build_profile_payload(
+        recorder=recorder,
+        profiler=profiler,
+        report=report,
+        wall_seconds=wall,
+        workload=workload,
+    )
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    coverage = payload["tiles"]["phase_coverage"]
+    print(f"profile: engine={report.engine} workers={report.n_workers} "
+          f"{panel.n_snps} SNPs in {wall:.3f} s; {len(payload['phases'])} "
+          f"phases, span coverage "
+          f"{'--' if coverage is None else format(coverage, '.1%')}, "
+          f"{len(payload['anomalies'])} anomalies -> {out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render metrics/trace/profile/bench artifacts as text."""
+    from repro.observe.report import render_file
+
+    status = 0
+    for path in args.files:
+        try:
+            text = render_file(path)
+        except (OSError, ValueError) as exc:
+            print(f"report: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        try:
+            if len(args.files) > 1:
+                print(f"==> {path} <==")
+            print(text)
+            if len(args.files) > 1:
+                print()
+        except BrokenPipeError:
+            # Downstream pager/head closed the pipe; that is not an error.
+            # Reopen stdout on devnull so interpreter shutdown does not
+            # raise while flushing.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+            return status
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -477,6 +615,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None, metavar="JSONL",
                    help="write the per-tile JSONL event trace here "
                         "(--engine only)")
+    p.add_argument("--profile-out", default=None, metavar="JSON",
+                   help="write the repro-profile/1 phase-attribution payload "
+                        "here, enabling span profiling for the run "
+                        "(--engine only)")
     p.add_argument("--batch-tiles", type=int, default=None, metavar="N",
                    help="tiles dispatched per worker submission "
                         "(--engine threads/processes; default: auto)")
@@ -514,6 +656,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bins", type=int, default=20)
     p.add_argument("--out", required=True)
     p.set_defaults(func=_cmd_decay)
+
+    p = sub.add_parser(
+        "profile",
+        help="run an LD workload with span profiling on -> repro-profile/1",
+    )
+    p.add_argument("--input", default=None,
+                   help=".ms/.vcf/.fasta panel "
+                        "(default: simulate an SFS panel)")
+    p.add_argument("--snps", type=int, default=1024,
+                   help="SNP count of the simulated panel (no --input)")
+    p.add_argument("--samples", type=int, default=256,
+                   help="haplotype count of the simulated panel (no --input)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--stat", choices=("r2", "D", "H"), default="r2")
+    p.add_argument("--engine", choices=ENGINES, default="threads",
+                   help="executor to profile (default: threads, which "
+                        "exercises the dispatch/wait driver phases)")
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument("--block-snps", type=int, default=256)
+    p.add_argument("--matrix-out", default=None, metavar="NPY",
+                   help="keep the computed matrix here "
+                        "(default: scratch, discarded)")
+    p.add_argument("--out", required=True,
+                   help="repro-profile/1 JSON output path")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "report",
+        help="render metrics/trace/profile/bench artifacts as text",
+    )
+    p.add_argument("files", nargs="+",
+                   help="JSON or JSONL artifact path(s): repro-profile/1, "
+                        "repro-ld-metrics/1, repro-trace/1, "
+                        "repro-bench-gemm/1, repro-bench-engine/1, or a "
+                        "bench history JSONL")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("model", help="machine-model performance report")
     p.add_argument("--snps", type=int, default=4096)

@@ -65,8 +65,15 @@ from repro.core.ldmatrix import as_bitmatrix
 from repro.core.stats import r_squared_matrix
 from repro.encoding.bitmatrix import BitMatrix
 from repro.faults import FaultPlan, InjectedCrash
+from repro.observe.spans import (
+    SpanProfiler,
+    current_profiler,
+    install_profiler,
+    span,
+)
 
-if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
+if TYPE_CHECKING:  # recorder/progress typing only (observe.metrics pulls in
+    # nothing from core; spans resolves eagerly above without a cycle)
     from repro.observe.metrics import MetricsRecorder
     from repro.observe.progress import ProgressReporter
 
@@ -183,13 +190,14 @@ def compute_tile(
     )
     # Divide (rather than multiply by a reciprocal) so tiles are
     # bit-identical to the in-memory pipeline's H = counts / N.
-    h = counts / float(n_samples)
-    p, q = freqs[tile.i0 : tile.i1], freqs[tile.j0 : tile.j1]
-    if stat == "H":
-        return h
-    if stat == "D":
-        return h - np.outer(p, q)
-    return r_squared_matrix(h, p, q, undefined=undefined)
+    with span("stat"):
+        h = counts / float(n_samples)
+        p, q = freqs[tile.i0 : tile.i1], freqs[tile.j0 : tile.j1]
+        if stat == "H":
+            return h
+        if stat == "D":
+            return h - np.outer(p, q)
+        return r_squared_matrix(h, p, q, undefined=undefined)
 
 
 def _crc32_array(block: np.ndarray) -> int:
@@ -209,12 +217,19 @@ class TileResult:
     driver before the sink sees the block. The checksum is always on for
     the ``processes`` handoff (shared memory + pickle is the corruption
     surface) and whenever a fault plan is active.
+
+    With span profiling enabled, ``phase_seconds`` carries the tile's
+    per-phase self-time breakdown (``pack_a``, ``pack_b``,
+    ``plane_matmul``, ``stat``, ...) collected from the worker's
+    profiler — the transport by which per-worker attribution reaches
+    the driver across the process boundary.
     """
 
     block: np.ndarray
     compute_seconds: float
     worker: str
     checksum: int | None = None
+    phase_seconds: dict | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -547,8 +562,13 @@ def _init_worker(
     arena_name: str | None = None,
     arena_n_slots: int = 0,
     arena_slot_elems: int = 0,
+    profile: bool = False,
 ) -> None:
     """Attach the shared words (and result arena) once per worker process."""
+    if profile:
+        # Each worker records into its own profiler; per-tile phase
+        # breakdowns travel back in TileResult.phase_seconds.
+        install_profiler(SpanProfiler())
     shm = shared_memory.SharedMemory(name=shm_name)
     words = np.ndarray(words_shape, dtype=np.uint64, buffer=shm.buf)
     arena_shm = None
@@ -593,21 +613,26 @@ def _run_tile_in_worker(
     plan: FaultPlan | None = state.get("faults")
     if plan is not None:
         plan.fire("tile_compute", tile.key, epoch, can_kill=True)
+    prof = current_profiler()
+    mark = prof.mark()
     start = time.perf_counter()
-    block = compute_tile(
-        state["words"],
-        state["freqs"],
-        state["n_samples"],
-        tile,
-        stat=state["stat"],
-        params=state["params"],
-        kernel=state["kernel"],
-        undefined=state["undefined"],
-    )
-    if arena_out is not None:
-        arena_out[...] = block
-        block = arena_out
+    with prof.span("tile"):  # root: phase self-times sum to its wall-clock
+        block = compute_tile(
+            state["words"],
+            state["freqs"],
+            state["n_samples"],
+            tile,
+            stat=state["stat"],
+            params=state["params"],
+            kernel=state["kernel"],
+            undefined=state["undefined"],
+        )
+        if arena_out is not None:
+            with prof.span("arena_copy_out"):
+                arena_out[...] = block
+            block = arena_out
     elapsed = time.perf_counter() - start
+    phases = prof.collect(mark) or None
     if plan is not None:
         plan.fire("tile_deliver", tile.key, epoch)
     checksum = _crc32_array(block)
@@ -620,6 +645,7 @@ def _run_tile_in_worker(
         compute_seconds=elapsed,
         worker=f"pid-{os.getpid()}",
         checksum=checksum,
+        phase_seconds=phases,
     )
 
 
@@ -809,7 +835,8 @@ def _execute_serial(
                     raise
                 delay = ctx.backoff_seconds(tile.key, attempt)
                 if delay > 0:
-                    time.sleep(delay)
+                    with span("driver.backoff"):
+                        time.sleep(delay)
             else:
                 ctx.deliver(tile, result)
                 break
@@ -873,7 +900,8 @@ def _execute_pooled(
             raise error
         delay = ctx.backoff_seconds(tile.key, attempts[tile])
         if delay > 0:
-            time.sleep(delay)
+            with span("driver.backoff"):
+                time.sleep(delay)
         if resubmit is not None:
             resubmit(tile)
 
@@ -903,7 +931,8 @@ def _execute_pooled(
                 if slot is None:
                     return False
             epochs = tuple(attempts[t] + restarts for t in unit)
-            future = pool.submit(task, unit, epochs, slot)
+            with span("driver.dispatch"):
+                future = pool.submit(task, unit, epochs, slot)
             futures[future] = (unit, slot)
             started[future] = time.perf_counter()
             submissions += 1
@@ -964,9 +993,11 @@ def _execute_pooled(
                         started[f] + ctx.tile_timeout for f in futures
                     )
                     slack = max(0.0, deadline - now) + 1e-3
-                done, _ = wait(
-                    set(futures), timeout=slack, return_when=FIRST_COMPLETED
-                )
+                with span("driver.wait"):
+                    done, _ = wait(
+                        set(futures), timeout=slack,
+                        return_when=FIRST_COMPLETED,
+                    )
                 for future in done:
                     unit, slot = futures.pop(future)
                     started.pop(future)
@@ -1098,6 +1129,7 @@ def run_engine(
     faults: FaultPlan | None = None,
     recorder: "MetricsRecorder | None" = None,
     progress: "ProgressReporter | None" = None,
+    profiler: SpanProfiler | None = None,
 ) -> EngineReport:
     """Compute the lower-triangle LD matrix tile by tile into *sink*.
 
@@ -1171,6 +1203,18 @@ def run_engine(
     progress:
         Optional :class:`repro.observe.ProgressReporter`; advanced once
         per delivered or skipped tile by that tile's pair count.
+    profiler:
+        Optional :class:`repro.observe.SpanProfiler`. When set, it is
+        installed as the active profiler for the duration of the run
+        (restored afterwards): driver phases (``driver.dispatch``,
+        ``driver.wait``, ``driver.deliver``, ``driver.manifest_append``,
+        ``driver.backoff``) record into it directly, in-process tiles
+        record their GEMM phase spans into it per thread, and
+        ``processes`` workers install their own profiler and ship each
+        tile's phase breakdown back in ``TileResult.phase_seconds``
+        (surfacing as ``phase.*`` timers and the ``phases`` field of
+        ``tile_computed`` events when a recorder is attached). The
+        default ``None`` leaves the no-op profiler active.
 
     Returns
     -------
@@ -1215,6 +1259,9 @@ def run_engine(
             matrix, stat=stat, block_snps=block_snps, undefined=undefined
         )
         manifest = TileManifest.open(manifest_path, fingerprint, resume=resume)
+    previous_profiler = (
+        install_profiler(profiler) if profiler is not None else None
+    )
     run_start = time.perf_counter()
     try:
         if manifest is not None and manifest.completed:
@@ -1255,21 +1302,25 @@ def run_engine(
         def deliver(tile: TileTask, result: TileResult) -> None:
             nonlocal n_computed
             deliver_start = time.perf_counter()
-            sink(tile.i0, tile.j0, result.block)
+            with span("driver.deliver"):
+                sink(tile.i0, tile.j0, result.block)
+                if manifest is not None:
+                    # Make the sink's effects durable before journaling
+                    # the tile, so resume never trusts an unflushed block.
+                    flush = getattr(sink, "flush", None)
+                    if callable(flush):
+                        flush()
             if manifest is not None:
-                # Make the sink's effects durable before journaling the
-                # tile, so resume never trusts an unflushed block.
-                flush = getattr(sink, "flush", None)
-                if callable(flush):
-                    flush()
-                if faults is not None:
-                    if faults.should_tear(tile.key):
-                        manifest.record_torn(tile)
-                        raise InjectedCrash(
-                            f"injected torn manifest append, tile {tile.key}"
-                        )
-                    faults.fire("manifest_append", tile.key, 0)
-                manifest.record(tile)
+                with span("driver.manifest_append"):
+                    if faults is not None:
+                        if faults.should_tear(tile.key):
+                            manifest.record_torn(tile)
+                            raise InjectedCrash(
+                                "injected torn manifest append, tile "
+                                f"{tile.key}"
+                            )
+                        faults.fire("manifest_append", tile.key, 0)
+                    manifest.record(tile)
             n_computed += 1
             done_keys.add(tile.key)
             if recorder is not None:
@@ -1283,6 +1334,13 @@ def run_engine(
                 recorder.observe_time(
                     "engine.tile_deliver_seconds", deliver_seconds
                 )
+                if result.phase_seconds:
+                    for phase_name, secs in result.phase_seconds.items():
+                        recorder.observe_time(f"phase.{phase_name}", secs)
+                extra = (
+                    {"phases": result.phase_seconds}
+                    if result.phase_seconds else {}
+                )
                 recorder.event(
                     "tile_computed",
                     tile=[tile.i0, tile.j0],
@@ -1291,6 +1349,7 @@ def run_engine(
                     deliver_s=deliver_seconds,
                     bytes=int(result.block.nbytes),
                     worker=result.worker,
+                    **extra,
                 )
             if progress is not None:
                 progress.advance(tile.n_pairs)
@@ -1322,18 +1381,22 @@ def run_engine(
         def local_task(tile: TileTask, epoch: int) -> TileResult:
             if faults is not None:
                 faults.fire("tile_compute", tile.key, epoch)
+            prof = current_profiler()
+            mark = prof.mark()
             start = time.perf_counter()
-            block = compute_tile(
-                words,
-                freqs,
-                matrix.n_samples,
-                tile,
-                stat=stat,
-                params=params,
-                kernel=kernel,
-                undefined=undefined,
-            )
+            with prof.span("tile"):
+                block = compute_tile(
+                    words,
+                    freqs,
+                    matrix.n_samples,
+                    tile,
+                    stat=stat,
+                    params=params,
+                    kernel=kernel,
+                    undefined=undefined,
+                )
             elapsed = time.perf_counter() - start
+            phases = prof.collect(mark) or None
             if faults is not None:
                 faults.fire("tile_deliver", tile.key, epoch)
             checksum = _crc32_array(block) if checksum_local else None
@@ -1344,6 +1407,7 @@ def run_engine(
                 compute_seconds=elapsed,
                 worker=threading.current_thread().name,
                 checksum=checksum,
+                phase_seconds=phases,
             )
 
         def local_batch(
@@ -1411,6 +1475,7 @@ def run_engine(
                         undefined=undefined,
                         faults=faults,
                         batch_size=resolve_batch_size(len(work), workers),
+                        profile=current_profiler().enabled,
                     )
                     retries += delta
                     batches += subs
@@ -1432,6 +1497,8 @@ def run_engine(
                 current = fallback
                 work = [t for t in work if t.key not in done_keys]
     finally:
+        if profiler is not None:
+            install_profiler(previous_profiler)
         if manifest is not None:
             manifest.close()
 
@@ -1477,6 +1544,7 @@ def _run_process_engine(
     undefined: float,
     faults: FaultPlan | None,
     batch_size: int = 1,
+    profile: bool = False,
 ) -> tuple[int, int]:
     """Process-pool execution with both directions in shared memory.
 
@@ -1537,6 +1605,7 @@ def _run_process_engine(
                     arena.name,
                     arena.n_slots,
                     arena.slot_elems,
+                    profile,
                 ),
             )
 

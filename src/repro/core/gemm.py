@@ -58,8 +58,10 @@ from repro.core.macrokernel import (
 )
 from repro.core.microkernel import MICRO_KERNELS
 from repro.core.packing import pack_block_a, pack_panel_b
+from repro.observe.spans import span
 
-if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
+if TYPE_CHECKING:  # recorder typing only; spans above resolve lazily in
+    # repro.observe.__init__, so no modelcheck→gemm import cycle forms
     from repro.observe.metrics import MetricsRecorder
 
 __all__ = [
@@ -259,10 +261,11 @@ def popcount_gemm(
     ws = shared_workspace() if workspace is None else workspace
     start = time.perf_counter() if recorder is not None else 0.0
     allocs0, reuses0 = ws.n_allocations, ws.n_reuses
-    c = np.zeros((m, n), dtype=np.int64)
-    tile_visits = _run_kernel(
-        a_words, b_words, c, params, kernel, ws, symmetric=False
-    )
+    with span("gemm"):  # parent span; self-time = driver overhead
+        c = np.zeros((m, n), dtype=np.int64)
+        tile_visits = _run_kernel(
+            a_words, b_words, c, params, kernel, ws, symmetric=False
+        )
     if recorder is not None:
         _record_gemm_call(
             recorder, "gemm", m, n, k, kernel, start, ws, allocs0, reuses0,
@@ -325,11 +328,12 @@ def popcount_gram(
     ws = shared_workspace() if workspace is None else workspace
     start = time.perf_counter() if recorder is not None else 0.0
     allocs0, reuses0 = ws.n_allocations, ws.n_reuses
-    c = np.zeros((m, m), dtype=np.int64)
-    tile_visits = _run_kernel(
-        a_words, a_words, c, params, kernel, ws, symmetric=True
-    )
-    mirror_lower_inplace(c)
+    with span("gram"):  # parent span; self-time = driver overhead
+        c = np.zeros((m, m), dtype=np.int64)
+        tile_visits = _run_kernel(
+            a_words, a_words, c, params, kernel, ws, symmetric=True
+        )
+        mirror_lower_inplace(c)
     if recorder is not None:
         _record_gemm_call(
             recorder, "gram", m, m, k, kernel, start, ws, allocs0, reuses0,

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.core.blocking import BlockingParams
 from repro.core.packing import pack_block_a_into
+from repro.observe.spans import span
 
 __all__ = [
     "GemmWorkspace",
@@ -207,20 +208,29 @@ def macrokernel_fused(
     for pc in range(0, k, kstep):
         kc_eff = min(kstep, k - pc)
         kb = kc_eff * 64
-        b_f32 = workspace.carve("fused.b_f32", np.float32, (n_eff, kb))
-        _unpack_bits_f32(workspace, "fused.b", b_rows[:, pc : pc + kc_eff], b_f32)
+        with span("pack_b"):
+            b_f32 = workspace.carve("fused.b_f32", np.float32, (n_eff, kb))
+            _unpack_bits_f32(
+                workspace, "fused.b", b_rows[:, pc : pc + kc_eff], b_f32
+            )
         for ic in range(0, m, mc):
             mc_eff = min(mc, m - ic)
             if symmetric and row_offset + ic + mc_eff <= col_offset:
                 continue
-            a_f32 = workspace.carve("fused.a_f32", np.float32, (mc_eff, kb))
-            _unpack_bits_f32(
-                workspace, "fused.a", a_words[ic : ic + mc_eff, pc : pc + kc_eff], a_f32
-            )
-            c_f32 = workspace.carve("fused.c_f32", np.float32, (mc_eff, n_eff))
-            np.matmul(a_f32, b_f32.T, out=c_f32)
-            block = c_strip[ic : ic + mc_eff]
-            np.add(block, c_f32, out=block, casting="unsafe")
+            with span("pack_a"):
+                a_f32 = workspace.carve("fused.a_f32", np.float32, (mc_eff, kb))
+                _unpack_bits_f32(
+                    workspace, "fused.a",
+                    a_words[ic : ic + mc_eff, pc : pc + kc_eff], a_f32,
+                )
+            with span("plane_matmul"):
+                c_f32 = workspace.carve(
+                    "fused.c_f32", np.float32, (mc_eff, n_eff)
+                )
+                np.matmul(a_f32, b_f32.T, out=c_f32)
+            with span("copy_out"):
+                block = c_strip[ic : ic + mc_eff]
+                np.add(block, c_f32, out=block, casting="unsafe")
 
 
 def macrokernel_popcount(
@@ -257,40 +267,56 @@ def macrokernel_popcount(
     tsum = workspace.carve("pop.tsum", np.int64, (mr, nr))
     for pc in range(0, k, kc):
         kc_eff = min(kc, k - pc)
-        pb_pool = workspace.carve("pop.b_pack", np.uint64, (sb_max, kc_eff, nr))
-        packed_b = pack_block_a_into(b_rows[:, pc : pc + kc_eff], nr, pb_pool)
+        with span("pack_b"):
+            pb_pool = workspace.carve(
+                "pop.b_pack", np.uint64, (sb_max, kc_eff, nr)
+            )
+            packed_b = pack_block_a_into(
+                b_rows[:, pc : pc + kc_eff], nr, pb_pool
+            )
         for ic in range(0, m, mc):
             mc_eff = min(mc, m - ic)
             if symmetric and row_offset + ic + mc_eff <= col_offset:
                 continue
-            sa = (mc_eff + mr - 1) // mr
-            pa_pool = workspace.carve("pop.a_pack", np.uint64, (sa, kc_eff, mr))
-            packed_a = pack_block_a_into(
-                a_words[ic : ic + mc_eff, pc : pc + kc_eff], mr, pa_pool
-            )
-            c_pad = workspace.carve("pop.c_pad", np.int64, (sa * mr, packed_b.shape[0] * nr))
-            c_pad[...] = 0
-            for jr in range(packed_b.shape[0]):
-                j0 = jr * nr
-                b_micro = packed_b[jr]
-                for ir in range(sa):
-                    i0 = ir * mr
-                    if symmetric and row_offset + ic + i0 + mr <= col_offset + j0:
-                        continue
-                    tile_visits += 1
-                    c_tile = c_pad[i0 : i0 + mr, j0 : j0 + nr]
-                    for p0 in range(0, kc_eff, _POPCOUNT_K_CHUNK):
-                        span = min(_POPCOUNT_K_CHUNK, kc_eff - p0)
-                        np.bitwise_and(
-                            packed_a[ir][p0 : p0 + span, :, None],
-                            b_micro[p0 : p0 + span, None, :],
-                            out=joint[:span],
-                        )
-                        np.bitwise_count(joint[:span], out=pop[:span])
-                        np.sum(pop[:span], axis=0, dtype=np.int64, out=tsum)
-                        c_tile += tsum
-            block = c_strip[ic : ic + mc_eff]
-            np.add(block, c_pad[:mc_eff, :n_eff], out=block)
+            with span("pack_a"):
+                sa = (mc_eff + mr - 1) // mr
+                pa_pool = workspace.carve(
+                    "pop.a_pack", np.uint64, (sa, kc_eff, mr)
+                )
+                packed_a = pack_block_a_into(
+                    a_words[ic : ic + mc_eff, pc : pc + kc_eff], mr, pa_pool
+                )
+            # One span per (pc, ic) block, not per micro-tile: the tile
+            # loop is the hot path the zero-allocation test pins.
+            with span("pop_kernel"):
+                c_pad = workspace.carve(
+                    "pop.c_pad", np.int64, (sa * mr, packed_b.shape[0] * nr)
+                )
+                c_pad[...] = 0
+                for jr in range(packed_b.shape[0]):
+                    j0 = jr * nr
+                    b_micro = packed_b[jr]
+                    for ir in range(sa):
+                        i0 = ir * mr
+                        if symmetric and row_offset + ic + i0 + mr <= col_offset + j0:
+                            continue
+                        tile_visits += 1
+                        c_tile = c_pad[i0 : i0 + mr, j0 : j0 + nr]
+                        for p0 in range(0, kc_eff, _POPCOUNT_K_CHUNK):
+                            width = min(_POPCOUNT_K_CHUNK, kc_eff - p0)
+                            np.bitwise_and(
+                                packed_a[ir][p0 : p0 + width, :, None],
+                                b_micro[p0 : p0 + width, None, :],
+                                out=joint[:width],
+                            )
+                            np.bitwise_count(joint[:width], out=pop[:width])
+                            np.sum(
+                                pop[:width], axis=0, dtype=np.int64, out=tsum
+                            )
+                            c_tile += tsum
+            with span("copy_out"):
+                block = c_strip[ic : ic + mc_eff]
+                np.add(block, c_pad[:mc_eff, :n_eff], out=block)
     return tile_visits
 
 
@@ -305,12 +331,14 @@ def mirror_lower_inplace(c: np.ndarray, *, block: int = 256) -> np.ndarray:
     m = c.shape[0]
     if c.ndim != 2 or c.shape[1] != m:
         raise ValueError(f"expected a square matrix, got shape {c.shape}")
-    for j0 in range(0, m, block):
-        j1 = min(j0 + block, m)
-        # Strip to the right of the diagonal block: rows j0:j1 above columns
-        # j1:, sourced from the disjoint lower region below the block.
-        c[j0:j1, j1:] = c[j1:, j0:j1].T
-        diag = c[j0:j1, j0:j1]
-        low = np.tril_indices(j1 - j0, -1)
-        diag.T[low] = diag[low]
+    with span("mirror"):
+        for j0 in range(0, m, block):
+            j1 = min(j0 + block, m)
+            # Strip to the right of the diagonal block: rows j0:j1 above
+            # columns j1:, sourced from the disjoint lower region below
+            # the block.
+            c[j0:j1, j1:] = c[j1:, j0:j1].T
+            diag = c[j0:j1, j0:j1]
+            low = np.tril_indices(j1 - j0, -1)
+            diag.T[low] = diag[low]
     return c

@@ -42,6 +42,7 @@ from repro.core.engine import (
 from repro.core.ldmatrix import as_bitmatrix
 from repro.encoding.bitmatrix import BitMatrix
 from repro.faults import FaultPlan
+from repro.observe.spans import span
 
 if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
     from repro.observe.metrics import MetricsRecorder
@@ -132,14 +133,17 @@ class NpyMemmapSink:
             raise ValueError(f"sink for {self.path} is closed")
         mm = self._memmap
         mm[i0 : i0 + block.shape[0], j0 : j0 + block.shape[1]] = block
-        if i0 != j0:
-            mm[j0 : j0 + block.shape[1], i0 : i0 + block.shape[0]] = block.T
-        else:
-            # Diagonal block: mirror its strict upper triangle from the
-            # computed lower triangle.
-            size = block.shape[0]
-            il = np.tril_indices(size, k=-1)
-            mm[i0 + il[1], j0 + il[0]] = block[il]
+        with span("mirror"):
+            if i0 != j0:
+                mm[j0 : j0 + block.shape[1], i0 : i0 + block.shape[0]] = (
+                    block.T
+                )
+            else:
+                # Diagonal block: mirror its strict upper triangle from
+                # the computed lower triangle.
+                size = block.shape[0]
+                il = np.tril_indices(size, k=-1)
+                mm[i0 + il[1], j0 + il[0]] = block[il]
 
     def flush(self) -> None:
         """Force written blocks to disk (no-op once closed)."""

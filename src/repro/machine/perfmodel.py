@@ -30,7 +30,9 @@ from repro.machine.peak import ld_theoretical_peak_ops_per_cycle
 
 __all__ = [
     "PerfEstimate",
+    "PhaseEstimate",
     "estimate_gemm_performance",
+    "estimate_gemm_phases",
     "measured_ops_per_cycle",
     "measured_percent_of_peak",
 ]
@@ -116,6 +118,121 @@ def estimate_gemm_performance(
         peak_ops_per_cycle=peak,
         seconds=cycles / machine.frequency_hz,
     )
+
+
+@dataclass(frozen=True)
+class PhaseEstimate:
+    """Modelled cycles for one phase of the blocked execution.
+
+    Attributes
+    ----------
+    name:
+        Phase name, matching the span names the fused hot path records
+        (``pack_a``, ``pack_b``, ``plane_matmul``, ``copy_out``,
+        ``mirror``, ``overhead``).
+    cycles, seconds:
+        Modelled cost at the machine's frequency.
+    kind:
+        Roofline classification of what bounds the phase: ``"compute"``
+        (issue ports), ``"memory"`` (bandwidth), or ``"overhead"``
+        (fixed per-call costs).
+    """
+
+    name: str
+    cycles: float
+    seconds: float
+    kind: str
+
+
+def estimate_gemm_phases(
+    m: int,
+    n: int,
+    k_words: int,
+    *,
+    params: BlockingParams = MICRO_BLOCKING,
+    machine: MachineSpec = HASWELL,
+    simd: SimdConfig = SCALAR64,
+    symmetric: bool = False,
+) -> tuple[PhaseEstimate, ...]:
+    """Decompose :func:`estimate_gemm_performance` into per-phase cycles.
+
+    The aggregate estimate's four terms (compute, packing, stalls,
+    overhead) are reapportioned to the *phases the hot path actually
+    executes* — the same names :func:`repro.core.macrokernel
+    .macrokernel_fused` records as spans — by charging each traffic
+    class of :func:`repro.machine.cache.charge_blocked_gemm` to the
+    phase that generates it:
+
+    - ``pack_a`` / ``pack_b``: the copy-loop cycles *plus* the DRAM
+      reads of the source operand and the cache writes of the packed
+      buffer (A block → L2, B panel → L3).
+    - ``plane_matmul``: all compute cycles plus the micro-kernel's
+      packed-A load stalls (L2, or L3 when the A block is mis-blocked)
+      and the DRAM reload penalty of an oversized B panel.
+    - ``copy_out``: C-tile update round-trips (L2) and the final
+      write-through of the output (DRAM stores).
+    - ``overhead``: the fixed per-micro-kernel call cost.
+    - ``mirror`` (symmetric only): reflecting the strict lower triangle
+      into the upper at copy bandwidth plus its store traffic. The
+      aggregate model prices the triangular traversal only, so this
+      phase is *additional* — the phase sum exceeds
+      ``estimate_gemm_performance().cycles`` by exactly this term.
+
+    Phases with zero modelled cycles are still returned, so callers can
+    join measured span names against a complete schedule.
+    """
+    counts = gemm_operation_counts(m, n, k_words, params, symmetric=symmetric)
+    core = machine.core
+    caches = machine.caches
+    l2_bw = caches.l2.words_per_cycle
+    l3_bw = caches.l3.words_per_cycle
+    dram_bw = caches.dram_words_per_cycle
+    pack_rate = core.pack_words_per_cycle
+
+    compute = core.compute_cycles(
+        counts.and_ops, counts.popcnt_ops, counts.add_ops, simd
+    )
+    a_fits_l2 = params.a_block_bytes <= caches.l2.size_bytes
+    b_fits_l3 = params.b_panel_bytes <= caches.l3.size_bytes
+
+    pack_a = (
+        counts.a_pack_words / pack_rate  # copy loop
+        + counts.a_pack_words / dram_bw  # source stream from DRAM
+        + counts.a_pack_words / l2_bw  # packed block lands in L2
+    )
+    pack_b = (
+        counts.b_pack_words / pack_rate
+        + counts.b_pack_words / dram_bw
+        + counts.b_pack_words / l3_bw  # packed panel lands in L3
+    )
+    a_load_stall = counts.a_load_words / (l2_bw if a_fits_l2 else l3_bw)
+    b_reload_stall = 0.0 if b_fits_l3 else 0.5 * counts.b_load_words / dram_bw
+    matmul_stall = a_load_stall + b_reload_stall
+    plane_matmul = compute + matmul_stall
+
+    output_words = m * n if not symmetric else m * (m + 1) // 2
+    copy_out = 2.0 * counts.c_update_words / l2_bw + output_words / dram_bw
+
+    overhead = core.kernel_call_overhead * counts.kernel_calls
+
+    hz = machine.frequency_hz
+    phases = [
+        PhaseEstimate("pack_a", pack_a, pack_a / hz, "memory"),
+        PhaseEstimate("pack_b", pack_b, pack_b / hz, "memory"),
+        PhaseEstimate(
+            "plane_matmul", plane_matmul, plane_matmul / hz,
+            "compute" if compute >= matmul_stall else "memory",
+        ),
+        PhaseEstimate("copy_out", copy_out, copy_out / hz, "memory"),
+    ]
+    if symmetric:
+        mirror_words = m * (m - 1) // 2
+        mirror = mirror_words / pack_rate + mirror_words / dram_bw
+        phases.append(PhaseEstimate("mirror", mirror, mirror / hz, "memory"))
+    phases.append(
+        PhaseEstimate("overhead", overhead, overhead / hz, "overhead")
+    )
+    return tuple(phases)
 
 
 def measured_ops_per_cycle(

@@ -15,8 +15,10 @@ module provides the recording half of :mod:`repro.observe`:
   the recorder was created) — the trace format the out-of-core GEMM
   literature uses to attribute wall-clock to compute vs. I/O overlap.
 - :class:`Histogram` is the bounded summary behind timers and value
-  distributions: count / total / min / max, never per-sample storage, so
-  a million-tile run costs O(1) memory.
+  distributions: count / total / min / max plus streaming p50/p95/p99
+  estimates (Jain & Chlamtac's P² algorithm — five markers per
+  quantile), never per-sample storage, so a million-tile run costs O(1)
+  memory and the quantiles stay unbiased by any sample cap.
 
 The hot paths take ``recorder: MetricsRecorder | None = None`` and guard
 every emission with ``if recorder is not None`` — the disabled default is
@@ -36,15 +38,107 @@ from typing import Iterator
 
 __all__ = ["Histogram", "JsonlTraceSink", "MetricsRecorder"]
 
+#: Quantiles every Histogram tracks, as (json key, probability).
+_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+class _P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (Jain & Chlamtac
+    1985): five markers whose heights track [min, lower, target, upper,
+    max] order statistics, adjusted by parabolic interpolation — O(1)
+    memory regardless of stream length, exact for the first 5 samples.
+    """
+
+    __slots__ = ("p", "heights", "positions", "desired", "increments")
+
+    def __init__(self, p: float) -> None:
+        self.p = p
+        self.heights: list[float] = []
+        self.positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self.desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self.increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def observe(self, value: float) -> None:
+        heights = self.heights
+        if len(heights) < 5:
+            heights.append(value)
+            heights.sort()
+            return
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        positions = self.positions
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        desired = self.desired
+        for i in range(5):
+            desired[i] += self.increments[i]
+        # Adjust the three interior markers toward their desired
+        # positions, parabolic (P²) when the neighbor gap allows it,
+        # linear otherwise.
+        for i in (1, 2, 3):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                sign = 1.0 if delta >= 0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, sign)
+                positions[i] += sign
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self.heights, self.positions
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self.heights, self.positions
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    def value(self) -> float | None:
+        """Current estimate (``None`` before any sample)."""
+        heights = self.heights
+        if not heights:
+            return None
+        if len(heights) < 5:
+            # Exact small-sample quantile (nearest-rank on the sorted
+            # buffer the initialization phase keeps anyway).
+            rank = max(0, math.ceil(self.p * len(heights)) - 1)
+            return heights[rank]
+        return heights[2]
+
 
 @dataclass
 class Histogram:
-    """Bounded running summary of a value stream (no per-sample storage)."""
+    """Bounded running summary of a value stream (no per-sample storage).
+
+    Beyond count/total/min/max, each histogram keeps streaming P²
+    estimators for the :data:`_QUANTILES` set, so ``summary()`` reports
+    p50/p95/p99 without retaining samples — a cumulative mean hides tail
+    latency, and a capped sample buffer would bias long runs.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    _quantiles: tuple[_P2Quantile, ...] = field(
+        default_factory=lambda: tuple(_P2Quantile(p) for _, p in _QUANTILES),
+        repr=False,
+    )
 
     def observe(self, value: float) -> None:
         """Fold one sample into the summary."""
@@ -55,31 +149,52 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        for estimator in self._quantiles:
+            estimator.observe(value)
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the observed samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, p: float) -> float | None:
+        """Streaming estimate for tracked probability *p* (else KeyError)."""
+        for (_, prob), estimator in zip(_QUANTILES, self._quantiles):
+            if prob == p:
+                return estimator.value()
+        raise KeyError(f"quantile {p} is not tracked; have "
+                       f"{[prob for _, prob in _QUANTILES]}")
+
     def summary(self) -> dict:
         """JSON-serializable summary dict."""
-        return {
+        out = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
         }
+        for (key, _), estimator in zip(_QUANTILES, self._quantiles):
+            out[key] = estimator.value()
+        return out
 
 
 class JsonlTraceSink:
     """Append-only JSON-lines event trace (one compact object per line).
 
-    The sink is deliberately dumb: it serializes whatever dict it is
-    handed. Interpretation (which kinds exist, which fields they carry)
-    belongs to the emitters; ``docs/TUTORIAL.md`` documents the engine's
-    event vocabulary.
+    Every line carries ``schema: "repro-trace/1"`` and a monotonic
+    ``seq`` (0-based write index), so a truncated or interleaved trace
+    is detectable post hoc and ``repro report`` can identify the format
+    without sniffing. The sink otherwise stays deliberately dumb: it
+    serializes whatever dict it is handed, coercing any value
+    ``json.dumps`` cannot encode via ``repr`` — an exotic field (say, an
+    exception object on a retry event) must not crash a run mid-flight.
+    Interpretation (which kinds exist, which fields they carry) belongs
+    to the emitters; ``docs/TUTORIAL.md`` documents the engine's event
+    vocabulary.
     """
+
+    SCHEMA = "repro-trace/1"
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
@@ -89,7 +204,11 @@ class JsonlTraceSink:
     def write(self, event: dict) -> None:
         if self._fh is None:
             raise ValueError(f"trace sink for {self.path} is closed")
-        self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        record = {"schema": self.SCHEMA, "seq": self.n_written}
+        record.update(event)
+        self._fh.write(
+            json.dumps(record, separators=(",", ":"), default=repr) + "\n"
+        )
         self.n_written += 1
 
     def close(self) -> None:

@@ -30,10 +30,16 @@ from repro.machine.cpu import HASWELL, MachineSpec
 from repro.machine.isa import SCALAR64, SimdConfig
 from repro.machine.perfmodel import (
     estimate_gemm_performance,
+    estimate_gemm_phases,
     measured_ops_per_cycle,
 )
 
-__all__ = ["PeakComparison", "compare_to_model"]
+__all__ = [
+    "PeakComparison",
+    "PhaseComparison",
+    "compare_phases_to_model",
+    "compare_to_model",
+]
 
 
 @dataclass(frozen=True)
@@ -100,6 +106,141 @@ class PeakComparison:
             "modeled_percent_of_peak": self.modeled_percent_of_peak,
             "measured_vs_modeled": self.measured_vs_modeled,
         }
+
+
+@dataclass(frozen=True)
+class PhaseComparison:
+    """One execution phase: measured seconds against the model's share.
+
+    The per-phase counterpart of :class:`PeakComparison` — instead of
+    one aggregate %-of-peak, each phase of the blocked execution
+    (pack-A, pack-B, plane matmul, copy-out, mirror, overhead) is
+    scored on where its time *should* go (the roofline ``kind``:
+    compute-bound, memory-bound, or overhead) and how the measured
+    share of wall-clock compares to the modelled share.
+
+    Attributes
+    ----------
+    name:
+        Phase name (matches the span vocabulary of the hot paths).
+    kind:
+        Roofline classification from the model: ``"compute"``,
+        ``"memory"``, or ``"overhead"``. Measured phases the model has
+        no estimate for (``stat``, ``driver.*``, ...) are classified
+        ``"overhead"`` with ``modeled_seconds = 0``.
+    measured_seconds:
+        Summed self-time of the phase's spans across all workers
+        (CPU-seconds, the same currency as single-core model cycles);
+        ``None`` when the phase was modelled but never measured.
+    modeled_seconds:
+        The model's prediction for the phase at the machine frequency.
+    measured_share, modeled_share:
+        Each side normalized by its own total, so the two distributions
+        are comparable even when absolute throughput differs from the
+        model.
+    """
+
+    name: str
+    kind: str
+    measured_seconds: float | None
+    modeled_seconds: float
+    measured_share: float | None
+    modeled_share: float
+
+    @property
+    def measured_vs_modeled(self) -> float | None:
+        """Ratio of measured to modelled seconds (None when unmeasurable)."""
+        if self.measured_seconds is None or self.modeled_seconds <= 0:
+            return None
+        return self.measured_seconds / self.modeled_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-serializable record (the ``repro-profile/1`` roofline row)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "measured_seconds": self.measured_seconds,
+            "modeled_seconds": self.modeled_seconds,
+            "measured_share": self.measured_share,
+            "modeled_share": self.modeled_share,
+            "measured_vs_modeled": self.measured_vs_modeled,
+        }
+
+
+def compare_phases_to_model(
+    measured: dict[str, float],
+    m: int,
+    n: int,
+    k_words: int,
+    *,
+    params: BlockingParams = MICRO_BLOCKING,
+    machine: MachineSpec = HASWELL,
+    simd: SimdConfig = SCALAR64,
+    symmetric: bool = False,
+) -> list[PhaseComparison]:
+    """Join measured per-phase seconds against the model's phase schedule.
+
+    Parameters
+    ----------
+    measured:
+        Phase name → summed self-seconds (e.g. a profiler's totals, or
+        the engine's ``phase.*`` timers summed across tiles). Names the
+        model knows (``pack_a``, ``pack_b``, ``plane_matmul``,
+        ``copy_out``, ``mirror``, ``overhead``) are scored against their
+        estimates; unknown names are carried through as unmodelled
+        overhead so the report never silently drops measured time.
+    m, n, k_words, params, machine, simd, symmetric:
+        The executed problem, as for :func:`compare_to_model`.
+
+    Returns the union of modelled and measured phases, modelled order
+    first, sorted within the unmodelled remainder by descending
+    measured time.
+    """
+    for name, seconds in measured.items():
+        if seconds < 0:
+            raise ValueError(
+                f"measured seconds must be non-negative, got "
+                f"{name}={seconds}"
+            )
+    estimates = estimate_gemm_phases(
+        m, n, k_words, params=params, machine=machine, simd=simd,
+        symmetric=symmetric,
+    )
+    modeled_total = sum(e.seconds for e in estimates)
+    measured_total = sum(measured.values())
+    out: list[PhaseComparison] = []
+    for est in estimates:
+        secs = measured.get(est.name)
+        out.append(PhaseComparison(
+            name=est.name,
+            kind=est.kind,
+            measured_seconds=secs,
+            modeled_seconds=est.seconds,
+            measured_share=(
+                secs / measured_total
+                if secs is not None and measured_total > 0 else None
+            ),
+            modeled_share=(
+                est.seconds / modeled_total if modeled_total > 0 else 0.0
+            ),
+        ))
+    known = {est.name for est in estimates}
+    extras = sorted(
+        ((name, secs) for name, secs in measured.items() if name not in known),
+        key=lambda item: -item[1],
+    )
+    for name, secs in extras:
+        out.append(PhaseComparison(
+            name=name,
+            kind="overhead",
+            measured_seconds=secs,
+            modeled_seconds=0.0,
+            measured_share=(
+                secs / measured_total if measured_total > 0 else None
+            ),
+            modeled_share=0.0,
+        ))
+    return out
 
 
 def compare_to_model(

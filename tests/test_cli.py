@@ -215,8 +215,8 @@ class TestLdEngineOption:
 
     @pytest.mark.parametrize(
         "flag", [["--progress"], ["--metrics-out", "m.json"],
-                 ["--trace-out", "t.jsonl"]],
-        ids=["progress", "metrics-out", "trace-out"],
+                 ["--trace-out", "t.jsonl"], ["--profile-out", "p.json"]],
+        ids=["progress", "metrics-out", "trace-out", "profile-out"],
     )
     def test_instrumentation_flags_require_engine(
         self, ms_panel, tmp_path, flag
@@ -426,3 +426,87 @@ class TestAnalysisCommands:
         assert "% of the 3-ops/cycle" in out
         assert "GPU roofline" in out
         assert "avx512" in out
+
+
+class TestProfileAndReportCommands:
+    def test_ld_profile_out_writes_schema_tagged_payload(
+        self, ms_panel, tmp_path
+    ):
+        path, haps = ms_panel
+        profile = tmp_path / "profile.json"
+        assert main([
+            "ld", str(path), "--engine", "serial", "--block-snps", "16",
+            "--out", str(tmp_path / "ld.npy"),
+            "--profile-out", str(profile),
+        ]) == 0
+        payload = json.loads(profile.read_text())
+        assert payload["schema"] == "repro-profile/1"
+        assert payload["workload"]["n_snps"] == haps.shape[1]
+        # Acceptance bar: kernel and driver phases are both attributed,
+        # and every phase row is classified against the model.
+        assert {"pack_a", "pack_b", "plane_matmul", "mirror",
+                "driver.deliver"} <= set(payload["phases"])
+        roofline = {row["name"]: row for row in payload["roofline"]}
+        for name in ("pack_a", "pack_b", "plane_matmul", "mirror"):
+            assert roofline[name]["kind"] in ("compute", "memory")
+            assert roofline[name]["modeled_seconds"] > 0
+
+    def test_profile_command_simulates_and_profiles(self, tmp_path, capsys):
+        out = tmp_path / "profile.json"
+        assert main([
+            "profile", "--snps", "96", "--samples", "40", "--seed", "3",
+            "--block-snps", "16", "--engine", "threads", "--workers", "2",
+            "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "profile:" in text and "engine=threads" in text
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-profile/1"
+        assert payload["workload"]["stat"] == "r2"
+        assert {"driver.dispatch", "driver.wait"} <= set(payload["phases"])
+        assert payload["timeline"]["workers"]
+
+    def test_profile_command_reads_existing_panel(
+        self, ms_panel, tmp_path, capsys
+    ):
+        path, haps = ms_panel
+        out = tmp_path / "profile.json"
+        matrix = tmp_path / "ld.npy"
+        assert main([
+            "profile", "--input", str(path), "--block-snps", "16",
+            "--engine", "serial", "--matrix-out", str(matrix),
+            "--out", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["workload"]["n_snps"] == haps.shape[1]
+        assert np.load(matrix).shape == (haps.shape[1], haps.shape[1])
+
+    def test_report_renders_profile_metrics_and_trace(
+        self, ms_panel, tmp_path, capsys
+    ):
+        path, _ = ms_panel
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.jsonl"
+        profile = tmp_path / "profile.json"
+        assert main([
+            "ld", str(path), "--engine", "serial", "--block-snps", "16",
+            "--out", str(tmp_path / "ld.npy"),
+            "--metrics-out", str(metrics), "--trace-out", str(trace),
+            "--profile-out", str(profile),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "report", str(profile), str(metrics), str(trace),
+        ]) == 0
+        text = capsys.readouterr().out
+        # Multi-file mode labels each rendering with its source path.
+        assert text.count("==>") == 3
+        assert "repro-profile/1" in text
+        assert "repro-ld-metrics/1" in text
+        assert "repro-trace/1" in text
+
+    def test_report_rejects_unreadable_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("not json\n")
+        assert main(["report", str(bad)]) == 1
+        assert "bad.txt" in capsys.readouterr().err

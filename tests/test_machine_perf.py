@@ -11,8 +11,49 @@ from repro.machine.multicore import (
     MulticoreModel,
     scaling_curve,
 )
-from repro.machine.perfmodel import estimate_gemm_performance
+from repro.machine.perfmodel import (
+    estimate_gemm_performance,
+    estimate_gemm_phases,
+)
 from repro.machine.simd import analyze_simd_benefit
+
+
+class TestPhaseEstimates:
+    def test_non_mirror_phases_sum_to_aggregate_estimate(self):
+        for shape in ((4096, 4096, 128), (1024, 2048, 32), (220, 220, 2)):
+            m, n, k = shape
+            aggregate = estimate_gemm_performance(m, n, k)
+            phases = estimate_gemm_phases(m, n, k)
+            total = sum(p.cycles for p in phases if p.name != "mirror")
+            assert total == pytest.approx(aggregate.cycles, rel=1e-12), shape
+
+    def test_phase_names_and_kinds(self):
+        phases = {p.name: p for p in estimate_gemm_phases(
+            4096, 4096, 128, symmetric=True
+        )}
+        assert set(phases) == {"pack_a", "pack_b", "plane_matmul",
+                               "copy_out", "mirror", "overhead"}
+        assert phases["pack_a"].kind == "memory"
+        assert phases["pack_b"].kind == "memory"
+        assert phases["copy_out"].kind == "memory"
+        assert phases["overhead"].kind == "overhead"
+        # At the paper's shapes the plane matmul is compute-bound.
+        assert phases["plane_matmul"].kind == "compute"
+
+    def test_mirror_only_for_symmetric(self):
+        names = {p.name for p in estimate_gemm_phases(512, 512, 16)}
+        assert "mirror" not in names
+        names = {p.name for p in estimate_gemm_phases(
+            512, 512, 16, symmetric=True
+        )}
+        assert "mirror" in names
+
+    def test_seconds_match_cycles_at_clock(self):
+        for phase in estimate_gemm_phases(1024, 1024, 64):
+            assert phase.seconds == pytest.approx(
+                phase.cycles / HASWELL.frequency_hz
+            )
+            assert phase.cycles >= 0
 
 
 class TestPerfModel:

@@ -11,6 +11,7 @@ import pytest
 from repro.core.engine import enumerate_tiles, run_engine
 from repro.core.gemm import popcount_gemm, popcount_gram
 from repro.core.streaming import stream_ld_blocks
+from repro.faults import FaultPlan, FaultSpec
 from repro.machine.cpu import HASWELL
 from repro.machine.perfmodel import (
     estimate_gemm_performance,
@@ -40,6 +41,36 @@ class TestHistogram:
         assert hist.total == 6.0
         assert hist.mean == 2.0
         assert hist.min == 1.0 and hist.max == 3.0
+
+    def test_streaming_quantiles_on_known_distribution(self, rng):
+        hist = Histogram()
+        values = rng.permutation(np.arange(1, 10_001, dtype=np.float64))
+        for value in values:
+            hist.observe(value)
+        # P² estimates over a uniform stream land close to the exact
+        # order statistics (well within a few percent at n=10k).
+        assert hist.quantile(0.50) == pytest.approx(5000, rel=0.05)
+        assert hist.quantile(0.95) == pytest.approx(9500, rel=0.05)
+        assert hist.quantile(0.99) == pytest.approx(9900, rel=0.05)
+
+    def test_small_sample_quantiles_are_exact(self):
+        hist = Histogram()
+        for value in (3.0, 1.0, 2.0):
+            hist.observe(value)
+        assert hist.quantile(0.50) == 2.0
+        assert hist.quantile(0.95) == 3.0
+        summary = hist.summary()
+        assert summary["p50"] == 2.0 and summary["p99"] == 3.0
+
+    def test_untracked_quantile_raises(self):
+        with pytest.raises(KeyError, match="not tracked"):
+            Histogram().quantile(0.42)
+
+    def test_empty_quantiles_are_none(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) is None
+        summary = hist.summary()
+        assert summary["p50"] is None and summary["p95"] is None
 
     def test_empty_summary_is_json_safe(self):
         summary = Histogram().summary()
@@ -108,6 +139,27 @@ class TestJsonlTraceSink:
             sink.write({"kind": "y"})
         assert sink.n_written == 1
 
+    def test_every_line_carries_schema_and_monotonic_seq(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceSink(path) as sink:
+            for i in range(5):
+                sink.write({"kind": "tick", "i": i})
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert all(l["schema"] == "repro-trace/1" for l in lines)
+        assert [l["seq"] for l in lines] == [0, 1, 2, 3, 4]
+        assert [l["i"] for l in lines] == [0, 1, 2, 3, 4]
+
+    def test_non_serializable_values_coerced_via_repr(self, tmp_path):
+        # A retry event may carry an exception object; the sink must not
+        # crash the run over it.
+        path = tmp_path / "t.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.write({"kind": "tile_retry", "error": RuntimeError("boom"),
+                        "where": {1, 2}})
+        record = json.loads(path.read_text())
+        assert record["error"] == repr(RuntimeError("boom"))
+        assert "1" in record["where"] and "2" in record["where"]
+
 
 class TestProgressReporter:
     def test_accounting_and_snapshot(self):
@@ -147,6 +199,55 @@ class TestProgressReporter:
     def test_rejects_negative_totals(self):
         with pytest.raises(ValueError, match="non-negative"):
             ProgressReporter(-1, 0, stream=None)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            ProgressReporter(1, 1, stream=None, window_seconds=0.0)
+
+    def test_eta_text_never_renders_zero_seconds(self):
+        # Before any progress the ETA is unknown; once done it is moot.
+        # Both render "--", never a misleading "eta 0s".
+        progress = ProgressReporter(2, 10, stream=None)
+        assert "eta --" in progress.format_line()
+        progress.advance(5)
+        line = progress.format_line()
+        assert "eta" in line and "eta 0s" not in line
+        progress.advance(5)
+        assert "eta --" in progress.format_line()
+
+    def test_window_rates_reflect_recent_throughput(self):
+        progress = ProgressReporter(100, 1000, stream=None,
+                                    window_seconds=60.0)
+        # Inject a controlled sample history: 100 pairs/s long ago, then
+        # a 10x faster recent burst inside the window.
+        progress.tiles_done, progress.pairs_done = 4, 400
+        progress._window.clear()
+        progress._window.extend([
+            (0.0, 0, 0), (100.0, 1, 100), (100.1, 2, 200),
+            (100.2, 3, 300), (100.3, 4, 400),
+        ])
+        # The anchor sample (100.0) has aged out for a "now" of 170.
+        horizon_now = 170.0
+        while (len(progress._window) > 2
+               and progress._window[1][0] <= horizon_now - 60.0):
+            progress._window.popleft()
+        tiles_rate, pairs_rate = progress._window_rates()
+        # Cumulative rate would be ~4 pairs/s; the window sees the burst.
+        assert pairs_rate == pytest.approx(300 / 0.3, rel=1e-6)
+        assert tiles_rate == pytest.approx(3 / 0.3, rel=1e-6)
+        snap = progress.snapshot()
+        assert snap.window_pairs_per_second == pytest.approx(1000, rel=1e-6)
+        # The ETA uses the windowed rate: 600 remaining at 1000/s.
+        assert snap.eta_seconds == pytest.approx(0.6, rel=1e-6)
+
+    def test_window_warmup_falls_back_to_cumulative(self):
+        progress = ProgressReporter(4, 100, stream=None)
+        progress._window.clear()
+        progress._window.append((progress._start, 0, 0))
+        snap = progress.snapshot()
+        assert snap.window_pairs_per_second == 0.0
+        # eta_seconds falls back to the cumulative pairs_per_second.
+        assert snap.eta_seconds == float("inf")  # no progress yet at all
 
 
 class TestMeasuredPerf:
@@ -301,3 +402,91 @@ class TestEngineRecorder:
         assert plain.keys() == recorded.keys()
         for key in plain:
             np.testing.assert_array_equal(plain[key], recorded[key])
+
+
+class TestFaultEventTrace:
+    """Fault-path events must reach both the JSONL trace and the metrics
+    payload, so post-mortem artifacts agree with each other."""
+
+    @staticmethod
+    def _run(panel, trace_path, **kwargs):
+        recorder = MetricsRecorder(
+            trace=JsonlTraceSink(trace_path), keep_events=True
+        )
+        with recorder:
+            report = run_engine(
+                panel, lambda *a: None, block_snps=8, n_workers=2,
+                max_retries=kwargs.pop("max_retries", 2),
+                retry_backoff=0.0, recorder=recorder, **kwargs,
+            )
+        lines = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        return report, recorder, lines
+
+    def test_retry_and_quarantine_reach_trace_and_payload(
+        self, panel, tmp_path
+    ):
+        plan = FaultPlan(seed=3, specs=(
+            # One transient crash: retried once, then succeeds.
+            FaultSpec(site="tile_compute", tile=(8, 0), attempts_below=1),
+            # One persistent corruption: exhausts the retry budget and
+            # lands in quarantine.
+            FaultSpec(site="tile_deliver", action="bitflip", tile=(16, 0)),
+        ))
+        report, recorder, lines = self._run(
+            panel, tmp_path / "trace.jsonl", engine="serial",
+            max_retries=1, allow_quarantine=True, faults=plan,
+        )
+        assert report.n_retries >= 1 and report.n_quarantined == 1
+        kinds = [l["kind"] for l in lines]
+        assert {"tile_retry", "tile_corrupt", "tile_quarantined"} <= (
+            set(kinds)
+        )
+        # Every trace line is schema-tagged with a gap-free seq.
+        assert all(l["schema"] == "repro-trace/1" for l in lines)
+        assert [l["seq"] for l in lines] == list(range(len(lines)))
+        # The metrics payload tells the same story as the trace.
+        payload = recorder.summary()
+        for kind in ("tile_retry", "tile_corrupt", "tile_quarantined"):
+            assert payload["counters"][f"events.{kind}"] == (
+                kinds.count(kind)
+            )
+
+    def test_pool_restart_reaches_trace_and_payload(self, panel, tmp_path):
+        plan = FaultPlan(specs=(
+            FaultSpec(site="tile_compute", action="kill",
+                      attempts_below=1, tile=(8, 0)),
+        ))
+        report, recorder, lines = self._run(
+            panel, tmp_path / "trace.jsonl", engine="processes",
+            faults=plan,
+        )
+        assert report.complete
+        kinds = [l["kind"] for l in lines]
+        assert "pool_restart" in kinds
+        assert recorder.counters["engine.pool_restarts"] >= 1
+        payload = recorder.summary()
+        assert payload["counters"]["events.pool_restart"] == (
+            kinds.count("pool_restart")
+        )
+
+    def test_degradation_reaches_trace_and_payload(self, panel, tmp_path):
+        plan = FaultPlan(specs=(FaultSpec(site="pool_spawn"),))
+        report, recorder, lines = self._run(
+            panel, tmp_path / "trace.jsonl", engine="processes",
+            faults=plan,
+        )
+        assert report.complete and report.engine_used == "threads"
+        kinds = [l["kind"] for l in lines]
+        assert "pool_spawn_failed" in kinds
+        assert "executor_degraded" in kinds
+        degraded = next(
+            l for l in lines if l["kind"] == "executor_degraded"
+        )
+        assert degraded["from_engine"] == "processes"
+        assert degraded["to_engine"] == "threads"
+        payload = recorder.summary()
+        assert payload["counters"]["engine.degradations"] == 1
+        assert payload["counters"]["events.executor_degraded"] == 1
