@@ -1,8 +1,9 @@
 """Scaling benchmark for the sharded tiled execution engine.
 
 Measures wall-clock and pair throughput of ``repro.core.engine`` across
-its three executors (serial / threads / processes) and several worker
-counts, on two or more simulated panel shapes, and scores every run
+its four executors (serial / threads / processes / persistent) and
+several worker counts, on two or more simulated panel shapes, and scores
+every run
 against the analytical Haswell model (``repro.observe.compare_to_model``
 — the paper's %-of-peak framing, Figs. 3–4). Results are serialized to
 ``BENCH_engine.json`` so the bench trajectory accumulates run over run.
@@ -21,7 +22,10 @@ On a single-vCPU container the parallel engines cannot beat serial (the
 printout is the point: the harness reports the overhead floor); on real
 multi-core hardware the processes engine amortizes its pool + shared-
 memory setup once per run and scales with cores, which is the regime the
-ROADMAP's production-scale target cares about.
+ROADMAP's production-scale target cares about. The ``persistent`` row is
+timed *warm* — one untimed run builds the pool first — because the
+backend's contract is that steady-state runs pay zero spawn or attach
+cost; its cold spawn cost is exactly one processes-style pool build.
 """
 
 from __future__ import annotations
@@ -51,23 +55,36 @@ def _null_sink(i0: int, j0: int, block: np.ndarray) -> None:
 
 
 def run_once(
-    panel, *, engine: str, n_workers: int, block_snps: int
+    panel, *, engine: str, n_workers: int, block_snps: int, repeats: int = 1
 ) -> tuple[float, int, MetricsRecorder]:
-    """One timed engine run; returns (seconds, tiles computed, recorder)."""
-    recorder = MetricsRecorder()
-    start = time.perf_counter()
-    report = run_engine(
-        panel, _null_sink, engine=engine, n_workers=n_workers,
-        block_snps=block_snps, recorder=recorder,
-    )
-    elapsed = time.perf_counter() - start
-    assert report.complete
-    assert recorder.event_count("tile_computed") == report.n_computed
-    return elapsed, report.n_computed, recorder
+    """Median-of-*repeats* timed engine runs; returns (s, tiles, recorder).
+
+    Taking the median over repetitions is the standard defence against
+    scheduler noise — on a shared or single-vCPU box a single timing of
+    a millisecond-scale run can be off by 2-3x, which would swamp the
+    executor comparison the table exists to make. (The median, not the
+    minimum: a spawn-dominated executor occasionally forks unusually
+    fast, so min-of-N reports a best case no steady workload sees.)
+    """
+    samples = []
+    for _ in range(max(1, repeats)):
+        recorder = MetricsRecorder()
+        start = time.perf_counter()
+        report = run_engine(
+            panel, _null_sink, engine=engine, n_workers=n_workers,
+            block_snps=block_snps, recorder=recorder,
+        )
+        elapsed = time.perf_counter() - start
+        assert report.complete
+        assert recorder.event_count("tile_computed") == report.n_computed
+        samples.append((elapsed, report.n_computed, recorder))
+    samples.sort(key=lambda s: s[0])
+    return samples[(len(samples) - 1) // 2]
 
 
 def bench_engine_scaling(
-    *, n_samples: int, n_snps: int, block_snps: int, workers: list[int]
+    *, n_samples: int, n_snps: int, block_snps: int, workers: list[int],
+    repeats: int = 1,
 ) -> list[dict]:
     """Time every (engine, workers) combination and print the table.
 
@@ -89,9 +106,16 @@ def bench_engine_scaling(
     serial_s = None
     for engine in ENGINES:
         for n_workers in ([1] if engine == "serial" else workers):
+            if engine == "persistent":
+                # Warm the pool untimed: steady-state throughput is the
+                # backend's contract (spawn cost is paid exactly once).
+                run_once(
+                    panel, engine=engine, n_workers=n_workers,
+                    block_snps=block_snps,
+                )
             seconds, computed, recorder = run_once(
                 panel, engine=engine, n_workers=n_workers,
-                block_snps=block_snps,
+                block_snps=block_snps, repeats=repeats,
             )
             assert computed == n_tiles
             comparison = compare_to_model(
@@ -108,6 +132,8 @@ def bench_engine_scaling(
                 "n_tiles": n_tiles,
                 "engine": engine,
                 "workers": n_workers,
+                "warm": engine == "persistent",
+                "repeats": repeats,
                 "seconds": seconds,
                 "pairs": n_pairs,
                 "pairs_per_second": n_pairs / seconds,
@@ -166,6 +192,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--snps", type=int, default=None)
     parser.add_argument("--block-snps", type=int, default=256)
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--repeat", type=int, default=None, metavar="N",
+                        help="repetitions per row, keeping the median "
+                             "(default: 3 under --quick, else 1)")
     parser.add_argument("--json", default="BENCH_engine.json", metavar="PATH",
                         help="result file (default: %(default)s)")
     parser.add_argument("--history", default=None, metavar="JSONL",
@@ -179,17 +208,23 @@ def main(argv: list[str] | None = None) -> int:
         shapes = QUICK_SHAPES if args.quick else FULL_SHAPES
     if args.quick:
         args.workers = [2]
+    repeats = args.repeat if args.repeat is not None else (
+        3 if args.quick else 1
+    )
     rows: list[dict] = []
     for n_samples, n_snps, block_snps in shapes:
         rows.extend(bench_engine_scaling(
             n_samples=n_samples, n_snps=n_snps,
-            block_snps=block_snps, workers=args.workers,
+            block_snps=block_snps, workers=args.workers, repeats=repeats,
         ))
     # Smoke criterion: every executor finished every tile, on every shape.
-    assert len(rows) == len(shapes) * (1 + 2 * len(args.workers))
+    assert len(rows) == len(shapes) * (1 + 3 * len(args.workers))
     payload = write_report(rows, args.json)
     if args.history:
         append_history(payload, args.history)
+    from repro.core.executors import stop_pools
+
+    stop_pools()
     print("ok: all engines completed")
     return 0
 

@@ -552,6 +552,50 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_pool_list(args: argparse.Namespace) -> int:
+    """List persistent warm-worker pools journaled to the state file."""
+    from repro.core.executors import pool_status
+
+    pools = pool_status()
+    if not pools:
+        print("pool: no persistent pools")
+        return 0
+    print(f"{'KEY':<16} {'OWNER':>7} {'ALIVE':>5} {'WORKERS':>7} "
+          f"{'AGE':>8}  SELF")
+    now = time.time()
+    for entry in pools:
+        age = max(0.0, now - float(entry.get("created", now)))
+        print(
+            f"{entry['key'][:16]:<16} {entry['owner_pid']:>7} "
+            f"{'yes' if entry['owner_alive'] else 'no':>5} "
+            f"{entry['workers_alive']}/{entry['n_workers']:>3}   "
+            f"{age:>7.1f}s  {'*' if entry['own'] else ''}"
+        )
+    return 0
+
+
+def _cmd_pool_stop(args: argparse.Namespace) -> int:
+    """Stop warm pools: kill workers and unlink their shared memory."""
+    from repro.core.executors import pool_status, stop_pools
+
+    key = args.key
+    if key is not None:
+        matches = sorted(
+            {e["key"] for e in pool_status() if e["key"].startswith(key)}
+        )
+        if not matches:
+            print(f"pool: no pool matches key {key!r}", file=sys.stderr)
+            return 1
+        if len(matches) > 1:
+            print(f"pool: key {key!r} is ambiguous "
+                  f"({', '.join(m[:16] for m in matches)})", file=sys.stderr)
+            return 1
+        key = matches[0]
+    stopped = stop_pools(key, cross_process=True)
+    print(f"pool: stopped {stopped} pool(s)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -583,11 +627,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drop SNPs below this minor-allele frequency")
     p.add_argument("--drop-monomorphic", action="store_true")
     p.add_argument("--out", required=True, help=".npy or .tsv output")
-    p.add_argument("--engine", choices=ENGINES, default=None,
+    p.add_argument("--engine", "--executor", dest="engine",
+                   choices=ENGINES, default=None,
                    help="sharded tiled execution with checkpoint journal "
-                        "(out-of-core .npy path; default: in-memory)")
+                        "(out-of-core .npy path; default: in-memory). "
+                        "'persistent' keeps a warm worker pool alive "
+                        "across runs (see `repro pool`)")
     p.add_argument("--workers", type=int, default=None,
-                   help="worker count for --engine threads/processes")
+                   help="worker count for --engine threads/processes/"
+                        "persistent")
     p.add_argument("--block-snps", type=int, default=512,
                    help="tile side in SNPs for --engine")
     p.add_argument("--manifest", default=None,
@@ -715,6 +763,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dry-run", action="store_true",
                    help="print the timing table without writing the profile")
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "pool",
+        help="inspect or stop persistent warm-worker pools",
+    )
+    pool_sub = p.add_subparsers(dest="pool_command", required=True)
+    pp = pool_sub.add_parser(
+        "list", help="list journaled pools (this process and others)"
+    )
+    pp.set_defaults(func=_cmd_pool_list)
+    pp = pool_sub.add_parser(
+        "stop",
+        help="stop warm pools: kill workers, unlink shared-memory segments",
+    )
+    pp.add_argument("--key", default=None, metavar="FINGERPRINT",
+                    help="stop only the pool with this panel fingerprint "
+                         "(prefixes accepted; default: all pools)")
+    pp.set_defaults(func=_cmd_pool_stop)
 
     return parser
 

@@ -38,6 +38,13 @@ from repro.core.engine import (
     enumerate_tiles,
     run_engine,
 )
+from repro.core.executors import (
+    ExecutorBackend,
+    panel_fingerprint,
+    pool_status,
+    reap_idle_pools,
+    stop_pools,
+)
 from repro.core.genotype_ld import genotype_r2_matrix
 from repro.core.frequencies import (
     allele_frequencies,
@@ -90,6 +97,11 @@ __all__ = [
     "TileTimeoutError",
     "enumerate_tiles",
     "run_engine",
+    "ExecutorBackend",
+    "panel_fingerprint",
+    "pool_status",
+    "reap_idle_pools",
+    "stop_pools",
     "genotype_r2_matrix",
     "allele_frequencies",
     "haplotype_frequencies",

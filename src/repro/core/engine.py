@@ -9,11 +9,15 @@ and-restart discipline second-generation PLINK uses to reach biobank sizes:
 - :func:`enumerate_tiles` decomposes the lower triangle into an explicit
   list of :class:`TileTask` units (the shared enumeration the streaming
   loop also uses);
-- :func:`run_engine` schedules those tiles over one of three executors —
+- :func:`run_engine` schedules those tiles over one of four executors —
   ``serial`` (in-process loop), ``threads`` (GIL-released numpy workers),
-  or ``processes`` (a ``ProcessPoolExecutor`` whose workers attach the
-  packed words via ``multiprocessing.shared_memory``, so the genomic
-  matrix is mapped once instead of pickled per task);
+  ``processes`` (a per-run ``ProcessPoolExecutor`` whose workers attach
+  the packed words via ``multiprocessing.shared_memory``, so the genomic
+  matrix is mapped once instead of pickled per task), or ``persistent``
+  (a warm worker pool from :mod:`repro.core.executors` that outlives the
+  run, so successive calls against the same panel pay zero spawn or
+  attach cost). The execution strategies themselves live behind the
+  :class:`repro.core.executors.ExecutorBackend` interface;
 - :class:`TileManifest` journals every completed tile to disk (JSON lines
   with an input fingerprint and a per-record CRC32), so an interrupted run
   restarted with ``resume=True`` recomputes only the missing tiles;
@@ -42,18 +46,8 @@ import os
 import threading
 import time
 import zlib
-from collections import deque
 from collections.abc import Callable
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    Executor,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    wait,
-)
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field, replace
-from multiprocessing import get_all_start_methods, get_context, shared_memory
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -92,11 +86,16 @@ __all__ = [
 ]
 
 #: Supported execution strategies, in increasing order of isolation.
-ENGINES = ("serial", "threads", "processes")
+ENGINES = ("serial", "threads", "processes", "persistent")
 
 #: Degradation chain: where each executor falls back to when its worker
 #: pool repeatedly fails to (re)spawn.
-_FALLBACK = {"processes": "threads", "threads": "serial", "serial": None}
+_FALLBACK = {
+    "persistent": "threads",
+    "processes": "threads",
+    "threads": "serial",
+    "serial": None,
+}
 
 _ENGINE_STATS = ("r2", "D", "H")
 
@@ -455,627 +454,6 @@ class TileManifest:
         self.close()
 
 
-# ---------------------------------------------------------------------------
-# Executors.
-# ---------------------------------------------------------------------------
-
-#: Per-process state installed by the pool initializer (worker side).
-_WORKER_STATE: dict = {}
-
-
-@dataclass(frozen=True)
-class _TileOutcome:
-    """One tile's result within a batched future.
-
-    Exactly one of ``result``/``error`` is set. Batched dispatch reports
-    per-tile failures in-band (the original exception instance, pickled
-    across the pool boundary exactly as ``future.exception()`` used to
-    be) rather than failing the whole future, so batch-mates still land.
-    When the block traveled through the shared-memory arena,
-    ``result.block`` is ``None`` and ``arena_offset``/``shape`` locate
-    the payload inside the batch's slot.
-    """
-
-    index: int
-    result: TileResult | None
-    error: BaseException | None
-    arena_offset: int | None = None
-    shape: tuple[int, int] | None = None
-
-
-@dataclass(frozen=True)
-class _BatchOutcome:
-    """Return value of one batched dispatch unit (one future)."""
-
-    items: tuple[_TileOutcome, ...]
-
-
-class _ResultArena:
-    """Driver-owned shared-memory staging for ``processes`` result blocks.
-
-    One slot per in-flight batch: workers write each tile's statistic
-    block into their batch's slot (float64, tiles packed back to back)
-    and send back only offsets + CRC32s, so result payloads never travel
-    through pickle. Slots are recycled as futures complete; the driver
-    reads a slot *before* releasing it, and verification (the same CRC32
-    handshake as before) happens on the driver's view of the bytes.
-    """
-
-    def __init__(self, n_slots: int, slot_elems: int) -> None:
-        self.n_slots = max(1, int(n_slots))
-        self.slot_elems = max(1, int(slot_elems))
-        nbytes = self.n_slots * self.slot_elems * 8
-        self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
-        self._flat = np.ndarray(
-            (self.n_slots * self.slot_elems,), dtype=np.float64,
-            buffer=self._shm.buf,
-        )
-        self._free: list[int] = list(range(self.n_slots))
-
-    @property
-    def name(self) -> str:
-        """Shared-memory segment name (workers attach by it)."""
-        return self._shm.name
-
-    @property
-    def nbytes(self) -> int:
-        """Total arena footprint in bytes."""
-        return self.n_slots * self.slot_elems * 8
-
-    def acquire(self) -> int | None:
-        """A free slot index, or ``None`` when all are in flight."""
-        return self._free.pop() if self._free else None
-
-    def release(self, slot: int) -> None:
-        """Return *slot* to the free pool."""
-        self._free.append(slot)
-
-    def reset(self) -> None:
-        """Free every slot (after a pool teardown orphans in-flight work)."""
-        self._free = list(range(self.n_slots))
-
-    def read(self, slot: int, offset: int, shape: tuple[int, int]) -> np.ndarray:
-        """The driver's view of one tile block inside *slot* (no copy)."""
-        base = slot * self.slot_elems + offset
-        count = int(shape[0]) * int(shape[1])
-        return self._flat[base : base + count].reshape(shape)
-
-    def close(self) -> None:
-        """Release and unlink the segment."""
-        self._shm.close()
-        try:
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already reclaimed
-            pass
-
-
-def _init_worker(
-    shm_name: str,
-    words_shape: tuple[int, int],
-    freqs: np.ndarray,
-    n_samples: int,
-    stat: str,
-    params: BlockingParams | None,
-    kernel: str,
-    undefined: float,
-    faults: FaultPlan | None,
-    arena_name: str | None = None,
-    arena_n_slots: int = 0,
-    arena_slot_elems: int = 0,
-    profile: bool = False,
-) -> None:
-    """Attach the shared words (and result arena) once per worker process."""
-    if profile:
-        # Each worker records into its own profiler; per-tile phase
-        # breakdowns travel back in TileResult.phase_seconds.
-        install_profiler(SpanProfiler())
-    shm = shared_memory.SharedMemory(name=shm_name)
-    words = np.ndarray(words_shape, dtype=np.uint64, buffer=shm.buf)
-    arena_shm = None
-    arena = None
-    if arena_name is not None:
-        arena_shm = shared_memory.SharedMemory(name=arena_name)
-        arena = np.ndarray(
-            (arena_n_slots * arena_slot_elems,), dtype=np.float64,
-            buffer=arena_shm.buf,
-        )
-    _WORKER_STATE.update(
-        shm=shm,
-        words=words,
-        freqs=freqs,
-        n_samples=n_samples,
-        stat=stat,
-        params=params,
-        kernel=kernel,
-        undefined=undefined,
-        faults=faults,
-        arena_shm=arena_shm,
-        arena=arena,
-        arena_slot_elems=arena_slot_elems,
-    )
-
-
-def _run_tile_in_worker(
-    tile: TileTask, epoch: int, arena_out: np.ndarray | None = None
-) -> TileResult:
-    """Pool task: compute one tile against the attached shared words.
-
-    *epoch* is the driver's attempt counter for this tile (per-tile
-    failures plus pool restarts) — the deterministic clock fault
-    injection keys on, and the reason a seeded schedule fires
-    identically regardless of which worker draws the tile.
-
-    With *arena_out* set, the block is staged into that shared-memory
-    view; the CRC32 (and any injected corruption) applies to the arena
-    bytes the driver will verify, exactly as it did to pickled payloads.
-    """
-    state = _WORKER_STATE
-    plan: FaultPlan | None = state.get("faults")
-    if plan is not None:
-        plan.fire("tile_compute", tile.key, epoch, can_kill=True)
-    prof = current_profiler()
-    mark = prof.mark()
-    start = time.perf_counter()
-    with prof.span("tile"):  # root: phase self-times sum to its wall-clock
-        block = compute_tile(
-            state["words"],
-            state["freqs"],
-            state["n_samples"],
-            tile,
-            stat=state["stat"],
-            params=state["params"],
-            kernel=state["kernel"],
-            undefined=state["undefined"],
-        )
-        if arena_out is not None:
-            with prof.span("arena_copy_out"):
-                arena_out[...] = block
-            block = arena_out
-    elapsed = time.perf_counter() - start
-    phases = prof.collect(mark) or None
-    if plan is not None:
-        plan.fire("tile_deliver", tile.key, epoch)
-    checksum = _crc32_array(block)
-    if plan is not None:
-        # Post-checksum, so the flip models corruption on the handoff
-        # and the driver-side verification is what must catch it.
-        plan.corrupt("tile_deliver", tile.key, epoch, block)
-    return TileResult(
-        block=block,
-        compute_seconds=elapsed,
-        worker=f"pid-{os.getpid()}",
-        checksum=checksum,
-        phase_seconds=phases,
-    )
-
-
-def _run_batch_in_worker(
-    unit: tuple[TileTask, ...], epochs: tuple[int, ...], slot: int | None
-) -> _BatchOutcome:
-    """Pool task: compute a batch of tiles, reporting per-tile outcomes.
-
-    A tile that raises is reported in-band (its batch-mates are
-    unaffected) so the driver can charge the attempt to that tile alone
-    and resubmit it as a singleton. Kill faults still take down the whole
-    future — that is the worker-crash path, handled at pool level.
-    """
-    state = _WORKER_STATE
-    arena: np.ndarray | None = state.get("arena")
-    slot_elems = state.get("arena_slot_elems", 0)
-    items: list[_TileOutcome] = []
-    offset = 0
-    for index, (tile, epoch) in enumerate(zip(unit, epochs)):
-        rows = tile.i1 - tile.i0
-        cols = tile.j1 - tile.j0
-        out = None
-        if arena is not None and slot is not None:
-            base = slot * slot_elems + offset
-            out = arena[base : base + rows * cols].reshape(rows, cols)
-        try:
-            result = _run_tile_in_worker(tile, epoch, arena_out=out)
-        except Exception as error:  # noqa: BLE001 - reported in-band
-            items.append(_TileOutcome(index=index, result=None, error=error))
-        else:
-            if out is not None:
-                items.append(
-                    _TileOutcome(
-                        index=index,
-                        result=replace(result, block=None),
-                        error=None,
-                        arena_offset=offset,
-                        shape=(rows, cols),
-                    )
-                )
-            else:
-                items.append(
-                    _TileOutcome(index=index, result=result, error=None)
-                )
-        offset += rows * cols
-    return _BatchOutcome(items=tuple(items))
-
-
-def _largest_first(tiles: list[TileTask]) -> list[TileTask]:
-    """Schedule big tiles first (LPT rule) so fringe slivers fill the tail.
-
-    The same load-balancing idea as :func:`repro.core.parallel.
-    partition_triangle_rows`, applied to a discrete tile list: the only
-    imbalance left is at most one tile per worker.
-    """
-    return sorted(tiles, key=lambda t: (-t.n_pairs, t.i0, t.j0))
-
-
-class _ExecutorBroken(Exception):
-    """The executor's worker pool cannot be kept alive; degrade or die."""
-
-    def __init__(self, cause: BaseException) -> None:
-        super().__init__(str(cause))
-        self.cause = cause
-
-
-class _PoolHung(Exception):
-    """Watchdog verdict: these tiles overran their wall-clock budget."""
-
-    def __init__(self, tiles: list[TileTask]) -> None:
-        super().__init__(f"{len(tiles)} tile(s) exceeded the tile timeout")
-        self.tiles = tiles
-
-
-def _chunk_batches(
-    order: list[TileTask], pending: set[TileTask], batch_size: int
-) -> "deque[tuple[TileTask, ...]]":
-    """Chunk still-pending tiles (in schedule order) into dispatch units."""
-    queue: deque[tuple[TileTask, ...]] = deque()
-    chunk: list[TileTask] = []
-    for tile in order:
-        if tile not in pending:
-            continue
-        chunk.append(tile)
-        if len(chunk) >= batch_size:
-            queue.append(tuple(chunk))
-            chunk = []
-    if chunk:
-        queue.append(tuple(chunk))
-    return queue
-
-
-@dataclass
-class _RetryContext:
-    """Driver-side policy + callbacks shared by all three executors."""
-
-    max_retries: int
-    tile_timeout: float | None
-    backoff_base: float
-    backoff_cap: float
-    allow_quarantine: bool
-    deliver: Callable[[TileTask, TileResult], None]
-    quarantine: Callable[[TileTask, BaseException], None]
-    recorder: "MetricsRecorder | None" = None
-
-    def verify(self, tile: TileTask, result: TileResult) -> None:
-        """Check the payload CRC taken in the worker; raise on mismatch."""
-        if result.checksum is None:
-            return
-        actual = _crc32_array(result.block)
-        if actual != result.checksum:
-            raise TileCorruptionError(
-                f"tile {tile.key} failed its handoff checksum "
-                f"(worker {result.checksum:#010x}, driver {actual:#010x}); "
-                "payload corrupted in transit"
-            )
-
-    def backoff_seconds(self, key: tuple[int, int], attempt: int) -> float:
-        """Exponential backoff with deterministic jitter in [0.5, 1.5)x."""
-        if self.backoff_base <= 0.0 or attempt < 1:
-            return 0.0
-        base = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
-        jitter = zlib.crc32(f"{key[0]},{key[1]}|{attempt}".encode()) / 2**32
-        return base * (0.5 + jitter)
-
-    def note_failure(self, tile: TileTask, error: BaseException) -> None:
-        if self.recorder is None:
-            return
-        self.recorder.inc("engine.retries")
-        self.recorder.event(
-            "tile_retry", tile=[tile.i0, tile.j0], error=repr(error)
-        )
-        if isinstance(error, TileCorruptionError):
-            self.recorder.inc("engine.corruptions")
-            self.recorder.event("tile_corrupt", tile=[tile.i0, tile.j0])
-        elif isinstance(error, TileTimeoutError):
-            self.recorder.inc("engine.timeouts")
-            self.recorder.event(
-                "tile_timeout", tile=[tile.i0, tile.j0],
-                timeout_s=self.tile_timeout,
-            )
-
-    def note_restart(self, error: BaseException) -> None:
-        if self.recorder is not None:
-            self.recorder.inc("engine.pool_restarts")
-            self.recorder.event("pool_restart", error=repr(error))
-
-    def note_spawn_failure(self, error: BaseException) -> None:
-        if self.recorder is not None:
-            self.recorder.inc("engine.spawn_failures")
-            self.recorder.event("pool_spawn_failed", error=repr(error))
-
-
-def _execute_serial(
-    task: Callable[[TileTask, int], TileResult],
-    tiles: list[TileTask],
-    ctx: _RetryContext,
-) -> int:
-    """In-process loop with the same retry/quarantine discipline as pools.
-
-    The serial engine cannot preempt a running tile, so ``tile_timeout``
-    is enforced post-hoc: a tile that took too long is discarded and
-    charged a failed attempt.
-    """
-    retries = 0
-    for tile in tiles:
-        attempt = 0
-        while True:
-            start = time.perf_counter()
-            try:
-                result = task(tile, attempt)
-                elapsed = time.perf_counter() - start
-                if ctx.tile_timeout is not None and elapsed > ctx.tile_timeout:
-                    raise TileTimeoutError(
-                        f"tile {tile.key} took {elapsed:.3f}s "
-                        f"(budget {ctx.tile_timeout}s)"
-                    )
-                ctx.verify(tile, result)
-            except Exception as error:
-                attempt += 1
-                retries += 1
-                ctx.note_failure(tile, error)
-                if attempt > ctx.max_retries:
-                    if ctx.allow_quarantine:
-                        ctx.quarantine(tile, error)
-                        break
-                    raise
-                delay = ctx.backoff_seconds(tile.key, attempt)
-                if delay > 0:
-                    with span("driver.backoff"):
-                        time.sleep(delay)
-            else:
-                ctx.deliver(tile, result)
-                break
-    return retries
-
-
-def _execute_pooled(
-    pool_factory: Callable[[], Executor],
-    task: Callable[
-        [tuple[TileTask, ...], tuple[int, ...], int | None], _BatchOutcome
-    ],
-    tiles: list[TileTask],
-    ctx: _RetryContext,
-    hard_kill: Callable[[Executor], None] | None = None,
-    batch_size: int = 1,
-    arena: _ResultArena | None = None,
-) -> tuple[int, int]:
-    """Drive batched *task* units over an executor with retry and watchdog.
-
-    Tiles are dispatched ``batch_size`` per future (amortizing submit/
-    result overhead); each unit reports per-tile outcomes, so a failing
-    tile is charged an attempt and resubmitted as a singleton while its
-    batch-mates land normally. Past ``max_retries`` a tile is quarantined
-    (when allowed) or the run aborts. A broken or hung process pool is
-    killed and rebuilt; when the pool cannot be (re)spawned within the
-    restart budget, ``_ExecutorBroken`` escapes so the caller can degrade
-    to a simpler executor. Returns ``(retries, units_submitted)``.
-
-    With an *arena*, submission is windowed by its slot count: units wait
-    in the queue until a shared-memory slot frees up, and each completed
-    future's blocks are read (and verified) from its slot before release.
-
-    The watchdog: with ``ctx.tile_timeout`` set, a unit running past its
-    wall-clock budget is abandoned (callers force ``batch_size=1`` with a
-    timeout so the budget stays per-tile). Under ``processes``
-    (*hard_kill* provided) the stuck workers are SIGKILLed and the pool
-    rebuilt; under ``threads`` the future is orphaned (threads cannot be
-    killed) and its tiles resubmitted.
-    """
-    retries = 0
-    restarts = 0
-    submissions = 0
-    attempts = dict.fromkeys(tiles, 0)
-    pending = set(tiles)
-    order = list(tiles)
-
-    def handle_failure(
-        tile: TileTask,
-        error: BaseException,
-        resubmit: Callable[[TileTask], None] | None,
-    ) -> None:
-        nonlocal retries
-        attempts[tile] += 1
-        retries += 1
-        ctx.note_failure(tile, error)
-        if attempts[tile] > ctx.max_retries:
-            if ctx.allow_quarantine:
-                ctx.quarantine(tile, error)
-                pending.discard(tile)
-                return
-            raise error
-        delay = ctx.backoff_seconds(tile.key, attempts[tile])
-        if delay > 0:
-            with span("driver.backoff"):
-                time.sleep(delay)
-        if resubmit is not None:
-            resubmit(tile)
-
-    while pending:
-        try:
-            pool = pool_factory()
-        except Exception as error:
-            restarts += 1
-            ctx.note_spawn_failure(error)
-            if restarts > ctx.max_retries:
-                raise _ExecutorBroken(error) from error
-            continue
-        futures: dict = {}
-        started: dict = {}
-        abandoned = False
-        if arena is not None:
-            # A pool teardown orphans whatever was in flight; those slots
-            # can never be released by their (dead) futures.
-            arena.reset()
-        queue = _chunk_batches(order, pending, batch_size)
-
-        def try_submit(unit: tuple[TileTask, ...]) -> bool:
-            nonlocal submissions
-            slot = None
-            if arena is not None:
-                slot = arena.acquire()
-                if slot is None:
-                    return False
-            epochs = tuple(attempts[t] + restarts for t in unit)
-            with span("driver.dispatch"):
-                future = pool.submit(task, unit, epochs, slot)
-            futures[future] = (unit, slot)
-            started[future] = time.perf_counter()
-            submissions += 1
-            return True
-
-        def resubmit_tile(tile: TileTask) -> None:
-            queue.append((tile,))
-
-        def pump() -> None:
-            while queue and try_submit(queue[0]):
-                queue.popleft()
-
-        try:
-            pump()
-            while futures or queue:
-                if not futures:
-                    pump()
-                    if not futures:  # pragma: no cover - defensive
-                        break
-                slack = None
-                if ctx.tile_timeout is not None:
-                    now = time.perf_counter()
-                    overdue = [
-                        f for f in list(futures)
-                        if now - started[f] >= ctx.tile_timeout
-                    ]
-                    if overdue:
-                        if hard_kill is not None:
-                            raise _PoolHung(
-                                [
-                                    tile
-                                    for f in overdue
-                                    for tile in futures[f][0]
-                                ]
-                            )
-                        # Threads cannot be killed: orphan the future
-                        # (its result will be discarded) and recycle the
-                        # tiles through the ordinary failure path.
-                        abandoned = True
-                        for f in overdue:
-                            unit, slot = futures.pop(f)
-                            started.pop(f)
-                            if slot is not None:  # pragma: no cover
-                                arena.release(slot)
-                            for tile in unit:
-                                if tile in pending:
-                                    handle_failure(
-                                        tile,
-                                        TileTimeoutError(
-                                            f"tile {tile.key} exceeded the "
-                                            f"{ctx.tile_timeout}s budget"
-                                        ),
-                                        resubmit_tile,
-                                    )
-                        pump()
-                        continue
-                    deadline = min(
-                        started[f] + ctx.tile_timeout for f in futures
-                    )
-                    slack = max(0.0, deadline - now) + 1e-3
-                with span("driver.wait"):
-                    done, _ = wait(
-                        set(futures), timeout=slack,
-                        return_when=FIRST_COMPLETED,
-                    )
-                for future in done:
-                    unit, slot = futures.pop(future)
-                    started.pop(future)
-                    error = future.exception()
-                    if error is None:
-                        outcome = future.result()
-                        for item in outcome.items:
-                            tile = unit[item.index]
-                            if tile not in pending:
-                                continue
-                            if item.error is not None:
-                                handle_failure(
-                                    tile, item.error, resubmit_tile
-                                )
-                                continue
-                            result = item.result
-                            if (
-                                arena is not None
-                                and slot is not None
-                                and item.shape is not None
-                            ):
-                                result = replace(
-                                    result,
-                                    block=arena.read(
-                                        slot, item.arena_offset, item.shape
-                                    ),
-                                )
-                            try:
-                                ctx.verify(tile, result)
-                            except TileCorruptionError as corrupt:
-                                handle_failure(tile, corrupt, resubmit_tile)
-                                continue
-                            # The arena view is only valid until the slot
-                            # is released below; deliver consumes it now.
-                            ctx.deliver(tile, result)
-                            pending.discard(tile)
-                    elif isinstance(error, BrokenProcessPool):
-                        raise error
-                    else:
-                        for tile in unit:
-                            if tile in pending:
-                                handle_failure(tile, error, resubmit_tile)
-                    if slot is not None:
-                        arena.release(slot)
-                    pump()
-        except (BrokenProcessPool, _PoolHung) as error:
-            restarts += 1
-            if isinstance(error, _PoolHung):
-                if hard_kill is not None:
-                    hard_kill(pool)
-                for tile in error.tiles:
-                    if tile in pending:
-                        handle_failure(
-                            tile,
-                            TileTimeoutError(
-                                f"tile {tile.key} exceeded the "
-                                f"{ctx.tile_timeout}s budget (worker killed)"
-                            ),
-                            None,
-                        )
-            ctx.note_restart(error)
-            if restarts > ctx.max_retries:
-                raise _ExecutorBroken(error) from error
-        finally:
-            pool.shutdown(wait=not abandoned, cancel_futures=True)
-    return retries, submissions
-
-
-def _kill_pool_workers(pool: Executor) -> None:
-    """Best-effort SIGKILL of a process pool's workers (hung-pool watchdog)."""
-    processes = getattr(pool, "_processes", None) or {}
-    for proc in list(processes.values()):
-        try:
-            proc.kill()
-        except Exception:  # pragma: no cover - already-dead workers
-            pass
-
-
 @dataclass(frozen=True)
 class EngineReport:
     """Outcome summary of one :func:`run_engine` invocation."""
@@ -1090,6 +468,8 @@ class EngineReport:
     n_quarantined: int = 0
     quarantined: tuple[tuple[int, int], ...] = ()
     n_batches: int = 0
+    n_pool_spawns: int = 0
+    n_worker_respawns: int = 0
 
     @property
     def complete(self) -> bool:
@@ -1146,10 +526,14 @@ def run_engine(
         ``"r2"``, ``"D"``, or ``"H"``.
     engine:
         ``"serial"`` (in-process loop), ``"threads"`` (GIL-released numpy
-        workers), or ``"processes"`` (shared-memory worker pool). When a
+        workers), ``"processes"`` (per-run shared-memory worker pool), or
+        ``"persistent"`` (a warm worker pool that survives across
+        ``run_engine`` calls — see :mod:`repro.core.executors`; a second
+        run against the same panel performs zero pool spawns). When a
         worker pool repeatedly fails to spawn, execution degrades
-        ``processes → threads → serial`` rather than aborting; the
-        executor that finished is reported as ``engine_used``.
+        ``persistent/processes → threads → serial`` rather than
+        aborting; the executor that finished is reported as
+        ``engine_used``.
     n_workers:
         Worker count for ``threads``/``processes`` (default: CPU count).
     batch_tiles:
@@ -1171,10 +555,11 @@ def run_engine(
         rebuilt) before the tile is quarantined or the run abandoned.
     tile_timeout:
         Per-tile wall-clock budget in seconds. Under ``processes`` a
-        hung worker is SIGKILLed and the pool rebuilt; under ``threads``
-        the stuck future is orphaned and the tile resubmitted; the
-        serial loop checks post-hoc. ``None`` (default) disables the
-        watchdog.
+        hung worker is SIGKILLed and the pool rebuilt; under
+        ``persistent`` only the stuck worker is killed and respawned in
+        place; under ``threads`` the stuck future is orphaned and the
+        tile resubmitted; the serial loop checks post-hoc. ``None``
+        (default) disables the watchdog.
     retry_backoff / retry_backoff_cap:
         Base and cap (seconds) of the exponential backoff between retry
         attempts; jitter is deterministic per (tile, attempt). Set the
@@ -1252,6 +637,9 @@ def run_engine(
     # engine). In-process engines skip it otherwise: there is no
     # transport to corrupt, and the CRC is not free.
     checksum_local = faults is not None
+    # Lazy: executors imports this module at its top level, so the
+    # dependency must point one way at import time.
+    from repro.core import executors as _ex
 
     manifest: TileManifest | None = None
     if manifest_path is not None:
@@ -1367,7 +755,7 @@ def run_engine(
                     error=repr(error),
                 )
 
-        ctx = _RetryContext(
+        ctx = _ex.RetryContext(
             max_retries=max_retries,
             tile_timeout=tile_timeout,
             backoff_base=retry_backoff,
@@ -1414,73 +802,101 @@ def run_engine(
             unit: tuple[TileTask, ...],
             epochs: tuple[int, ...],
             slot: int | None,
-        ) -> _BatchOutcome:
-            # Thread-pool twin of _run_batch_in_worker: per-tile outcomes
-            # so a failing tile cannot sink its batch-mates. No arena —
-            # thread workers share the driver's address space already.
+        ) -> "_ex._BatchOutcome":
+            # Thread-pool twin of executors._run_batch_in_worker:
+            # per-tile outcomes so a failing tile cannot sink its
+            # batch-mates. No arena — thread workers share the driver's
+            # address space already.
             items = []
             for index, (tile, epoch) in enumerate(zip(unit, epochs)):
                 try:
                     result = local_task(tile, epoch)
                 except Exception as error:  # noqa: BLE001 - in-band report
                     items.append(
-                        _TileOutcome(index=index, result=None, error=error)
+                        _ex._TileOutcome(index=index, result=None, error=error)
                     )
                 else:
                     items.append(
-                        _TileOutcome(index=index, result=result, error=None)
+                        _ex._TileOutcome(index=index, result=result, error=None)
                     )
-            return _BatchOutcome(items=tuple(items))
+            return _ex._BatchOutcome(items=tuple(items))
 
-        def resolve_batch_size(n_tiles: int, workers: int) -> int:
+        def resolve_batch_size(
+            n_tiles: int, workers: int, current: str
+        ) -> int:
             # A timeout is a per-tile budget: batching would let one slow
             # tile spend its batch-mates' allowance.
             if tile_timeout is not None:
                 return 1
             if batch_tiles is not None:
                 return batch_tiles
+            if current == "persistent":
+                # Warm dispatch is latency-bound (one pipe round trip
+                # per unit): cover small runs in one unit per worker;
+                # the 8-tile cap still splits large runs into many
+                # units, where the LPT schedule balances load and the
+                # per-worker outstanding window pipelines the trips.
+                return max(1, min(8, -(-n_tiles // workers)))
             return max(1, min(8, n_tiles // (4 * workers)))
+
+        def make_backend(
+            current: str, work: list[TileTask]
+        ) -> tuple["_ex.ExecutorBackend", list[TileTask], int]:
+            """Backend + schedule + batch size for one dispatch round."""
+            if current == "serial":
+                return _ex.SerialBackend(local_task, ctx), list(work), 1
+            workers = min(n_workers, len(work))
+            bsize = resolve_batch_size(len(work), workers, current)
+            schedule = _ex._largest_first(work)
+            if current == "threads":
+                return _ex.ThreadsBackend(local_batch, workers, ctx), schedule, bsize
+            shared = dict(
+                words=words,
+                freqs=freqs,
+                n_samples=matrix.n_samples,
+                stat=stat,
+                params=params,
+                kernel=kernel,
+                undefined=undefined,
+                faults=faults,
+                n_workers=workers,
+                batch_size=bsize,
+                max_tile_elems=max(t.n_pairs for t in work),
+                profile=current_profiler().enabled,
+                ctx=ctx,
+            )
+            if current == "processes":
+                backend = _ex.ProcessesBackend(
+                    n_units=-(-len(work) // bsize), **shared
+                )
+            else:  # persistent
+                backend = _ex.PersistentBackend(**shared)
+            return backend, schedule, bsize
 
         retries = 0
         batches = 0
+        pool_spawns = 0
+        worker_respawns = 0
         current = engine
         work = todo
         while work:
             try:
-                if current == "serial":
-                    retries += _execute_serial(local_task, work, ctx)
-                elif current == "threads":
-                    workers = min(n_workers, len(work))
-                    delta, subs = _execute_pooled(
-                        lambda: ThreadPoolExecutor(max_workers=workers),
-                        local_batch,
-                        _largest_first(work),
-                        ctx,
-                        batch_size=resolve_batch_size(len(work), workers),
+                backend, schedule, bsize = make_backend(current, work)
+                try:
+                    delta, subs = _ex.drive(
+                        backend, schedule, ctx, batch_size=bsize
                     )
                     retries += delta
-                    batches += subs
-                else:  # processes
-                    workers = min(n_workers, len(work))
-                    delta, subs = _run_process_engine(
-                        words=words,
-                        freqs=freqs,
-                        n_samples=matrix.n_samples,
-                        todo=_largest_first(work),
-                        ctx=ctx,
-                        n_workers=workers,
-                        stat=stat,
-                        params=params,
-                        kernel=kernel,
-                        undefined=undefined,
-                        faults=faults,
-                        batch_size=resolve_batch_size(len(work), workers),
-                        profile=current_profiler().enabled,
+                    if backend.counts_batches:
+                        batches += subs
+                finally:
+                    backend.shutdown()
+                    pool_spawns += getattr(backend, "spawns_this_run", 0)
+                    worker_respawns += getattr(
+                        backend, "respawns_this_run", 0
                     )
-                    retries += delta
-                    batches += subs
                 break
-            except _ExecutorBroken as broken:
+            except _ex.ExecutorBroken as broken:
                 fallback = _FALLBACK[current]
                 if fallback is None:  # pragma: no cover - serial never breaks
                     raise RuntimeError(
@@ -1527,99 +943,6 @@ def run_engine(
         n_quarantined=len(quarantined),
         quarantined=tuple(sorted(t.key for t, _ in quarantined)),
         n_batches=batches,
+        n_pool_spawns=pool_spawns,
+        n_worker_respawns=worker_respawns,
     )
-
-
-def _run_process_engine(
-    *,
-    words: np.ndarray,
-    freqs: np.ndarray,
-    n_samples: int,
-    todo: list[TileTask],
-    ctx: _RetryContext,
-    n_workers: int,
-    stat: str,
-    params: BlockingParams | None,
-    kernel: str,
-    undefined: float,
-    faults: FaultPlan | None,
-    batch_size: int = 1,
-    profile: bool = False,
-) -> tuple[int, int]:
-    """Process-pool execution with both directions in shared memory.
-
-    The driver copies the packed word matrix into one
-    ``multiprocessing.shared_memory`` segment; each worker maps it via the
-    pool initializer, so task submission pickles only :class:`TileTask`
-    keys (four ints each) plus attempt epochs. Results flow back through
-    a driver-owned :class:`_ResultArena`: workers write statistic blocks
-    straight into their batch's shared-memory slot and pickle only
-    offsets, shapes, and CRC32s — result payloads never cross the pipe.
-    Returns ``(retries, units_submitted)``.
-    """
-    # Prefer fork where available: worker startup is cheap and initargs are
-    # inherited rather than pickled. Everything passed is spawn-safe too.
-    if "fork" in get_all_start_methods():
-        ctx_mp = get_context("fork")
-    else:  # pragma: no cover - non-POSIX fallback
-        ctx_mp = get_context()
-    words = np.ascontiguousarray(words, dtype=np.uint64)
-    shm = shared_memory.SharedMemory(create=True, size=max(1, words.nbytes))
-    spawn_count = 0
-    arena: _ResultArena | None = None
-    try:
-        shared = np.ndarray(words.shape, dtype=np.uint64, buffer=shm.buf)
-        shared[:] = words
-
-        # A slot must hold the largest possible unit; keep a couple of
-        # spare slots beyond the worker count so completed futures can be
-        # drained while fresh units are already queued.
-        slot_elems = batch_size * max(t.n_pairs for t in todo)
-        n_units = -(-len(todo) // batch_size)
-        arena = _ResultArena(
-            n_slots=min(n_units, 2 * n_workers + 2), slot_elems=slot_elems
-        )
-        if ctx.recorder is not None:
-            ctx.recorder.inc("engine.arena_bytes", arena.nbytes)
-
-        def pool_factory() -> ProcessPoolExecutor:
-            nonlocal spawn_count
-            index = spawn_count
-            spawn_count += 1
-            if faults is not None:
-                faults.fire("pool_spawn", (-1, -1), index)
-            return ProcessPoolExecutor(
-                max_workers=n_workers,
-                mp_context=ctx_mp,
-                initializer=_init_worker,
-                initargs=(
-                    shm.name,
-                    words.shape,
-                    freqs,
-                    n_samples,
-                    stat,
-                    params,
-                    kernel,
-                    undefined,
-                    faults,
-                    arena.name,
-                    arena.n_slots,
-                    arena.slot_elems,
-                    profile,
-                ),
-            )
-
-        return _execute_pooled(
-            pool_factory, _run_batch_in_worker, todo, ctx,
-            hard_kill=_kill_pool_workers,
-            batch_size=batch_size,
-            arena=arena,
-        )
-    finally:
-        if arena is not None:
-            arena.close()
-        shm.close()
-        try:
-            shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already reclaimed
-            pass

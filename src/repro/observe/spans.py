@@ -31,8 +31,9 @@ Design constraints, in order:
    tile's measured compute seconds.
 
 Worker processes cannot share the driver's profiler; the engine installs
-a fresh profiler per worker (see :func:`repro.core.engine._init_worker`)
-and ships each tile's per-phase self-seconds back inside
+a fresh profiler per worker (see
+:func:`repro.core.executors._init_worker`) and ships each tile's
+per-phase self-seconds back inside
 :class:`~repro.core.engine.TileResult`.
 """
 

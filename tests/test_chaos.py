@@ -17,8 +17,10 @@ import numpy as np
 import pytest
 
 from repro.core.engine import run_engine
+from repro.core.executors import stop_pools
 from repro.core.streaming import NpyMemmapSink
 from repro.faults import FaultPlan, FaultSpec, InjectedCrash
+from repro.observe import MetricsRecorder
 
 N_SCHEDULES = 24
 MAX_RETRIES = 3
@@ -164,3 +166,113 @@ class TestChaosSchedules:
             engine="threads", n=n,
         )
         np.testing.assert_array_equal(np.load(out), clean_matrix)
+
+
+class TestPersistentChaos:
+    """Warm-pool fault semantics: workers die, the pool survives."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_pools(self):
+        stop_pools()
+        yield
+        stop_pools()
+
+    @pytest.mark.parametrize("seed", [301, 302, 303])
+    def test_persistent_schedule_with_kills_is_bit_identical(
+        self, chaos_panel, clean_matrix, tmp_path, seed
+    ):
+        n = chaos_panel.shape[1]
+        plan = _random_schedule(
+            seed, _tile_keys(n, 7), with_kills=True
+        )
+        out = tmp_path / "chaos.npy"
+        _run_until_complete(
+            chaos_panel, out, tmp_path / "chaos.manifest", plan,
+            engine="persistent", n=n,
+        )
+        np.testing.assert_array_equal(np.load(out), clean_matrix)
+
+    def test_kill_mid_batch_respawns_worker_not_pool(
+        self, chaos_panel, clean_matrix, tmp_path
+    ):
+        """A SIGKILLed warm worker is replaced alone; no pool rebuild."""
+        n = chaos_panel.shape[1]
+        plan = FaultPlan(seed=7, specs=(
+            FaultSpec(site="tile_compute", action="kill", tile=(14, 0),
+                      attempts_below=1),
+        ))
+        recorder = MetricsRecorder(keep_events=True)
+        out = tmp_path / "killed.npy"
+        with NpyMemmapSink(out, n) as sink:
+            report = run_engine(
+                chaos_panel, sink, engine="persistent", block_snps=7,
+                n_workers=2, max_retries=MAX_RETRIES, retry_backoff=0.0,
+                faults=plan, recorder=recorder,
+            )
+        assert report.complete and not report.degraded
+        assert report.n_worker_respawns >= 1
+        assert recorder.counters["engine.worker_respawns"] >= 1
+        # The surviving worker's pool was never torn down and rebuilt.
+        assert "engine.pool_restarts" not in recorder.counters
+        assert report.n_pool_spawns == 1
+        np.testing.assert_array_equal(np.load(out), clean_matrix)
+
+    def test_kill_between_runs_respawns_on_next_start(
+        self, chaos_panel, clean_matrix, tmp_path
+    ):
+        """Workers killed while the pool idles are replaced at next use."""
+        import os
+        import signal
+        import time
+
+        from repro.core import executors as executors_mod
+
+        n = chaos_panel.shape[1]
+        first = tmp_path / "first.npy"
+        with NpyMemmapSink(first, n) as sink:
+            cold = run_engine(
+                chaos_panel, sink, engine="persistent", block_snps=7,
+                n_workers=2,
+            )
+        assert cold.complete and cold.n_pool_spawns == 1
+        pool = next(iter(executors_mod._POOLS.values()))
+        victim = pool.workers[0]
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=5)
+        assert not victim.is_alive()
+
+        recorder = MetricsRecorder(keep_events=True)
+        second = tmp_path / "second.npy"
+        with NpyMemmapSink(second, n) as sink:
+            warm = run_engine(
+                chaos_panel, sink, engine="persistent", block_snps=7,
+                n_workers=2, recorder=recorder,
+            )
+        assert warm.complete
+        # The dead worker was respawned in place; the pool itself — and
+        # its shared-memory panel — survived, so no pool spawn happened.
+        assert warm.n_pool_spawns == 0
+        assert warm.n_worker_respawns >= 1
+        assert recorder.counters["engine.worker_respawns"] >= 1
+        assert "engine.pool_restarts" not in recorder.counters
+        np.testing.assert_array_equal(np.load(second), clean_matrix)
+
+    def test_quarantine_is_journaled_for_persistent_workers(
+        self, chaos_panel, tmp_path
+    ):
+        plan = FaultPlan(seed=9, specs=(
+            FaultSpec(site="tile_compute", tile=(7, 7)),
+        ))
+        manifest = tmp_path / "quarantine.manifest"
+        recorder = MetricsRecorder(keep_events=True)
+        report = run_engine(
+            chaos_panel, lambda *a: None, engine="persistent",
+            block_snps=7, n_workers=2, max_retries=1, retry_backoff=0.0,
+            allow_quarantine=True, faults=plan, manifest_path=manifest,
+            recorder=recorder,
+        )
+        assert not report.complete
+        assert report.n_quarantined == 1
+        assert report.quarantined == ((7, 7),)
+        assert recorder.event_count("tile_quarantined") == 1
+        assert "injected raise" in manifest.read_text()
