@@ -7,6 +7,7 @@ file out:
 command      what it does
 ===========  ================================================================
 simulate     generate a haplotype panel (SFS / coalescent / sweep) → ms/VCF
+pack         pack a panel into a disk-backed store for out-of-core ``ld``
 ld           all-pairs or banded LD matrix from ms/VCF/FASTA → .npy/.tsv
 scan         ω-statistic selective-sweep scan → .tsv
 prune        PLINK-style LD pruning → kept SNP indices
@@ -87,6 +88,28 @@ def load_panel(path: str | Path) -> tuple[BitMatrix, np.ndarray]:
     )
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte size like ``4096``, ``64M``, ``2G`` (binary suffixes)."""
+    s = text.strip().upper()
+    for tail in ("IB", "B"):
+        if s.endswith(tail) and len(s) > len(tail):
+            s = s[: -len(tail)]
+            break
+    scale = 1
+    if s and s[-1] in "KMGT":
+        scale = 1024 ** ("KMGT".index(s[-1]) + 1)
+        s = s[:-1]
+    try:
+        value = float(s)
+    except ValueError:
+        raise SystemExit(
+            f"invalid size {text!r}; use e.g. 4096, 64M, 2G"
+        ) from None
+    if value <= 0:
+        raise SystemExit(f"size must be positive, got {text!r}")
+    return int(value * scale)
+
+
 def _save_matrix(matrix: np.ndarray, out: Path) -> None:
     if out.suffix == ".npy":
         np.save(out, matrix)
@@ -129,8 +152,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix, params=None) -> int:
+def _cmd_pack(args: argparse.Namespace) -> int:
+    """Pack a panel into a disk-backed store for out-of-core ``ld``."""
+    from repro.io.panelstore import PanelStore
+
+    panel, _positions = load_panel(args.input)
+    out = Path(args.out)
+    with PanelStore.create(out, panel) as store:
+        print(
+            f"pack: {store.n_snps} SNPs x {store.n_samples} samples "
+            f"({store.nbytes / 1e6:.1f} MB packed words, "
+            f"{store.row_nbytes} B/row) -> {out} "
+            f"digest={store.content_digest[:16]}"
+        )
+    return 0
+
+
+def _cmd_ld_engine(
+    args: argparse.Namespace,
+    panel: BitMatrix,
+    params=None,
+    *,
+    data=None,
+    memory_budget: int | None = None,
+) -> int:
     """Sharded tiled execution path of the ``ld`` command (``--engine``)."""
+    if data is None:
+        data = panel
     out = Path(args.out)
     if out.suffix != ".npy":
         raise SystemExit("--engine requires a .npy output (disk-backed matrix)")
@@ -177,11 +225,12 @@ def _cmd_ld_engine(args: argparse.Namespace, panel: BitMatrix, params=None) -> i
     try:
         with NpyMemmapSink(out, panel.n_snps, mode=mode) as sink:
             report = run_engine(
-                panel, sink,
+                data, sink,
                 stat=args.stat,
                 block_snps=args.block_snps,
                 engine=args.engine,
                 n_workers=args.workers,
+                memory_budget=memory_budget,
                 batch_tiles=args.batch_tiles,
                 params=params,
                 resume=args.resume,
@@ -310,13 +359,46 @@ def _write_engine_profile(
 
 
 def _cmd_ld(args: argparse.Namespace) -> int:
-    panel, _positions = load_panel(args.input)
-    if args.drop_monomorphic:
-        panel = panel.drop_monomorphic()
-    if args.maf > 0.0:
-        freqs = panel.allele_frequencies()
-        keep = np.minimum(freqs, 1.0 - freqs) >= args.maf
-        panel = panel.select(np.flatnonzero(keep))
+    if args.panel is not None and args.input is not None:
+        raise SystemExit("pass either an input panel file or --panel, not both")
+    if args.panel is None and args.input is None:
+        raise SystemExit("an input panel file (or --panel STORE) is required")
+    memory_budget = (
+        _parse_size(args.memory_budget)
+        if args.memory_budget is not None else None
+    )
+    if memory_budget is not None and args.panel is None:
+        raise SystemExit(
+            "--memory-budget bounds resident rows of a packed store; it "
+            "requires --panel (see `repro pack`)"
+        )
+    store = None
+    if args.panel is not None:
+        if not args.engine:
+            raise SystemExit(
+                "--panel streams a packed store through the tiled engine; "
+                "add --engine serial|threads|processes|persistent"
+            )
+        if args.maf > 0.0 or args.drop_monomorphic:
+            raise SystemExit(
+                "--maf/--drop-monomorphic rewrite the panel; filter the "
+                "input before `repro pack` instead"
+            )
+        from repro.io.panelstore import PanelStore
+
+        try:
+            store = PanelStore.open(args.panel)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot open panel store {args.panel}: {exc}")
+        panel = store.to_bitmatrix()
+    else:
+        panel, _positions = load_panel(args.input)
+        if args.drop_monomorphic:
+            panel = panel.drop_monomorphic()
+        if args.maf > 0.0:
+            freqs = panel.allele_frequencies()
+            keep = np.minimum(freqs, 1.0 - freqs) >= args.maf
+            panel = panel.select(np.flatnonzero(keep))
     params = None
     if args.autotune:
         # First run pays the timed search and persists the winner; every
@@ -327,7 +409,15 @@ def _cmd_ld(args: argparse.Namespace) -> int:
         print(f"ld: autotuned blocking mc={params.mc} nc={params.nc} "
               f"kc={params.kc} (profile: {profile_path()})", file=sys.stderr)
     if args.engine:
-        return _cmd_ld_engine(args, panel, params=params)
+        try:
+            return _cmd_ld_engine(
+                args, panel, params=params,
+                data=store if store is not None else panel,
+                memory_budget=memory_budget,
+            )
+        finally:
+            if store is not None:
+                store.close()
     if (args.progress or args.metrics_out or args.trace_out
             or args.profile_out):
         raise SystemExit(
@@ -562,9 +652,18 @@ def _cmd_pool_list(args: argparse.Namespace) -> int:
         return 0
     print(f"{'KEY':<16} {'OWNER':>7} {'ALIVE':>5} {'WORKERS':>7} "
           f"{'AGE':>8}  SELF")
-    now = time.time()
+    now_wall = time.time()
+    now_mono = time.monotonic()
     for entry in pools:
-        age = max(0.0, now - float(entry.get("created", now)))
+        # Age from the monotonic birth stamp: CLOCK_MONOTONIC is
+        # system-wide on Linux, so the subtraction is valid across
+        # processes and immune to wall-clock jumps (NTP, DST). Records
+        # journaled before the monotonic stamp existed fall back to the
+        # wall-clock birth time.
+        if entry.get("created_monotonic") is not None:
+            age = max(0.0, now_mono - float(entry["created_monotonic"]))
+        else:
+            age = max(0.0, now_wall - float(entry.get("created", now_wall)))
         print(
             f"{entry['key'][:16]:<16} {entry['owner_pid']:>7} "
             f"{'yes' if entry['owner_alive'] else 'no':>5} "
@@ -617,8 +716,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, help=".ms or .vcf output")
     p.set_defaults(func=_cmd_simulate)
 
-    p = sub.add_parser("ld", help="compute an LD matrix")
+    p = sub.add_parser(
+        "pack",
+        help="pack a panel into a disk-backed store for out-of-core ld",
+    )
     p.add_argument("input", help=".ms/.vcf/.fasta panel")
+    p.add_argument("--out", required=True,
+                   help="packed panel store output path (e.g. panel.pnl)")
+    p.set_defaults(func=_cmd_pack)
+
+    p = sub.add_parser("ld", help="compute an LD matrix")
+    p.add_argument("input", nargs="?", default=None,
+                   help=".ms/.vcf/.fasta panel (or use --panel)")
+    p.add_argument("--panel", default=None, metavar="STORE",
+                   help="packed panel store from `repro pack`; streamed "
+                        "from disk instead of loaded into RAM "
+                        "(requires --engine)")
+    p.add_argument("--memory-budget", default=None, metavar="SIZE",
+                   help="driver-RAM budget for resident panel rows, e.g. "
+                        "64M or 2G; panels larger than this are streamed "
+                        "window by window with double-buffered prefetch "
+                        "(requires --panel)")
     p.add_argument("--stat", choices=("r2", "D", "Dprime", "H"), default="r2")
     p.add_argument("--window", type=int, default=0,
                    help="banded mode: max pair distance in SNPs (0 = full)")

@@ -37,13 +37,23 @@ from repro.core.engine import (
     TileTimeoutError,
     enumerate_tiles,
     run_engine,
+    store_fingerprint,
 )
 from repro.core.executors import (
     ExecutorBackend,
     panel_fingerprint,
+    panel_store_key,
     pool_status,
     reap_idle_pools,
     stop_pools,
+)
+from repro.core.prefetch import (
+    PanelPrefetcher,
+    PanelWindow,
+    WarmReader,
+    min_memory_budget,
+    order_panel_major,
+    plan_windows,
 )
 from repro.core.genotype_ld import genotype_r2_matrix
 from repro.core.frequencies import (
@@ -97,11 +107,19 @@ __all__ = [
     "TileTimeoutError",
     "enumerate_tiles",
     "run_engine",
+    "store_fingerprint",
     "ExecutorBackend",
     "panel_fingerprint",
+    "panel_store_key",
     "pool_status",
     "reap_idle_pools",
     "stop_pools",
+    "PanelPrefetcher",
+    "PanelWindow",
+    "WarmReader",
+    "min_memory_budget",
+    "order_panel_major",
+    "plan_windows",
     "genotype_r2_matrix",
     "allele_frequencies",
     "haplotype_frequencies",

@@ -83,6 +83,7 @@ __all__ = [
     "enumerate_tiles",
     "input_fingerprint",
     "run_engine",
+    "store_fingerprint",
 ]
 
 #: Supported execution strategies, in increasing order of isolation.
@@ -257,6 +258,47 @@ def input_fingerprint(
     digest.update(header.encode())
     digest.update(np.ascontiguousarray(matrix.words).tobytes())
     return digest.hexdigest()
+
+
+def store_fingerprint(
+    store,
+    *,
+    stat: str,
+    block_snps: int,
+    undefined: float = np.nan,
+) -> str:
+    """Manifest fingerprint for a disk-backed panel store.
+
+    Same role as :func:`input_fingerprint` but built from the store's
+    pack-time content digest instead of re-reading the words — a resumed
+    out-of-core sweep must not scan terabytes just to check identity.
+    (The two fingerprints deliberately differ: a manifest written for an
+    in-RAM run does not resume a store-backed one, and vice versa, since
+    the store's digest — not the driver's RAM — is what was verified.)
+    """
+    digest = hashlib.sha256()
+    header = (
+        f"repro-engine-store-v1|{store.n_samples}|{store.n_snps}"
+        f"|{store.n_words}|{stat}|{block_snps}|{undefined!r}"
+    )
+    digest.update(header.encode())
+    digest.update(store.content_digest.encode())
+    return digest.hexdigest()
+
+
+def _resolve_store(data):
+    """A :class:`repro.io.panelstore.PanelStore` for *data*, or ``None``.
+
+    Accepts an already-open store or a filesystem path to one; every
+    other input (dense array, BitMatrix) stays on the in-core path.
+    """
+    from repro.io.panelstore import PanelStore
+
+    if isinstance(data, PanelStore):
+        return data
+    if isinstance(data, (str, Path)):
+        return PanelStore.open(data)
+    return None
 
 
 def _record_crc(record: dict) -> int:
@@ -487,13 +529,14 @@ class EngineReport:
 
 
 def run_engine(
-    data: BitMatrix | np.ndarray,
+    data: "BitMatrix | np.ndarray | str | Path",
     sink: Callable[[int, int, np.ndarray], None],
     *,
     stat: str = "r2",
     block_snps: int = 512,
     engine: str = "serial",
     n_workers: int | None = None,
+    memory_budget: int | None = None,
     batch_tiles: int | None = None,
     params: BlockingParams | None = None,
     kernel: str = DEFAULT_KERNEL,
@@ -516,8 +559,22 @@ def run_engine(
     Parameters
     ----------
     data:
-        Dense binary ``(n_samples, n_snps)`` matrix or packed
-        :class:`BitMatrix`.
+        Dense binary ``(n_samples, n_snps)`` matrix, packed
+        :class:`BitMatrix`, an open
+        :class:`repro.io.panelstore.PanelStore`, or a filesystem path to
+        one (produced by ``repro pack``). Store-backed inputs run
+        *out-of-core*: no engine copies the panel into RAM or shared
+        memory — serial/threads compute against budgeted prefetch
+        windows, and process-pool workers map the store read-only by
+        path.
+    memory_budget:
+        Byte ceiling for resident panel windows (store-backed inputs
+        only). Enables the double-buffered prefetch pipeline
+        (:mod:`repro.core.prefetch`): a loader thread stages the next
+        tile's A/B windows from disk while the fused GEMM computes the
+        current one, with ``io.prefetch``/``io.wait`` spans and
+        ``prefetch.*`` metrics attributing the I/O. ``None`` (default)
+        reads the memmap on demand with no explicit windowing.
     sink:
         Callable ``(i0, j0, block)``; always invoked in the driver process
         (single-threaded), in arbitrary tile order under ``threads``/
@@ -619,7 +676,16 @@ def run_engine(
         raise ValueError(f"batch_tiles must be positive, got {batch_tiles}")
     if resume and manifest_path is None:
         raise ValueError("resume=True requires a manifest_path")
-    matrix = as_bitmatrix(data)
+    store = _resolve_store(data)
+    if store is not None:
+        matrix = store.to_bitmatrix()
+    else:
+        matrix = as_bitmatrix(data)
+    if memory_budget is not None and store is None:
+        raise ValueError(
+            "memory_budget applies to panel-store inputs only; pack the "
+            "panel first (repro pack) and pass the store path"
+        )
     if matrix.n_samples == 0:
         raise ValueError("LD undefined for zero samples")
     if n_workers is None:
@@ -630,8 +696,22 @@ def run_engine(
     tiles = enumerate_tiles(
         matrix.n_snps, block_snps, include_diagonal=include_diagonal_blocks
     )
-    freqs = matrix.allele_frequencies()
+    # Store-backed runs never scan the memmap for frequencies — they were
+    # computed once at pack time and live in the header.
+    freqs = store.freqs if store is not None else matrix.allele_frequencies()
     words = matrix.words
+    window_rows = block_snps
+    if store is not None and memory_budget is not None:
+        # Validate the budget geometry up front (before any manifest is
+        # opened), and size the windows all prefetchers will use.
+        from repro.core import prefetch as _pf
+
+        _, window_rows = _pf.plan_windows(
+            matrix.n_snps,
+            block_snps,
+            row_nbytes=store.row_nbytes,
+            memory_budget=memory_budget,
+        )
     # Checksum the handoff whenever results cross a process boundary, and
     # under any fault plan (so injected bit-flips are detectable on every
     # engine). In-process engines skip it otherwise: there is no
@@ -643,9 +723,14 @@ def run_engine(
 
     manifest: TileManifest | None = None
     if manifest_path is not None:
-        fingerprint = input_fingerprint(
-            matrix, stat=stat, block_snps=block_snps, undefined=undefined
-        )
+        if store is not None:
+            fingerprint = store_fingerprint(
+                store, stat=stat, block_snps=block_snps, undefined=undefined
+            )
+        else:
+            fingerprint = input_fingerprint(
+                matrix, stat=stat, block_snps=block_snps, undefined=undefined
+            )
         manifest = TileManifest.open(manifest_path, fingerprint, resume=resume)
     previous_profiler = (
         install_profiler(profiler) if profiler is not None else None
@@ -656,7 +741,17 @@ def run_engine(
             todo = [t for t in tiles if t.key not in manifest.completed]
         else:
             todo = list(tiles)
+        if store is not None:
+            # Panel-major consumption order: every loaded window pair is
+            # fully used before the sweep moves on, so out-of-core runs
+            # evict windows exactly once (no budget, same locality win).
+            from repro.core import prefetch as _pf
+
+            todo = _pf.order_panel_major(todo, window_rows)
         n_skipped = len(tiles) - len(todo)
+        #: Round-scoped prefetchers (out-of-core, budgeted runs only).
+        pull_prefetcher = None
+        warm_reader = None
         n_computed = 0
         quarantined: list[tuple[TileTask, str]] = []
         done_keys: set[tuple[int, int]] = set()
@@ -711,6 +806,8 @@ def run_engine(
                     manifest.record(tile)
             n_computed += 1
             done_keys.add(tile.key)
+            if warm_reader is not None:
+                warm_reader.advance()
             if recorder is not None:
                 deliver_seconds = time.perf_counter() - deliver_start
                 recorder.inc("engine.tiles_computed")
@@ -770,19 +867,34 @@ def run_engine(
             if faults is not None:
                 faults.fire("tile_compute", tile.key, epoch)
             prof = current_profiler()
+            # Budgeted out-of-core runs compute against the prefetcher's
+            # resident windows (acquire blocks — and records io.wait —
+            # only when the loader has not stayed ahead); everything
+            # else reads the in-RAM or memmapped words directly.
+            # Acquired before the compute clock starts, so stall time
+            # never masquerades as tile compute time.
+            source = (
+                pull_prefetcher.acquire(tile)
+                if pull_prefetcher is not None
+                else words
+            )
             mark = prof.mark()
             start = time.perf_counter()
-            with prof.span("tile"):
-                block = compute_tile(
-                    words,
-                    freqs,
-                    matrix.n_samples,
-                    tile,
-                    stat=stat,
-                    params=params,
-                    kernel=kernel,
-                    undefined=undefined,
-                )
+            try:
+                with prof.span("tile"):
+                    block = compute_tile(
+                        source,
+                        freqs,
+                        matrix.n_samples,
+                        tile,
+                        stat=stat,
+                        params=params,
+                        kernel=kernel,
+                        undefined=undefined,
+                    )
+            finally:
+                if pull_prefetcher is not None:
+                    pull_prefetcher.release(tile)
             elapsed = time.perf_counter() - start
             phases = prof.collect(mark) or None
             if faults is not None:
@@ -847,7 +959,12 @@ def run_engine(
                 return _ex.SerialBackend(local_task, ctx), list(work), 1
             workers = min(n_workers, len(work))
             bsize = resolve_batch_size(len(work), workers, current)
-            schedule = _ex._largest_first(work)
+            # Out-of-core sweeps keep the panel-major order (window
+            # locality beats LPT balance when windows cost disk reads);
+            # in-core runs schedule largest-first as before.
+            schedule = (
+                list(work) if store is not None else _ex._largest_first(work)
+            )
             if current == "threads":
                 return _ex.ThreadsBackend(local_batch, workers, ctx), schedule, bsize
             shared = dict(
@@ -864,6 +981,10 @@ def run_engine(
                 max_tile_elems=max(t.n_pairs for t in work),
                 profile=current_profiler().enabled,
                 ctx=ctx,
+                # Store-backed runs hand workers the store *path*: each
+                # worker maps it read-only, so no panel-sized
+                # shared-memory copy is ever made.
+                panel_path=str(store.path) if store is not None else None,
             )
             if current == "processes":
                 backend = _ex.ProcessesBackend(
@@ -872,6 +993,41 @@ def run_engine(
             else:  # persistent
                 backend = _ex.PersistentBackend(**shared)
             return backend, schedule, bsize
+
+        def start_prefetch(current: str, work: list[TileTask]) -> None:
+            """Stand up the round's prefetcher (budgeted store runs only)."""
+            nonlocal pull_prefetcher, warm_reader
+            if store is None or memory_budget is None or not work:
+                return
+            from repro.core import prefetch as _pf
+
+            if current in ("serial", "threads"):
+                pull_prefetcher = _pf.PanelPrefetcher(
+                    store,
+                    work,
+                    block_snps=block_snps,
+                    memory_budget=memory_budget,
+                    faults=faults,
+                    recorder=recorder,
+                )
+            else:
+                warm_reader = _pf.WarmReader(
+                    store,
+                    work,
+                    block_snps=block_snps,
+                    memory_budget=memory_budget,
+                    faults=faults,
+                    recorder=recorder,
+                )
+
+        def stop_prefetch() -> None:
+            nonlocal pull_prefetcher, warm_reader
+            if pull_prefetcher is not None:
+                pull_prefetcher.close()
+                pull_prefetcher = None
+            if warm_reader is not None:
+                warm_reader.close()
+                warm_reader = None
 
         retries = 0
         batches = 0
@@ -882,6 +1038,7 @@ def run_engine(
         while work:
             try:
                 backend, schedule, bsize = make_backend(current, work)
+                start_prefetch(current, schedule)
                 try:
                     delta, subs = _ex.drive(
                         backend, schedule, ctx, batch_size=bsize
@@ -891,6 +1048,7 @@ def run_engine(
                         batches += subs
                 finally:
                     backend.shutdown()
+                    stop_prefetch()
                     pool_spawns += getattr(backend, "spawns_this_run", 0)
                     worker_respawns += getattr(
                         backend, "respawns_this_run", 0
@@ -917,6 +1075,10 @@ def run_engine(
             install_profiler(previous_profiler)
         if manifest is not None:
             manifest.close()
+        if store is not None and store is not data:
+            # Opened here from a path, so closed here; caller-supplied
+            # PanelStore instances stay open (the caller owns them).
+            store.close()
 
     if recorder is not None:
         run_seconds = time.perf_counter() - run_start

@@ -102,6 +102,7 @@ __all__ = [
     "WorkerCrashError",
     "drive",
     "panel_fingerprint",
+    "panel_store_key",
     "pool_status",
     "reap_idle_pools",
     "stop_pools",
@@ -276,8 +277,34 @@ class _ResultArena:
 _WORKER_STATE: dict = {}
 
 
+def _attach_panel(
+    shm_name: str | None,
+    words_shape: tuple[int, int],
+    panel_path: str | None,
+):
+    """Worker-side panel attach: shared memory by name, or store by path.
+
+    Returns ``(shm, words)`` — ``shm`` is ``None`` for the by-path case,
+    where the words are a read-only memmap of the packed-panel store
+    (each worker maps the same file; the page cache is the shared
+    copy, so out-of-core panels never materialize in a segment).
+    """
+    if panel_path is not None:
+        from repro.io.panelstore import PanelStore
+
+        store = PanelStore.open(panel_path)
+        if tuple(store.words.shape) != tuple(words_shape):
+            raise ValueError(
+                f"panel store {panel_path} has shape {store.words.shape}, "
+                f"driver expected {tuple(words_shape)}"
+            )
+        return None, store.words
+    shm = shared_memory.SharedMemory(name=shm_name)
+    return shm, np.ndarray(words_shape, dtype=np.uint64, buffer=shm.buf)
+
+
 def _init_worker(
-    shm_name: str,
+    shm_name: str | None,
     words_shape: tuple[int, int],
     freqs: np.ndarray,
     n_samples: int,
@@ -290,11 +317,11 @@ def _init_worker(
     arena_n_slots: int = 0,
     arena_slot_elems: int = 0,
     profile: bool = False,
+    panel_path: str | None = None,
 ) -> None:
     """Attach the shared words (and result arena) once per worker process."""
     _set_worker_profile(profile)
-    shm = shared_memory.SharedMemory(name=shm_name)
-    words = np.ndarray(words_shape, dtype=np.uint64, buffer=shm.buf)
+    shm, words = _attach_panel(shm_name, words_shape, panel_path)
     arena_shm = None
     arena = None
     if arena_name is not None:
@@ -435,7 +462,7 @@ def _run_batch_in_worker(
 
 def _persistent_worker_main(
     worker_index: int,
-    shm_name: str,
+    shm_name: str | None,
     words_shape: tuple[int, int],
     freqs: np.ndarray,
     n_samples: int,
@@ -444,6 +471,7 @@ def _persistent_worker_main(
     arena_slot_elems: int,
     task_conn,
     result_conn,
+    panel_path: str | None = None,
 ) -> None:
     """Main loop of one warm worker: attach once, then serve batches forever.
 
@@ -459,8 +487,7 @@ def _persistent_worker_main(
     ``worker.idle`` phase. A ``None`` message (or a closed pipe) shuts
     the worker down cleanly.
     """
-    shm = shared_memory.SharedMemory(name=shm_name)
-    words = np.ndarray(words_shape, dtype=np.uint64, buffer=shm.buf)
+    shm, words = _attach_panel(shm_name, words_shape, panel_path)
     arena_shm = shared_memory.SharedMemory(name=arena_name)
     arena = np.ndarray(
         (arena_n_slots * arena_slot_elems,), dtype=np.float64,
@@ -511,7 +538,8 @@ def _persistent_worker_main(
             except (BrokenPipeError, OSError):
                 break  # driver replaced this worker's pipes (respawn race)
     finally:
-        shm.close()
+        if shm is not None:
+            shm.close()
         arena_shm.close()
 
 
@@ -930,6 +958,7 @@ class ProcessesBackend:
         n_units: int,
         profile: bool,
         ctx: RetryContext,
+        panel_path: str | None = None,
     ) -> None:
         self._ctx = ctx
         self._faults = faults
@@ -940,15 +969,23 @@ class ProcessesBackend:
         self._spawn_index = 0
         self.spawns_this_run = 0
         self.respawns_this_run = 0
-        words = np.ascontiguousarray(words, dtype=np.uint64)
-        self._shm = shared_memory.SharedMemory(
-            create=True, size=max(1, words.nbytes)
-        )
+        self._shm = None
+        words_shape = tuple(words.shape)
+        if panel_path is None:
+            # In-core handoff: copy the packed words into one segment
+            # every worker maps via the pool initializer.
+            words = np.ascontiguousarray(words, dtype=np.uint64)
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(1, words.nbytes)
+            )
         self._arena: _ResultArena | None = None
         try:
-            panel = np.ndarray(words.shape, dtype=np.uint64, buffer=self._shm.buf)
-            panel[:] = words
-            del panel
+            if self._shm is not None:
+                panel = np.ndarray(
+                    words.shape, dtype=np.uint64, buffer=self._shm.buf
+                )
+                panel[:] = words
+                del panel
             # A slot must hold the largest possible unit; keep a couple
             # of spare slots beyond the worker count so completed
             # batches can be drained while fresh units are already
@@ -962,8 +999,8 @@ class ProcessesBackend:
             self.shutdown()
             raise
         self._initargs = (
-            self._shm.name,
-            words.shape,
+            self._shm.name if self._shm is not None else None,
+            words_shape,
             freqs,
             n_samples,
             stat,
@@ -975,6 +1012,7 @@ class ProcessesBackend:
             self._arena.n_slots,
             self._arena.slot_elems,
             profile,
+            panel_path,
         )
         if ctx.recorder is not None:
             ctx.recorder.inc("engine.arena_bytes", self._arena.nbytes)
@@ -1106,6 +1144,21 @@ def panel_fingerprint(words: np.ndarray, n_samples: int) -> str:
     return digest.hexdigest()
 
 
+def panel_store_key(panel_path: str) -> str:
+    """Registry key for a disk-backed panel: built from the store's
+    pack-time content digest, so keying an out-of-core panel never
+    re-reads it (hashing the memmapped words would fault in the whole
+    file — the exact scan out-of-core mode exists to avoid)."""
+    from repro.io.panelstore import PanelStore
+
+    with PanelStore.open(panel_path) as store:
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(
+            f"panelstore|{store.content_digest}|{store.n_samples}".encode()
+        )
+        return digest.hexdigest()
+
+
 class PersistentPool:
     """A warm worker pool bound to one shared-memory panel.
 
@@ -1130,10 +1183,17 @@ class PersistentPool:
         *,
         n_workers: int,
         slot_elems: int,
+        panel_path: str | None = None,
     ) -> None:
         self.key = key
         self.n_workers = n_workers
+        # One coherent pair of birth stamps: the *monotonic* one drives
+        # every age computation (idle reaping here, `repro pool list`
+        # ages in the CLI) so a wall-clock jump — NTP step, suspend —
+        # can never age a pool backwards or reap a fresh one; the
+        # wall-clock twin exists only for humans reading the state file.
         self.created = time.time()
+        self.created_monotonic = time.monotonic()
         self.last_used = time.monotonic()
         self.in_use = 0
         self.spawns = 0
@@ -1141,21 +1201,25 @@ class PersistentPool:
         self._mp = _mp_context()
         self._freqs = np.ascontiguousarray(freqs)
         self._n_samples = n_samples
-        words = np.ascontiguousarray(words, dtype=np.uint64)
-        self._words_shape = words.shape
-        self.panel_shm = shared_memory.SharedMemory(
-            create=True, size=max(1, words.nbytes)
-        )
+        self._panel_path = panel_path
+        self._words_shape = tuple(words.shape)
+        self.panel_shm = None
+        if panel_path is None:
+            words = np.ascontiguousarray(words, dtype=np.uint64)
+            self.panel_shm = shared_memory.SharedMemory(
+                create=True, size=max(1, words.nbytes)
+            )
         self.arena: _ResultArena | None = None
         self.workers: list = []
         self.task_conns: list = []
         self.result_conns: list = []
         try:
-            panel = np.ndarray(
-                words.shape, dtype=np.uint64, buffer=self.panel_shm.buf
-            )
-            panel[:] = words
-            del panel
+            if self.panel_shm is not None:
+                panel = np.ndarray(
+                    words.shape, dtype=np.uint64, buffer=self.panel_shm.buf
+                )
+                panel[:] = words
+                del panel
             self.arena = _ResultArena(
                 n_slots=2 * n_workers + 2, slot_elems=slot_elems
             )
@@ -1176,7 +1240,7 @@ class PersistentPool:
             target=_persistent_worker_main,
             args=(
                 index,
-                self.panel_shm.name,
+                self.panel_shm.name if self.panel_shm is not None else None,
                 self._words_shape,
                 self._freqs,
                 self._n_samples,
@@ -1185,6 +1249,7 @@ class PersistentPool:
                 self.arena.slot_elems,
                 task_recv,
                 result_send,
+                self._panel_path,
             ),
             daemon=True,
             name=f"repro-pool-{self.key[:8]}-w{index}",
@@ -1318,10 +1383,12 @@ class PersistentBackend:
         max_tile_elems: int,
         profile: bool,
         ctx: RetryContext,
+        panel_path: str | None = None,
     ) -> None:
         self._words = words
         self._freqs = freqs
         self._n_samples = n_samples
+        self._panel_path = panel_path
         self._config = (stat, params, kernel, undefined, faults, profile)
         self._profile = profile
         self._faults = faults
@@ -1348,7 +1415,10 @@ class PersistentBackend:
 
     def start(self) -> None:
         if self._pool is None:
-            key = panel_fingerprint(self._words, self._n_samples)
+            if self._panel_path is not None:
+                key = panel_store_key(self._panel_path)
+            else:
+                key = panel_fingerprint(self._words, self._n_samples)
 
             def build() -> PersistentPool:
                 index = self._spawn_index
@@ -1363,6 +1433,7 @@ class PersistentBackend:
                         self._n_samples,
                         n_workers=self._n_workers,
                         slot_elems=self._slot_elems,
+                        panel_path=self._panel_path,
                     )
                 self.spawns_this_run += 1
                 self._ctx.note_pool_spawn(self.name)
@@ -1801,10 +1872,15 @@ def _state_record(pool: PersistentPool) -> None:
     entry = {
         "key": pool.key,
         "owner_pid": os.getpid(),
+        # Wall clock for humans; the monotonic stamp (CLOCK_MONOTONIC is
+        # system-wide on Linux, so other processes can subtract it from
+        # their own time.monotonic()) for age math that survives
+        # wall-clock jumps.
         "created": pool.created,
+        "created_monotonic": pool.created_monotonic,
         "n_workers": pool.n_workers,
         "worker_pids": pool.pids,
-        "panel_shm": pool.panel_shm.name,
+        "panel_shm": pool.panel_shm.name if pool.panel_shm else None,
         "arena_shm": pool.arena.name,
     }
 

@@ -50,6 +50,20 @@ if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
 
 __all__ = ["NpyMemmapSink", "ThresholdCollector", "stream_ld_blocks"]
 
+#: Strict-upper-triangle boolean masks by block size, for mirroring
+#: diagonal blocks. A run sees at most two sizes (full blocks plus one
+#: fringe), so caching removes the O(block²) index-array allocation the
+#: old ``tril_indices`` mirror paid on *every* diagonal tile.
+_UPPER_MASKS: dict[int, np.ndarray] = {}
+
+
+def _upper_mask(size: int) -> np.ndarray:
+    mask = _UPPER_MASKS.get(size)
+    if mask is None:
+        mask = np.triu(np.ones((size, size), dtype=bool), k=1)
+        _UPPER_MASKS[size] = mask
+    return mask
+
 
 @dataclass
 class NpyMemmapSink:
@@ -139,11 +153,14 @@ class NpyMemmapSink:
                     block.T
                 )
             else:
-                # Diagonal block: mirror its strict upper triangle from
-                # the computed lower triangle.
+                # Diagonal block: fill its strict upper triangle with the
+                # transpose of the computed lower triangle. A masked
+                # transposed write touches exactly the cells the old
+                # fancy-indexed assignment did (bit-identical), without
+                # allocating per-call index arrays.
                 size = block.shape[0]
-                il = np.tril_indices(size, k=-1)
-                mm[i0 + il[1], j0 + il[0]] = block[il]
+                sub = mm[i0 : i0 + size, j0 : j0 + size]
+                np.copyto(sub, block.T, where=_upper_mask(size))
 
     def flush(self) -> None:
         """Force written blocks to disk (no-op once closed)."""
@@ -169,22 +186,46 @@ class ThresholdCollector:
 
     Collects each qualifying unordered SNP pair exactly once, as
     ``(i, j, value)`` with ``i > j``; self-pairs are excluded.
+
+    Delivery is *idempotent per tile*: results are keyed by the tile's
+    ``(i0, j0)`` corner, and a re-delivered tile (a retried engine batch,
+    a resumed run recomputing an unjournaled tile, a torn-manifest
+    replay) replaces its previous hits instead of appending duplicates.
+    Hit extraction is vectorized — no per-hit Python loop.
     """
 
     threshold: float
-    pairs: list[tuple[int, int, float]] = field(default_factory=list)
+    _tiles: dict[tuple[int, int], tuple] = field(
+        default_factory=dict, repr=False
+    )
 
     def __call__(self, i0: int, j0: int, block: np.ndarray) -> None:
-        hits = np.argwhere(block >= self.threshold)
-        for bi, bj in hits:
-            i, j = i0 + int(bi), j0 + int(bj)
-            if i <= j:  # strict lower triangle only (dedup + no self-pairs)
-                continue
-            self.pairs.append((i, j, float(block[bi, bj])))
+        bi, bj = np.nonzero(block >= self.threshold)
+        i, j = bi + i0, bj + j0
+        keep = i > j  # strict lower triangle only (dedup + no self-pairs)
+        self._tiles[(i0, j0)] = (
+            i[keep],
+            j[keep],
+            block[bi[keep], bj[keep]].astype(np.float64, copy=False),
+        )
+
+    @property
+    def pairs(self) -> list[tuple[int, int, float]]:
+        """Collected ``(i, j, value)`` pairs, in tile-then-row-major order.
+
+        Deterministic regardless of delivery order (parallel engines
+        deliver tiles as they finish), and matches the historical
+        serial-streaming order exactly.
+        """
+        out: list[tuple[int, int, float]] = []
+        for key in sorted(self._tiles):
+            ii, jj, vv = self._tiles[key]
+            out.extend(zip(ii.tolist(), jj.tolist(), vv.tolist()))
+        return out
 
 
 def stream_ld_blocks(
-    data: BitMatrix | np.ndarray,
+    data: "BitMatrix | np.ndarray | str | Path",
     sink,
     *,
     stat: str = "r2",
@@ -193,6 +234,7 @@ def stream_ld_blocks(
     kernel: str = DEFAULT_KERNEL,
     undefined: float = np.nan,
     include_diagonal_blocks: bool = True,
+    memory_budget: int | None = None,
     faults: FaultPlan | None = None,
     recorder: "MetricsRecorder | None" = None,
     progress: "ProgressReporter | None" = None,
@@ -206,8 +248,9 @@ def stream_ld_blocks(
     Parameters
     ----------
     data:
-        Dense binary ``(n_samples, n_snps)`` matrix or packed
-        :class:`BitMatrix`.
+        Dense binary ``(n_samples, n_snps)`` matrix, packed
+        :class:`BitMatrix`, a :class:`repro.io.panelstore.PanelStore`, or
+        a path to a packed panel file (out-of-core mode).
     sink:
         Callable ``(i0, j0, block) -> None``.
     stat:
@@ -217,6 +260,13 @@ def stream_ld_blocks(
         ``block_snps² × 8`` bytes.
     include_diagonal_blocks:
         Deliver the ``I == J`` blocks (contain the trivial diagonal).
+    memory_budget:
+        Driver-RAM byte budget for resident panel rows; only valid when
+        *data* is a packed panel store (or a path to one). The run then
+        streams SNP-row windows from disk through a double-buffered
+        :class:`repro.core.prefetch.PanelPrefetcher` instead of holding
+        the whole panel in RAM, visiting tiles panel-major so each
+        loaded window is fully consumed before eviction.
     faults:
         Optional :class:`repro.faults.FaultPlan`, consulted at the
         ``tile_compute`` and ``tile_deliver`` sites of every block. The
@@ -237,48 +287,111 @@ def stream_ld_blocks(
     """
     if stat not in ("r2", "D", "H"):
         raise ValueError(f"unknown LD statistic {stat!r}; choose r2/D/H")
-    matrix = as_bitmatrix(data)
+    from repro.core.engine import _resolve_store
+
+    store = _resolve_store(data)
+    if store is not None:
+        matrix = store.to_bitmatrix()
+        freqs = store.freqs
+    else:
+        if memory_budget is not None:
+            raise ValueError(
+                "memory_budget requires a packed panel store (pass a "
+                "PanelStore or a path to one); in-RAM inputs are already "
+                "resident"
+            )
+        matrix = as_bitmatrix(data)
+        freqs = None
     if matrix.n_samples == 0:
         raise ValueError("LD undefined for zero samples")
-    freqs = matrix.allele_frequencies()
+    if freqs is None:
+        freqs = matrix.allele_frequencies()
     tiles = enumerate_tiles(
         matrix.n_snps, block_snps, include_diagonal=include_diagonal_blocks
     )
-    for tile in tiles:
-        if faults is not None:
-            faults.fire("tile_compute", tile.key, 0)
-        start = time.perf_counter()
-        block = compute_tile(
-            matrix.words, freqs, matrix.n_samples, tile,
-            stat=stat, params=params, kernel=kernel, undefined=undefined,
-        )
-        if faults is not None:
-            faults.fire("tile_deliver", tile.key, 0)
-            checksum = _crc32_array(block)
-            faults.corrupt("tile_deliver", tile.key, 0, block)
-            if _crc32_array(block) != checksum:
-                raise TileCorruptionError(
-                    f"tile {tile.key} payload corrupted before delivery "
-                    "(checksum mismatch); refusing to write it"
-                )
-        mid = time.perf_counter() if recorder is not None else 0.0
-        sink(tile.i0, tile.j0, block)
-        if recorder is not None:
-            end = time.perf_counter()
-            recorder.inc("stream.tiles_computed")
-            recorder.inc("stream.pairs_computed", tile.n_pairs)
-            recorder.inc("stream.bytes_delivered", int(block.nbytes))
-            recorder.observe_time("stream.tile_compute_seconds", mid - start)
-            recorder.observe_time("stream.tile_deliver_seconds", end - mid)
-            recorder.event(
-                "tile_computed",
-                tile=[tile.i0, tile.j0],
-                pairs=tile.n_pairs,
-                compute_s=mid - start,
-                deliver_s=end - mid,
-                bytes=int(block.nbytes),
-                worker="driver",
+    prefetcher = None
+    if store is not None:
+        from repro.core import prefetch as _pf
+
+        # Panel-major visit order: every tile of a window pair before the
+        # next pair, so each loaded window is fully consumed before
+        # eviction. With no budget the whole panel "window" is the memmap
+        # itself and plain tile order is fine.
+        window_rows = block_snps
+        if memory_budget is not None:
+            _, window_rows = _pf.plan_windows(
+                matrix.n_snps,
+                block_snps,
+                row_nbytes=store.row_nbytes,
+                memory_budget=memory_budget,
             )
-        if progress is not None:
-            progress.advance(tile.n_pairs)
+            prefetcher = _pf.PanelPrefetcher(
+                store,
+                tiles,
+                block_snps=block_snps,
+                memory_budget=memory_budget,
+                faults=faults,
+                recorder=recorder,
+            )
+        tiles = _pf.order_panel_major(tiles, window_rows)
+    try:
+        for tile in tiles:
+            if faults is not None:
+                faults.fire("tile_compute", tile.key, 0)
+            source = (
+                prefetcher.acquire(tile)
+                if prefetcher is not None
+                else matrix.words
+            )
+            try:
+                # Acquired before the compute clock starts, so prefetch
+                # stall time never masquerades as tile compute time.
+                start = time.perf_counter()
+                block = compute_tile(
+                    source, freqs, matrix.n_samples, tile,
+                    stat=stat, params=params, kernel=kernel,
+                    undefined=undefined,
+                )
+            finally:
+                if prefetcher is not None:
+                    prefetcher.release(tile)
+            if faults is not None:
+                faults.fire("tile_deliver", tile.key, 0)
+                checksum = _crc32_array(block)
+                faults.corrupt("tile_deliver", tile.key, 0, block)
+                if _crc32_array(block) != checksum:
+                    raise TileCorruptionError(
+                        f"tile {tile.key} payload corrupted before delivery "
+                        "(checksum mismatch); refusing to write it"
+                    )
+            mid = time.perf_counter() if recorder is not None else 0.0
+            sink(tile.i0, tile.j0, block)
+            if recorder is not None:
+                end = time.perf_counter()
+                recorder.inc("stream.tiles_computed")
+                recorder.inc("stream.pairs_computed", tile.n_pairs)
+                recorder.inc("stream.bytes_delivered", int(block.nbytes))
+                recorder.observe_time(
+                    "stream.tile_compute_seconds", mid - start
+                )
+                recorder.observe_time(
+                    "stream.tile_deliver_seconds", end - mid
+                )
+                recorder.event(
+                    "tile_computed",
+                    tile=[tile.i0, tile.j0],
+                    pairs=tile.n_pairs,
+                    compute_s=mid - start,
+                    deliver_s=end - mid,
+                    bytes=int(block.nbytes),
+                    worker="driver",
+                )
+            if progress is not None:
+                progress.advance(tile.n_pairs)
+    finally:
+        if prefetcher is not None:
+            prefetcher.close()
+        if store is not None and store is not data:
+            # Opened here from a path; caller-supplied stores stay open.
+            store.close()
     return len(tiles)

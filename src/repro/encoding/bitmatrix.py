@@ -138,6 +138,37 @@ class BitMatrix:
             n_samples=n_samples,
         )
 
+    @classmethod
+    def from_packed_trusted(cls, words: np.ndarray, n_samples: int) -> "BitMatrix":
+        """Wrap already-validated packed words, skipping the padding scan.
+
+        ``__post_init__`` reads every word to enforce the zero-padding
+        invariant — correct for in-RAM arrays, but on a disk-backed
+        memmap (a :class:`repro.io.panelstore.PanelStore`) it would
+        fault in the entire panel, defeating out-of-core execution. The
+        store validates the invariant once at pack time, so reopening
+        only needs the cheap metadata checks kept here. The caller
+        vouches for the padding; a violation silently breaks POPCNT
+        exactness, so only hand this words whose provenance enforces it.
+        """
+        if words.dtype != np.uint64 or words.ndim != 2:
+            raise ValueError(
+                f"trusted words must be 2-D uint64, got {words.dtype} "
+                f"{words.shape}"
+            )
+        if not words.flags["C_CONTIGUOUS"]:
+            raise ValueError("trusted words must be C-contiguous")
+        n_samples = int(n_samples)
+        if not 0 <= n_samples <= words.shape[1] * WORD_BITS:
+            raise ValueError(
+                f"n_samples={n_samples} does not fit {words.shape[1]} "
+                "words per SNP"
+            )
+        self = object.__new__(cls)
+        object.__setattr__(self, "words", words)
+        object.__setattr__(self, "n_samples", n_samples)
+        return self
+
     # -- shape -------------------------------------------------------------
 
     @property

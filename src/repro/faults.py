@@ -63,7 +63,13 @@ __all__ = [
 ]
 
 #: Hook sites the engine exposes, in tile-lifecycle order.
-FAULT_SITES = ("tile_compute", "tile_deliver", "manifest_append", "pool_spawn")
+FAULT_SITES = (
+    "tile_compute",
+    "tile_deliver",
+    "manifest_append",
+    "pool_spawn",
+    "prefetch",
+)
 
 #: Supported injection actions.
 FAULT_ACTIONS = ("raise", "kill", "delay", "bitflip", "torn")
@@ -74,6 +80,9 @@ _SITE_ACTIONS = {
     "tile_deliver": ("raise", "delay", "bitflip"),
     "manifest_append": ("raise", "delay", "torn"),
     "pool_spawn": ("raise", "delay"),
+    # A disk read can fail transiently (raise → retried) or run slow
+    # (delay → surfaces as prefetch stall time in the roofline report).
+    "prefetch": ("raise", "delay"),
 }
 
 

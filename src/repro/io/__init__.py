@@ -8,15 +8,20 @@
 - :mod:`repro.io.plinkbed` — PLINK binary ``.bed``/``.bim``/``.fam``
   triples (the format PLINK 1.9 operates on), byte-compatible with
   PLINK's SNP-major 2-bit encoding.
+- :mod:`repro.io.panelstore` — the repo's own disk-backed packed-panel
+  store (``repro pack``), memmap-openable for out-of-core LD sweeps.
 """
 
 from repro.io.msformat import read_ms, write_ms
+from repro.io.panelstore import PanelStore, pack_panel
 from repro.io.plinkbed import read_plink_bed, write_plink_bed
 from repro.io.vcf import read_vcf, write_vcf
 
 __all__ = [
     "read_ms",
     "write_ms",
+    "PanelStore",
+    "pack_panel",
     "read_plink_bed",
     "write_plink_bed",
     "read_vcf",

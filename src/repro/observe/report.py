@@ -51,6 +51,8 @@ IDLE_THRESHOLD = 0.15
 COVERAGE_FLOOR = 0.90
 #: Packing's measured share above this multiple of its modelled share flags.
 PACKING_RATIO = 2.0
+#: Prefetch stall above this share of the wall-clock flags an I/O-bound run.
+STALL_THRESHOLD = 0.10
 
 #: Span names recorded on the driver thread (plus the sink's ``mirror``);
 #: everything else in a profile's phase table arrived via the per-tile
@@ -87,7 +89,11 @@ def _phase_table(recorder, profiler) -> dict[str, dict]:
                 "where": "worker",
             }
     for name, entry in profiler.totals().items():
-        if not (name.startswith(_DRIVER_PREFIX) or name == "mirror"):
+        # ``io.*`` spans are the out-of-core prefetcher's disk reads
+        # (loader thread) and acquire stalls (compute threads) — driver
+        # process time, same double-count-free status as driver.* spans.
+        if not (name.startswith(_DRIVER_PREFIX) or name == "mirror"
+                or name.startswith("io.")):
             continue
         row = phases.setdefault(
             name, {"seconds": 0.0, "count": 0, "where": "driver"}
@@ -153,9 +159,21 @@ def _find_anomalies(
     tiles: dict,
     report,
     profiler,
+    stall_seconds: float = 0.0,
+    wall_seconds: float = 0.0,
 ) -> list[dict]:
     """Flag the run's attribution smells, worst first by convention."""
     out: list[dict] = []
+    if wall_seconds > 0 and stall_seconds > STALL_THRESHOLD * wall_seconds:
+        out.append({
+            "kind": "io_bound",
+            "detail": (
+                f"compute stalled {stall_seconds:.3g} s waiting on panel "
+                f"prefetch ({stall_seconds / wall_seconds:.0%} of wall, "
+                f"threshold {STALL_THRESHOLD:.0%}) — disk bandwidth is the "
+                "bottleneck; raise --memory-budget or use faster storage"
+            ),
+        })
     by_name = {row["name"]: row for row in roofline}
     packing = [by_name[n] for n in ("pack_a", "pack_b") if n in by_name]
     pack_measured = sum(row["measured_share"] or 0.0 for row in packing)
@@ -329,8 +347,11 @@ def build_profile_payload(
     }
     if model is not None:
         payload["model"] = model
+    stall_hist = recorder.timers.get("prefetch.stall_seconds")
     payload["anomalies"] = _find_anomalies(
-        roofline, timeline, tiles, report, profiler
+        roofline, timeline, tiles, report, profiler,
+        stall_seconds=stall_hist.total if stall_hist is not None else 0.0,
+        wall_seconds=wall_seconds,
     )
     return payload
 

@@ -191,3 +191,64 @@ class TestThresholdCollector:
         collector = ThresholdCollector(threshold=0.0)
         stream_ld_blocks(panel, collector, block_snps=6, undefined=0.0)
         assert all(i != j for i, j, _v in collector.pairs)
+
+    def test_redelivery_is_idempotent(self, panel):
+        """Regression: a re-delivered tile must not duplicate its pairs.
+
+        The engine's retry/resume machinery can deliver the same tile
+        more than once (a retried batch, a torn-manifest replay). The
+        old list-append collector accumulated a duplicate ``(i, j, v)``
+        triple per redelivery; keyed-by-tile storage makes delivery
+        idempotent.
+        """
+        collector = ThresholdCollector(threshold=0.1)
+        stream_ld_blocks(panel, collector, block_snps=9, undefined=0.0)
+        before = collector.pairs
+        full = ld_matrix(panel, undefined=0.0)
+        # Redeliver two tiles (one diagonal, one off-diagonal), twice.
+        for _ in range(2):
+            collector(0, 0, full[0:9, 0:9])
+            collector(18, 9, full[18:27, 9:18])
+        assert collector.pairs == before
+
+    def test_pairs_order_is_deterministic(self, panel):
+        """Tile-keyed assembly must equal serial streaming order even
+        when tiles arrive shuffled (parallel engines deliver on finish)."""
+        serial = ThresholdCollector(threshold=0.1)
+        stream_ld_blocks(panel, serial, block_snps=9, undefined=0.0)
+        shuffled = ThresholdCollector(threshold=0.1)
+        deliveries = []
+        stream_ld_blocks(
+            panel,
+            lambda i0, j0, b: deliveries.append((i0, j0, b.copy())),
+            block_snps=9,
+            undefined=0.0,
+        )
+        for i0, j0, block in reversed(deliveries):
+            shuffled(i0, j0, block)
+        assert shuffled.pairs == serial.pairs
+
+    def test_pairs_are_python_scalars(self, panel):
+        collector = ThresholdCollector(threshold=0.1)
+        stream_ld_blocks(panel, collector, block_snps=9, undefined=0.0)
+        assert collector.pairs
+        for i, j, value in collector.pairs:
+            assert type(i) is int and type(j) is int
+            assert type(value) is float
+
+
+class TestDiagonalMirror:
+    def test_masked_mirror_matches_tril_reference(self, rng, tmp_path):
+        """Regression: the index-free diagonal mirror is bit-identical to
+        the old ``tril_indices`` fancy-indexed assignment."""
+        for size in (1, 2, 7, 16):
+            block = rng.random((size, size))
+            with NpyMemmapSink(tmp_path / f"new{size}.npy", size) as sink:
+                sink(0, 0, block)
+                got = np.array(sink._memmap)
+            # The historical implementation, verbatim.
+            ref = np.zeros((size, size))
+            ref[0:size, 0:size] = block
+            il = np.tril_indices(size, k=-1)
+            ref[0 + il[1], 0 + il[0]] = block[il]
+            np.testing.assert_array_equal(got, ref)
