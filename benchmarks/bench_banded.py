@@ -1,20 +1,271 @@
-"""Extension bench: banded (windowed) LD scales linearly in SNP count.
+"""Instrumented dense-vs-banded engine benchmark (and scaling tests).
 
 Not a paper table — the scalability feature a production release of the
 paper's kernel would ship (PLINK computes windowed LD for exactly this
-reason). Criteria: banded work/time grows ~linearly with n (the full
-matrix grows quadratically), and the banded values agree with the full
-matrix on the band.
+reason). The harness times the tiled engine twice on each shape — once
+dense, once with ``band=window`` — and reports dispatched GEMM
+throughput (words/s), tiles pruned by the band enumeration, and the
+banded speedup. Both runs write into the same diagonal-major ``(n,
+W+1)`` band store, so the harness asserts the band slices are
+bit-identical as a side effect of timing them. Runnable two ways:
+
+as a script (what CI's banded-smoke job runs)::
+
+    python benchmarks/bench_banded.py --quick --check
+    python benchmarks/bench_banded.py --snps 4096 --window 512
+
+under the pytest benchmark harness, with the other paper benches::
+
+    pytest benchmarks/bench_banded.py --benchmark-only -s
+
+``--check`` is the regression gate: the band enumeration must dispatch
+at most 30% of the dense tile count (a pure geometry property —
+deterministic on any machine) and the banded run must beat dense by at
+least ``--min-speedup`` wall-clock. ``--history`` appends the
+timestamped payload to ``benchmarks/BENCH_history.jsonl`` like
+``bench_gemm.py``, so ``repro report`` renders the trajectory.
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 
-from repro.core.ldmatrix import ld_matrix
-from repro.core.windowed import banded_ld
-from repro.simulate.datasets import simulate_sfs_panel
-from repro.util.timing import Timer
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.banding import (  # noqa: E402
+    BandSpec,
+    dense_pair_cells,
+    dense_tile_count,
+)
+from repro.core.engine import enumerate_tiles, run_engine  # noqa: E402
+from repro.core.ldmatrix import ld_matrix  # noqa: E402
+from repro.core.windowed import banded_ld, write_banded_block  # noqa: E402
+from repro.simulate.datasets import simulate_sfs_panel  # noqa: E402
+from repro.util.timing import Timer  # noqa: E402
 
 WINDOW = 50
+
+#: (n_samples, n_snps, window, block_snps) per benchmarked shape. The
+#: window is n/8, the acceptance shape: with these tiles the band covers
+#: ~26% of the dense tile count, comfortably under the 30% gate while
+#: still exercising every tile class (full / partial / pruned) many
+#: times over.
+FULL_SHAPES = [(1024, 8192, 1024, 128)]
+QUICK_SHAPES = [(256, 2048, 256, 32)]
+
+
+def run_once(
+    panel, *, window: int | None, store_window: int, block_snps: int,
+    repeats: int = 1,
+):
+    """Median-of-*repeats* timed engine runs on *panel*.
+
+    Returns ``(seconds, report, band_values)`` where *band_values* is
+    the diagonal-major ``(n, store_window + 1)`` band slice of the
+    output — the dense run's slice is extracted on the fly by the sink,
+    so even the dense timing never materializes the O(n²) matrix. The
+    median over repetitions is the standard defence against scheduler
+    noise on a shared box.
+    """
+    n = panel.n_snps
+    samples = []
+    for _ in range(max(1, repeats)):
+        values = np.full((n, store_window + 1), np.nan, dtype=np.float64)
+
+        def sink(i0: int, j0: int, block: np.ndarray) -> None:
+            write_banded_block(values, store_window, i0, j0, block)
+
+        start = time.perf_counter()
+        report = run_engine(
+            panel, sink, engine="serial", block_snps=block_snps, band=window
+        )
+        elapsed = time.perf_counter() - start
+        assert report.complete
+        samples.append((elapsed, report, values))
+    samples.sort(key=lambda s: s[0])
+    return samples[(len(samples) - 1) // 2]
+
+
+def bench_banded_vs_dense(
+    *, n_samples: int, n_snps: int, window: int, block_snps: int,
+    repeats: int = 1,
+) -> list[dict]:
+    """Time the dense and banded engines on one shape; return result rows.
+
+    Asserts the banded output is bit-identical to the dense run's band
+    slice (``equal_nan`` — out-of-band and monomorphic cells are NaN in
+    both), so every timing doubles as a correctness check.
+    """
+    rng = np.random.default_rng(2016)
+    panel = simulate_sfs_panel(n_samples, n_snps, rng=rng)
+    k_words = panel.n_words
+    band = BandSpec(window=window)
+    dense_tiles = dense_tile_count(n_snps, block_snps)
+    banded_work = enumerate_tiles(n_snps, block_snps, band=band)
+    dense_cells = dense_pair_cells(n_snps, block_snps)
+    banded_cells = sum(t.n_pairs for t in banded_work)
+    print(
+        f"panel: {n_snps} SNPs x {n_samples} samples, window {window}, "
+        f"{block_snps}-SNP tiles (dense {dense_tiles} tiles, "
+        f"banded {len(banded_work)})"
+    )
+    print(f"{'mode':>6} | {'seconds':>8} | {'Gword/s':>8} | {'tiles':>6} | "
+          f"{'pruned':>6} | {'speedup':>7}")
+    rows: list[dict] = []
+    dense_s, dense_values = None, None
+    for mode in ("dense", "banded"):
+        seconds, report, values = run_once(
+            panel, window=window if mode == "banded" else None,
+            store_window=window, block_snps=block_snps, repeats=repeats,
+        )
+        cells = dense_cells if mode == "dense" else banded_cells
+        words = cells * k_words
+        if mode == "dense":
+            dense_s, dense_values = seconds, values
+            speedup = None
+        else:
+            speedup = dense_s / seconds
+            if not np.array_equal(values, dense_values, equal_nan=True):
+                raise AssertionError(
+                    "banded engine output differs from the dense band slice"
+                )
+        rows.append({
+            "n_snps": n_snps,
+            "n_samples": n_samples,
+            "k_words": k_words,
+            "block_snps": block_snps,
+            "window": window,
+            "mode": mode,
+            "repeats": repeats,
+            "seconds": seconds,
+            "pair_cells": cells,
+            "words": words,
+            "words_per_second": words / seconds,
+            "n_tiles": report.n_tiles,
+            "tiles_pruned": report.n_pruned,
+            "tiles_partial": report.n_partial,
+            "speedup_vs_dense": speedup,
+        })
+        print(
+            f"{mode:>6} | {seconds:>8.3f} | {words / seconds / 1e9:>8.2f} | "
+            f"{report.n_tiles:>6} | {report.n_pruned:>6} | "
+            f"{'--' if speedup is None else format(speedup, '.2f') + 'x':>7}"
+        )
+    return rows
+
+
+def check_rows(rows: list[dict], *, min_speedup: float) -> list[str]:
+    """Regression gate: return failure messages (empty list = pass)."""
+    failures: list[str] = []
+    for row in rows:
+        if row["mode"] != "banded":
+            continue
+        dense_tiles = row["n_tiles"] + row["tiles_pruned"]
+        ratio = row["n_tiles"] / dense_tiles
+        if ratio > 0.30:
+            failures.append(
+                f"n={row['n_snps']} W={row['window']}: banded enumeration "
+                f"dispatched {row['n_tiles']}/{dense_tiles} tiles "
+                f"({ratio:.0%}) — band pruning regressed past the 30% gate"
+            )
+        if row["speedup_vs_dense"] < min_speedup:
+            failures.append(
+                f"n={row['n_snps']} W={row['window']}: banded speedup "
+                f"{row['speedup_vs_dense']:.2f}x < required "
+                f"{min_speedup:.2f}x"
+            )
+    return failures
+
+
+def write_report(rows: list[dict], path: str | Path) -> dict:
+    """Serialize the accumulated rows as ``BENCH_banded.json``."""
+    payload = {
+        "schema": "repro-bench-banded/1",
+        "model": "serial engine, dense vs band=n/8; words = dispatched "
+                 "GEMM cells x k_words",
+        "results": rows,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+    print(f"wrote {len(rows)} result rows -> {path}")
+    return payload
+
+
+def append_history(payload: dict, path: str | Path) -> None:
+    """Append one timestamped run record to the bench history JSONL.
+
+    Same contract as ``bench_engine.append_history``: one full payload
+    per line, so ``repro report benchmarks/BENCH_history.jsonl`` renders
+    the trajectory without extra tooling.
+    """
+    record = dict(payload)
+    record["timestamp"] = time.time()
+    with Path(path).open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+    print(f"appended history record -> {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small shape (CI smoke test; a few seconds)")
+    parser.add_argument("--samples", type=int, default=None)
+    parser.add_argument("--snps", type=int, default=None)
+    parser.add_argument("--window", type=int, default=None,
+                        help="band half-width in SNPs (default: snps/8)")
+    parser.add_argument("--block-snps", type=int, default=128)
+    parser.add_argument("--repeat", type=int, default=None, metavar="N",
+                        help="repetitions per row, keeping the median "
+                             "(default: 3 under --quick, else 1)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless banded tiles <= 30%% of dense and "
+                             "speedup >= --min-speedup")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="wall-clock gate for --check "
+                             "(default: %(default)s)")
+    parser.add_argument("--json", default="BENCH_banded.json", metavar="PATH",
+                        help="result file (default: %(default)s)")
+    parser.add_argument("--history", default=None, metavar="JSONL",
+                        help="also append the timestamped payload to this "
+                             "JSONL history file (one line per run)")
+    args = parser.parse_args(argv)
+    if args.samples is not None or args.snps is not None:
+        snps = args.snps or 2048
+        shapes = [(args.samples or 256, snps,
+                   args.window or max(1, snps // 8), args.block_snps)]
+    else:
+        shapes = QUICK_SHAPES if args.quick else FULL_SHAPES
+    repeats = args.repeat if args.repeat is not None else (
+        3 if args.quick else 1
+    )
+    rows: list[dict] = []
+    for n_samples, n_snps, window, block_snps in shapes:
+        rows.extend(bench_banded_vs_dense(
+            n_samples=n_samples, n_snps=n_snps, window=window,
+            block_snps=block_snps, repeats=repeats,
+        ))
+    payload = write_report(rows, args.json)
+    if args.history:
+        append_history(payload, args.history)
+    from repro.core.executors import stop_pools
+
+    stop_pools()
+    if args.check:
+        failures = check_rows(rows, min_speedup=args.min_speedup)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}")
+            return 1
+        print(f"ok: check passed (tile ratio <= 30%, "
+              f"speedup >= {args.min_speedup:.2f}x)")
+    print("ok: banded output bit-identical to the dense band slice")
+    return 0
 
 
 def test_banded_linear_scaling(benchmark):
@@ -52,3 +303,7 @@ def test_banded_agrees_with_full(benchmark):
         for d in range(0, min(WINDOW, 399 - i) + 1, 7):
             a, b = band.values[i, d], full[i, i + d]
             assert (np.isnan(a) and np.isnan(b)) or abs(a - b) < 1e-12
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

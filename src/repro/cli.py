@@ -38,12 +38,13 @@ from repro.analysis.decay import ld_decay_curve
 from repro.analysis.haplotype_blocks import find_haplotype_blocks
 from repro.analysis.ldprune import ld_prune
 from repro.analysis.sweeps import sweep_scan
+from repro.core.banding import BandSpec, dense_pair_cells
 from repro.core.blocking import DEFAULT_BLOCKING
 from repro.core.engine import ENGINES, enumerate_tiles, run_engine
 from repro.core.gemm import DEFAULT_KERNEL, GEMM_KERNELS
 from repro.faults import FaultPlan
 from repro.core.ldmatrix import as_bitmatrix, ld_matrix
-from repro.core.streaming import NpyMemmapSink
+from repro.core.streaming import BandedNpySink, NpyMemmapSink
 from repro.observe import (
     JsonlTraceSink,
     MetricsRecorder,
@@ -168,6 +169,38 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_band(
+    args: argparse.Namespace, positions: np.ndarray | None
+) -> BandSpec | None:
+    """The ``--window``/``--window-kb`` band of an engine run, or ``None``."""
+    window = getattr(args, "window", 0)
+    window_kb = getattr(args, "window_kb", None)
+    if window and window_kb is not None:
+        raise SystemExit(
+            "pass --window (SNP count) or --window-kb (genomic distance), "
+            "not both"
+        )
+    if window < 0:
+        raise SystemExit(f"--window must be >= 1 SNP, got {window}")
+    if window:
+        return BandSpec(window=window)
+    if window_kb is not None:
+        if window_kb <= 0:
+            raise SystemExit(
+                f"--window-kb must be positive, got {window_kb}"
+            )
+        if positions is None:
+            raise SystemExit(
+                "--window-kb resolves the band against panel positions, "
+                "which a packed store does not carry; use --window "
+                "(SNP count) with --panel"
+            )
+        return BandSpec(
+            max_distance=window_kb * 1000.0, positions=positions
+        )
+    return None
+
+
 def _cmd_ld_engine(
     args: argparse.Namespace,
     panel: BitMatrix,
@@ -175,6 +208,7 @@ def _cmd_ld_engine(
     *,
     data=None,
     memory_budget: int | None = None,
+    positions: np.ndarray | None = None,
 ) -> int:
     """Sharded tiled execution path of the ``ld`` command (``--engine``)."""
     if data is None:
@@ -184,8 +218,7 @@ def _cmd_ld_engine(
         raise SystemExit("--engine requires a .npy output (disk-backed matrix)")
     if args.stat not in ("r2", "D", "H"):
         raise SystemExit(f"--engine supports --stat r2/D/H, not {args.stat!r}")
-    if args.window:
-        raise SystemExit("--engine computes the full matrix; drop --window")
+    band = _resolve_band(args, positions)
     if args.threads != 1:
         raise SystemExit(
             "--engine schedules its own worker pool; use --workers, not "
@@ -216,14 +249,23 @@ def _cmd_ld_engine(
         profiler = SpanProfiler()
     progress: ProgressReporter | None = None
     if args.progress:
-        tiles = enumerate_tiles(panel.n_snps, args.block_snps)
-        progress = ProgressReporter(
-            len(tiles), sum(t.n_pairs for t in tiles), label="ld"
-        )
+        # Banded totals: the ETA must count the pairs the run actually
+        # delivers, not the dense triangle.
+        tiles = enumerate_tiles(panel.n_snps, args.block_snps, band=band)
+        if band is not None:
+            pairs_total = sum(band.pairs_in(t) for t in tiles)
+        else:
+            pairs_total = sum(t.n_pairs for t in tiles)
+        progress = ProgressReporter(len(tiles), pairs_total, label="ld")
 
+    band_width = band.index_width(panel.n_snps) if band is not None else 0
     start = time.perf_counter()
     try:
-        with NpyMemmapSink(out, panel.n_snps, mode=mode) as sink:
+        if band is not None:
+            sink_cm = BandedNpySink(out, panel.n_snps, band_width, mode=mode)
+        else:
+            sink_cm = NpyMemmapSink(out, panel.n_snps, mode=mode)
+        with sink_cm as sink:
             report = run_engine(
                 data, sink,
                 stat=args.stat,
@@ -233,6 +275,7 @@ def _cmd_ld_engine(
                 memory_budget=memory_budget,
                 batch_tiles=args.batch_tiles,
                 params=params,
+                band=band,
                 resume=args.resume,
                 manifest_path=manifest,
                 max_retries=max_retries,
@@ -251,15 +294,23 @@ def _cmd_ld_engine(
     wall = time.perf_counter() - start
 
     if args.metrics_out:
-        _write_engine_metrics(args, panel, report, recorder, wall)
+        _write_engine_metrics(
+            args, panel, report, recorder, wall,
+            band=band, band_width=band_width,
+        )
     if args.profile_out:
         _write_engine_profile(
             args, panel, report, recorder, profiler, wall, params
         )
+    if band is not None:
+        shape = f"banded ({panel.n_snps}, {band_width + 1}) " \
+                f"[{band.describe()}, {report.n_pruned} tiles pruned]"
+    else:
+        shape = f"matrix ({panel.n_snps}, {panel.n_snps})"
     print(f"ld: engine={report.engine} workers={report.n_workers} "
           f"computed {report.n_computed}/{report.n_tiles} tiles "
           f"(skipped {report.n_skipped} journaled, {report.n_retries} retries) "
-          f"{args.stat} matrix ({panel.n_snps}, {panel.n_snps}) -> {out}")
+          f"{args.stat} {shape} -> {out}")
     if report.degraded:
         print(f"ld: WARNING executor degraded {report.engine} -> "
               f"{report.engine_used} (worker pool could not be kept alive)",
@@ -280,6 +331,9 @@ def _write_engine_metrics(
     report,
     recorder: MetricsRecorder,
     wall_seconds: float,
+    *,
+    band: BandSpec | None = None,
+    band_width: int = 0,
 ) -> None:
     """Serialize one engine run's metrics + measured-vs-modeled %-of-peak."""
     pairs_computed = recorder.counters.get("engine.pairs_computed", 0)
@@ -288,9 +342,11 @@ def _write_engine_metrics(
     # and the blocking the tiles actually executed. The comparison is the
     # paper's %-of-peak framing; on a resumed run most tiles were skipped,
     # so the wall-clock measures only the remainder and the model row is
-    # omitted rather than reported as a nonsense throughput.
+    # omitted rather than reported as a nonsense throughput. Banded runs
+    # skip the model too: it prices the dense triangle.
     model = None
-    if report.n_computed == report.n_tiles and wall_seconds > 0:
+    if (band is None and report.n_computed == report.n_tiles
+            and wall_seconds > 0):
         model = compare_to_model(
             panel.n_snps, panel.n_snps, panel.n_words, wall_seconds,
             params=DEFAULT_BLOCKING, symmetric=True,
@@ -317,6 +373,23 @@ def _write_engine_metrics(
         "pairs_per_second": pairs_computed / wall_seconds if wall_seconds > 0
         else 0.0,
     }
+    if band is not None:
+        pairs_dense = dense_pair_cells(panel.n_snps, args.block_snps)
+        payload["band"] = {
+            "window": band.window,
+            "window_kb": getattr(args, "window_kb", None),
+            "max_distance": band.max_distance,
+            "index_width": band_width,
+            "tiles_dense": report.n_tiles + report.n_pruned,
+            "tiles_pruned": report.n_pruned,
+            "tiles_partial": report.n_partial,
+            "tiles_full": report.n_tiles - report.n_partial,
+            "pairs_in_band": report.band_pairs,
+            "pairs_dense": pairs_dense,
+            "predicted_speedup": (
+                pairs_dense / report.band_pairs if report.band_pairs else None
+            ),
+        }
     if model is not None:
         payload["model"] = model
     recorder.write_json(args.metrics_out, extra=payload)
@@ -324,13 +397,18 @@ def _write_engine_metrics(
 
 def _workload_dict(args: argparse.Namespace, panel: BitMatrix) -> dict:
     """The problem description a ``repro-profile/1`` payload carries."""
-    return {
+    workload = {
         "stat": args.stat,
         "n_snps": panel.n_snps,
         "n_samples": panel.n_samples,
         "k_words": panel.n_words,
         "block_snps": args.block_snps,
     }
+    window = getattr(args, "window", 0)
+    window_kb = getattr(args, "window_kb", None)
+    if window or window_kb is not None:
+        workload["band"] = {"window": window or None, "window_kb": window_kb}
+    return workload
 
 
 def _write_engine_profile(
@@ -391,14 +469,21 @@ def _cmd_ld(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             raise SystemExit(f"cannot open panel store {args.panel}: {exc}")
         panel = store.to_bitmatrix()
+        positions = None
     else:
-        panel, _positions = load_panel(args.input)
+        panel, positions = load_panel(args.input)
+        # Filters run as explicit index selections so *positions* stays
+        # aligned with the surviving SNPs (--window-kb resolves the band
+        # against them).
         if args.drop_monomorphic:
-            panel = panel.drop_monomorphic()
+            idx = np.flatnonzero(panel.is_polymorphic())
+            panel = panel.select(idx)
+            positions = positions[idx]
         if args.maf > 0.0:
             freqs = panel.allele_frequencies()
-            keep = np.minimum(freqs, 1.0 - freqs) >= args.maf
-            panel = panel.select(np.flatnonzero(keep))
+            idx = np.flatnonzero(np.minimum(freqs, 1.0 - freqs) >= args.maf)
+            panel = panel.select(idx)
+            positions = positions[idx]
     params = None
     if args.autotune:
         # First run pays the timed search and persists the winner; every
@@ -414,10 +499,17 @@ def _cmd_ld(args: argparse.Namespace) -> int:
                 args, panel, params=params,
                 data=store if store is not None else panel,
                 memory_budget=memory_budget,
+                positions=positions,
             )
         finally:
             if store is not None:
                 store.close()
+    if args.window_kb is not None:
+        raise SystemExit(
+            "--window-kb resolves a genomic band through the tiled engine; "
+            "add --engine serial|threads|processes|persistent "
+            "(or use --window for an in-memory SNP-index band)"
+        )
     if (args.progress or args.metrics_out or args.trace_out
             or args.profile_out):
         raise SystemExit(
@@ -740,6 +832,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stat", choices=("r2", "D", "Dprime", "H"), default="r2")
     p.add_argument("--window", type=int, default=0,
                    help="banded mode: max pair distance in SNPs (0 = full)")
+    p.add_argument("--window-kb", type=float, default=None, metavar="KB",
+                   help="banded mode: max pair distance in kilobases, "
+                        "resolved against the panel's positions "
+                        "(requires --engine; tiles outside the band are "
+                        "pruned, never computed)")
     p.add_argument("--threads", type=int, default=1)
     p.add_argument("--maf", type=float, default=0.0,
                    help="drop SNPs below this minor-allele frequency")

@@ -14,6 +14,12 @@ This package implements the paper's central idea (Sections II–IV):
 Public entry points live in :mod:`repro.core.ldmatrix`.
 """
 
+from repro.core.banding import (
+    BandSpec,
+    dense_pair_cells,
+    dense_tile_count,
+    genomic_index_width,
+)
 from repro.core.blocking import (
     BlockingParams,
     DEFAULT_BLOCKING,
@@ -73,11 +79,12 @@ from repro.core.parallel import (
     partition_triangle_rows,
 )
 from repro.core.streaming import (
+    BandedNpySink,
     NpyMemmapSink,
     ThresholdCollector,
     stream_ld_blocks,
 )
-from repro.core.windowed import BandedLDMatrix, banded_ld
+from repro.core.windowed import BandedLDMatrix, banded_ld, write_banded_block
 from repro.core.stats import (
     d_matrix,
     d_prime_matrix,
@@ -89,6 +96,10 @@ from repro.core.stats import (
 )
 
 __all__ = [
+    "BandSpec",
+    "dense_pair_cells",
+    "dense_tile_count",
+    "genomic_index_width",
     "BlockingParams",
     "DEFAULT_BLOCKING",
     "MICRO_BLOCKING",
@@ -136,6 +147,8 @@ __all__ = [
     "partition_triangle_rows",
     "BandedLDMatrix",
     "banded_ld",
+    "write_banded_block",
+    "BandedNpySink",
     "NpyMemmapSink",
     "ThresholdCollector",
     "stream_ld_blocks",

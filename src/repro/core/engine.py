@@ -53,6 +53,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.banding import BandSpec, dense_tile_count
 from repro.core.blocking import BlockingParams
 from repro.core.gemm import DEFAULT_KERNEL, popcount_gemm
 from repro.core.ldmatrix import as_bitmatrix
@@ -135,21 +136,34 @@ class TileTask:
 
 
 def enumerate_tiles(
-    n_snps: int, block_snps: int, *, include_diagonal: bool = True
+    n_snps: int,
+    block_snps: int,
+    *,
+    include_diagonal: bool = True,
+    band: "BandSpec | None" = None,
 ) -> list[TileTask]:
     """Lower-triangle block decomposition shared by streaming and the engine.
 
     Row-major over block rows, so sequential consumption matches the order
     :func:`repro.core.streaming.stream_ld_blocks` has always delivered.
+
+    With a *band*, each block row starts at the first tile column that can
+    meet the band instead of column 0 — tiles entirely outside the band
+    are never materialized, which is the engine's O(n·W) work bound. Every
+    in-band pair stays covered: a tile's closest pair is ``(i0, j1-1)``,
+    so any tile holding an in-band pair also meets the band itself.
     """
     if n_snps < 0:
         raise ValueError(f"n_snps must be non-negative, got {n_snps}")
     if block_snps < 1:
         raise ValueError(f"block_snps must be >= 1, got {block_snps}")
+    if band is not None:
+        band.validate_for(n_snps)
     tiles = []
     for i0 in range(0, n_snps, block_snps):
         i1 = min(i0 + block_snps, n_snps)
-        for j0 in range(0, i0 + 1, block_snps):
+        j_start = 0 if band is None else band.first_block_col(i0, block_snps)
+        for j0 in range(j_start, i0 + 1, block_snps):
             if j0 == i0 and not include_diagonal:
                 continue
             tiles.append(
@@ -243,18 +257,23 @@ def input_fingerprint(
     stat: str,
     block_snps: int,
     undefined: float = np.nan,
+    band: BandSpec | None = None,
 ) -> str:
     """Digest identifying one (input, parameters) combination.
 
     Covers the packed words bit-for-bit plus every parameter that changes
     tile contents or tile geometry, so a manifest can refuse to resume a
-    run whose inputs silently changed.
+    run whose inputs silently changed. A band changes both (tiles are
+    pruned and straddling tiles masked), so its token joins the header —
+    appended only when a band is set, keeping pre-band manifests valid.
     """
     digest = hashlib.sha256()
     header = (
         f"repro-engine-v1|{matrix.n_samples}|{matrix.n_snps}|{matrix.n_words}"
         f"|{stat}|{block_snps}|{undefined!r}"
     )
+    if band is not None:
+        header += f"|{band.token()}"
     digest.update(header.encode())
     digest.update(np.ascontiguousarray(matrix.words).tobytes())
     return digest.hexdigest()
@@ -266,6 +285,7 @@ def store_fingerprint(
     stat: str,
     block_snps: int,
     undefined: float = np.nan,
+    band: BandSpec | None = None,
 ) -> str:
     """Manifest fingerprint for a disk-backed panel store.
 
@@ -281,6 +301,8 @@ def store_fingerprint(
         f"repro-engine-store-v1|{store.n_samples}|{store.n_snps}"
         f"|{store.n_words}|{stat}|{block_snps}|{undefined!r}"
     )
+    if band is not None:
+        header += f"|{band.token()}"
     digest.update(header.encode())
     digest.update(store.content_digest.encode())
     return digest.hexdigest()
@@ -512,6 +534,12 @@ class EngineReport:
     n_batches: int = 0
     n_pool_spawns: int = 0
     n_worker_respawns: int = 0
+    #: Band accounting (zero on dense runs): tiles the band enumeration
+    #: never materialized, tiles straddling the band edge (masked on
+    #: delivery), and the in-band pair-cell count the run delivers.
+    n_pruned: int = 0
+    n_partial: int = 0
+    band_pairs: int = 0
 
     @property
     def complete(self) -> bool:
@@ -542,6 +570,7 @@ def run_engine(
     kernel: str = DEFAULT_KERNEL,
     undefined: float = np.nan,
     include_diagonal_blocks: bool = True,
+    band: "int | BandSpec | None" = None,
     manifest_path: str | Path | None = None,
     resume: bool = False,
     max_retries: int = 2,
@@ -600,6 +629,18 @@ def run_engine(
         from the tile count and worker count, and a ``tile_timeout``
         forces batches of 1 so the watchdog budget stays per-tile. The
         serial engine ignores it.
+    band:
+        Optional distance band: an ``int`` window (pairs with
+        ``i - j <= band`` SNPs) or a :class:`repro.core.banding.BandSpec`
+        (index or genomic). Tiles entirely outside the band are never
+        enumerated (reported as ``n_pruned`` and the
+        ``engine.tiles_pruned`` counter); tiles straddling the band edge
+        compute the full tile GEMM — the rectangular product is what
+        keeps the kernel at full efficiency — but out-of-band cells are
+        overwritten with *undefined* before the sink sees the block. The
+        band is folded into the manifest fingerprint, so resume /
+        quarantine / chaos semantics carry over unchanged; out-of-core
+        runs prefetch only the window pairs that meet the band.
     manifest_path:
         Path of the tile journal. Required for ``resume``; when set, every
         delivered tile is durably recorded so a later run can skip it.
@@ -676,6 +717,11 @@ def run_engine(
         raise ValueError(f"batch_tiles must be positive, got {batch_tiles}")
     if resume and manifest_path is None:
         raise ValueError("resume=True requires a manifest_path")
+    band_spec: BandSpec | None
+    if band is None or isinstance(band, BandSpec):
+        band_spec = band
+    else:
+        band_spec = BandSpec(window=int(band))
     store = _resolve_store(data)
     if store is not None:
         matrix = store.to_bitmatrix()
@@ -694,8 +740,31 @@ def run_engine(
         raise ValueError(f"n_workers must be positive, got {n_workers}")
 
     tiles = enumerate_tiles(
-        matrix.n_snps, block_snps, include_diagonal=include_diagonal_blocks
+        matrix.n_snps,
+        block_snps,
+        include_diagonal=include_diagonal_blocks,
+        band=band_spec,
     )
+    n_pruned = 0
+    n_partial = 0
+    band_pairs = 0
+    if band_spec is not None:
+        n_pruned = dense_tile_count(
+            matrix.n_snps, block_snps, include_diagonal_blocks
+        ) - len(tiles)
+        for tile in tiles:
+            if band_spec.classify(tile) == "partial":
+                n_partial += 1
+            band_pairs += band_spec.pairs_in(tile)
+
+    def tile_pairs(tile: TileTask) -> int:
+        """Pairs a tile *delivers* — in-band cells under a band, the
+        full rectangle otherwise — the unit all pair accounting
+        (counters, events, progress) shares."""
+        if band_spec is None:
+            return tile.n_pairs
+        return band_spec.pairs_in(tile)
+
     # Store-backed runs never scan the memmap for frequencies — they were
     # computed once at pack time and live in the header.
     freqs = store.freqs if store is not None else matrix.allele_frequencies()
@@ -711,6 +780,7 @@ def run_engine(
             block_snps,
             row_nbytes=store.row_nbytes,
             memory_budget=memory_budget,
+            banded=band_spec is not None,
         )
     # Checksum the handoff whenever results cross a process boundary, and
     # under any fault plan (so injected bit-flips are detectable on every
@@ -725,11 +795,13 @@ def run_engine(
     if manifest_path is not None:
         if store is not None:
             fingerprint = store_fingerprint(
-                store, stat=stat, block_snps=block_snps, undefined=undefined
+                store, stat=stat, block_snps=block_snps, undefined=undefined,
+                band=band_spec,
             )
         else:
             fingerprint = input_fingerprint(
-                matrix, stat=stat, block_snps=block_snps, undefined=undefined
+                matrix, stat=stat, block_snps=block_snps, undefined=undefined,
+                band=band_spec,
             )
         manifest = TileManifest.open(manifest_path, fingerprint, resume=resume)
     previous_profiler = (
@@ -757,6 +829,15 @@ def run_engine(
         done_keys: set[tuple[int, int]] = set()
 
         if recorder is not None:
+            band_extra = {}
+            if band_spec is not None:
+                recorder.inc("engine.tiles_pruned", n_pruned)
+                band_extra = {
+                    "band": band_spec.describe(),
+                    "tiles_pruned": n_pruned,
+                    "tiles_partial": n_partial,
+                    "band_pairs": band_pairs,
+                }
             recorder.event(
                 "run_start",
                 engine=engine,
@@ -767,26 +848,37 @@ def run_engine(
                 block_snps=block_snps,
                 n_tiles=len(tiles),
                 n_todo=len(todo),
+                **band_extra,
             )
         if (recorder is not None or progress is not None) and n_skipped:
             for tile in tiles:
                 if tile.key in manifest.completed:
+                    pairs = tile_pairs(tile)
                     if recorder is not None:
                         recorder.inc("engine.tiles_skipped")
-                        recorder.inc("engine.pairs_skipped", tile.n_pairs)
+                        recorder.inc("engine.pairs_skipped", pairs)
                         recorder.event(
                             "tile_skipped",
                             tile=[tile.i0, tile.j0],
-                            pairs=tile.n_pairs,
+                            pairs=pairs,
                         )
                     if progress is not None:
-                        progress.advance(tile.n_pairs, skipped=True)
+                        progress.advance(pairs, skipped=True)
 
         def deliver(tile: TileTask, result: TileResult) -> None:
             nonlocal n_computed
             deliver_start = time.perf_counter()
+            # Straddling tiles computed the full rectangle (that is what
+            # keeps the GEMM dense); only in-band cells reach the sink.
+            # Masked here, in the driver, *after* the CRC verification on
+            # the worker handoff — so it is executor-agnostic and the
+            # checksum still covers the raw computed payload. A masked
+            # copy, not in-place: process results can alias arena memory.
+            block = result.block
+            if band_spec is not None and band_spec.classify(tile) == "partial":
+                block = np.where(band_spec.mask(tile), block, undefined)
             with span("driver.deliver"):
-                sink(tile.i0, tile.j0, result.block)
+                sink(tile.i0, tile.j0, block)
                 if manifest is not None:
                     # Make the sink's effects durable before journaling
                     # the tile, so resume never trusts an unflushed block.
@@ -811,8 +903,8 @@ def run_engine(
             if recorder is not None:
                 deliver_seconds = time.perf_counter() - deliver_start
                 recorder.inc("engine.tiles_computed")
-                recorder.inc("engine.pairs_computed", tile.n_pairs)
-                recorder.inc("engine.bytes_delivered", int(result.block.nbytes))
+                recorder.inc("engine.pairs_computed", tile_pairs(tile))
+                recorder.inc("engine.bytes_delivered", int(block.nbytes))
                 recorder.observe_time(
                     "engine.tile_compute_seconds", result.compute_seconds
                 )
@@ -829,15 +921,15 @@ def run_engine(
                 recorder.event(
                     "tile_computed",
                     tile=[tile.i0, tile.j0],
-                    pairs=tile.n_pairs,
+                    pairs=tile_pairs(tile),
                     compute_s=result.compute_seconds,
                     deliver_s=deliver_seconds,
-                    bytes=int(result.block.nbytes),
+                    bytes=int(block.nbytes),
                     worker=result.worker,
                     **extra,
                 )
             if progress is not None:
-                progress.advance(tile.n_pairs)
+                progress.advance(tile_pairs(tile))
 
         def quarantine_tile(tile: TileTask, error: BaseException) -> None:
             quarantined.append((tile, repr(error)))
@@ -1009,6 +1101,7 @@ def run_engine(
                     memory_budget=memory_budget,
                     faults=faults,
                     recorder=recorder,
+                    banded=band_spec is not None,
                 )
             else:
                 warm_reader = _pf.WarmReader(
@@ -1018,6 +1111,7 @@ def run_engine(
                     memory_budget=memory_budget,
                     faults=faults,
                     recorder=recorder,
+                    banded=band_spec is not None,
                 )
 
         def stop_prefetch() -> None:
@@ -1107,4 +1201,7 @@ def run_engine(
         n_batches=batches,
         n_pool_spawns=pool_spawns,
         n_worker_respawns=worker_respawns,
+        n_pruned=n_pruned,
+        n_partial=n_partial,
+        band_pairs=band_pairs,
     )

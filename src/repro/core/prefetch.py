@@ -61,6 +61,11 @@ __all__ = [
 _TARGET_RESIDENT = 4
 #: Pull mode needs the current A/B pair plus one window in flight.
 _MIN_RESIDENT = 3
+#: A banded sweep only touches window pairs that meet the band, so its
+#: frontier never strays far from the diagonal: the A/B pair alone is
+#: enough to make progress (the next load stages as soon as either is
+#: released; an occasional reload of a hot window is counted, not fatal).
+_MIN_RESIDENT_BANDED = 2
 #: Transient prefetch faults retried before the load is declared dead
 #: (deterministic plans use ``attempts_below`` to stop firing earlier).
 _MAX_LOAD_ATTEMPTS = 16
@@ -79,9 +84,17 @@ class PanelWindow:
         return self.stop - self.start
 
 
-def min_memory_budget(block_snps: int, row_nbytes: int) -> int:
-    """Smallest workable pull-mode budget for the given geometry."""
-    return _MIN_RESIDENT * block_snps * row_nbytes
+def min_memory_budget(
+    block_snps: int, row_nbytes: int, *, banded: bool = False
+) -> int:
+    """Smallest workable pull-mode budget for the given geometry.
+
+    Banded sweeps get a lower floor (two resident windows instead of
+    three): their window-pair frontier hugs the diagonal, so the next
+    load can wait for a release instead of needing a standing third slot.
+    """
+    resident = _MIN_RESIDENT_BANDED if banded else _MIN_RESIDENT
+    return resident * block_snps * row_nbytes
 
 
 def plan_windows(
@@ -90,6 +103,7 @@ def plan_windows(
     *,
     row_nbytes: int,
     memory_budget: int,
+    banded: bool = False,
 ) -> tuple[list[PanelWindow], int]:
     """Slice *n_snps* rows into equal windows fitting *memory_budget*.
 
@@ -98,6 +112,9 @@ def plan_windows(
     windows fit the budget. Returns ``(windows, window_rows)``. A budget
     that cannot hold even ``_MIN_RESIDENT`` single-block windows raises:
     out-of-core execution needs two resident panels plus one in flight.
+    With ``banded=True`` the floor drops to ``_MIN_RESIDENT_BANDED``
+    windows — band-pruned sweeps stay near the diagonal, so an A/B pair
+    alone keeps the pipeline moving.
     """
     if n_snps < 0:
         raise ValueError(f"n_snps must be non-negative, got {n_snps}")
@@ -105,11 +122,12 @@ def plan_windows(
         raise ValueError(f"block_snps must be >= 1, got {block_snps}")
     if row_nbytes < 1:
         raise ValueError(f"row_nbytes must be positive, got {row_nbytes}")
-    floor = min_memory_budget(block_snps, row_nbytes)
+    floor = min_memory_budget(block_snps, row_nbytes, banded=banded)
+    min_resident = _MIN_RESIDENT_BANDED if banded else _MIN_RESIDENT
     if memory_budget < floor:
         raise ValueError(
             f"memory budget {memory_budget} bytes cannot hold "
-            f"{_MIN_RESIDENT} windows of {block_snps} packed SNP rows "
+            f"{min_resident} windows of {block_snps} packed SNP rows "
             f"({floor} bytes); raise the budget or lower block_snps"
         )
     per_window = memory_budget // (_TARGET_RESIDENT * row_nbytes)
@@ -201,6 +219,7 @@ class PanelPrefetcher:
         memory_budget: int,
         faults: FaultPlan | None = None,
         recorder: "MetricsRecorder | None" = None,
+        banded: bool = False,
     ) -> None:
         self._store = store
         self._row_nbytes = store.row_nbytes
@@ -212,6 +231,7 @@ class PanelPrefetcher:
             block_snps,
             row_nbytes=store.row_nbytes,
             memory_budget=memory_budget,
+            banded=banded,
         )
         self.order = order_panel_major(tiles, self._window_rows)
         self._order_index = {t.key: i for i, t in enumerate(self.order)}
@@ -530,6 +550,7 @@ class WarmReader:
         memory_budget: int,
         faults: FaultPlan | None = None,
         recorder: "MetricsRecorder | None" = None,
+        banded: bool = False,
     ) -> None:
         self._store = store
         self._faults = faults
@@ -539,6 +560,7 @@ class WarmReader:
             block_snps,
             row_nbytes=store.row_nbytes,
             memory_budget=memory_budget,
+            banded=banded,
         )
         self.order = order_panel_major(tiles, self._window_rows)
         blocks_per_window = max(1, self._window_rows // block_snps)

@@ -40,6 +40,7 @@ from repro.core.engine import (
     enumerate_tiles,
 )
 from repro.core.ldmatrix import as_bitmatrix
+from repro.core.windowed import write_banded_block
 from repro.encoding.bitmatrix import BitMatrix
 from repro.faults import FaultPlan
 from repro.observe.spans import span
@@ -48,7 +49,12 @@ if TYPE_CHECKING:  # imported lazily to keep core free of observe at runtime
     from repro.observe.metrics import MetricsRecorder
     from repro.observe.progress import ProgressReporter
 
-__all__ = ["NpyMemmapSink", "ThresholdCollector", "stream_ld_blocks"]
+__all__ = [
+    "BandedNpySink",
+    "NpyMemmapSink",
+    "ThresholdCollector",
+    "stream_ld_blocks",
+]
 
 #: Strict-upper-triangle boolean masks by block size, for mirroring
 #: diagonal blocks. A run sees at most two sizes (full blocks plus one
@@ -174,6 +180,116 @@ class NpyMemmapSink:
             self._memmap = None
 
     def __enter__(self) -> "NpyMemmapSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+@dataclass
+class BandedNpySink:
+    """Sink writing banded runs into a diagonal-major ``.npy`` memmap.
+
+    The on-disk array is the ``(n_snps, window + 1)`` layout
+    :class:`repro.core.windowed.BandedLDMatrix` defines — ``values[i, d]``
+    holds the statistic for pair ``(i, i + d)`` — so a banded engine run
+    writes O(n·W) bytes instead of the O(n²) a dense memmap would cost.
+    Out-of-band cells of delivered tiles are ignored on write; slots the
+    band never covers (trailing diagonals past the last SNP, genomic
+    bands narrower than *window* at some loci) stay NaN.
+
+    Same contract as :class:`NpyMemmapSink`: a context manager with
+    deterministic flush/close, ``"w+"`` to create (NaN-filled) and
+    ``"r+"`` to reopen for checkpoint/resume, with the same refuse-loudly
+    validation of a mismatched existing file.
+
+    Parameters
+    ----------
+    path:
+        Output ``.npy`` path.
+    n_snps:
+        Number of SNPs (first dimension).
+    window:
+        Maximum stored index distance; the second dimension is
+        ``window + 1``. For genomic bands pass the band's
+        ``index_width(n_snps)``.
+    mode:
+        ``"w+"`` (default) creates/truncates; ``"r+"`` reopens in place.
+    """
+
+    path: str | Path
+    n_snps: int
+    window: int
+    mode: str = "w+"
+    _memmap: np.memmap | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_snps <= 0:
+            raise ValueError(f"n_snps must be positive, got {self.n_snps}")
+        if self.window < 0:
+            raise ValueError(
+                f"window must be non-negative, got {self.window}"
+            )
+        if self.mode not in ("w+", "r+"):
+            raise ValueError(f"mode must be 'w+' or 'r+', got {self.mode!r}")
+        shape = (self.n_snps, self.window + 1)
+        if self.mode == "r+":
+            try:
+                memmap = np.lib.format.open_memmap(str(self.path), mode="r+")
+            except FileNotFoundError as exc:
+                raise ValueError(
+                    f"cannot reopen {self.path} with mode='r+': file does "
+                    "not exist (rerun without resume to create it)"
+                ) from exc
+            except ValueError as exc:
+                raise ValueError(
+                    f"cannot reopen {self.path} with mode='r+': not a "
+                    f"readable .npy file ({exc}); delete it or rerun "
+                    "without resume"
+                ) from exc
+            if memmap.shape != shape or memmap.dtype != np.float64:
+                found_shape, found_dtype = memmap.shape, memmap.dtype
+                del memmap  # release before raising
+                raise ValueError(
+                    f"existing banded matrix at {self.path} has shape "
+                    f"{found_shape} dtype {found_dtype}; expected "
+                    f"{shape} float64 — it was not produced by an "
+                    "equivalent run; delete it or rerun without resume"
+                )
+            if not memmap.flags["C_CONTIGUOUS"]:
+                del memmap
+                raise ValueError(
+                    f"existing banded matrix at {self.path} is "
+                    f"Fortran-ordered; expected C-ordered {shape} float64 "
+                    "— delete it or rerun without resume"
+                )
+            self._memmap = memmap
+        else:
+            memmap = np.lib.format.open_memmap(
+                str(self.path), mode="w+", dtype=np.float64, shape=shape,
+            )
+            # NaN is the band's "never covered" value (the BandedLDMatrix
+            # convention); a fresh zero-filled memmap would read as r²=0.
+            memmap[:] = np.nan
+            self._memmap = memmap
+
+    def __call__(self, i0: int, j0: int, block: np.ndarray) -> None:
+        if self._memmap is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        write_banded_block(self._memmap, self.window, i0, j0, block)
+
+    def flush(self) -> None:
+        """Force written blocks to disk (no-op once closed)."""
+        if self._memmap is not None:
+            self._memmap.flush()
+
+    def close(self) -> None:
+        """Flush and release the memmap; idempotent."""
+        if self._memmap is not None:
+            self._memmap.flush()
+            self._memmap = None
+
+    def __enter__(self) -> "BandedNpySink":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -20,12 +20,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.blocking import BlockingParams
-from repro.core.gemm import DEFAULT_KERNEL, popcount_gemm
+from repro.core.gemm import DEFAULT_KERNEL
 from repro.core.ldmatrix import as_bitmatrix
-from repro.core.stats import r_squared_matrix
 from repro.encoding.bitmatrix import BitMatrix
 
-__all__ = ["BandedLDMatrix", "banded_ld"]
+__all__ = ["BandedLDMatrix", "banded_ld", "write_banded_block"]
 
 _STATS = ("r2", "D", "H")
 
@@ -88,6 +87,29 @@ class BandedLDMatrix:
             return np.nanmean(self.values, axis=0)
 
 
+def write_banded_block(
+    values: np.ndarray, window: int, i0: int, j0: int, block: np.ndarray
+) -> None:
+    """Scatter one lower-triangle tile into a diagonal-major band store.
+
+    The statistic for pair ``(i, j)`` with ``i >= j`` lands at
+    ``values[j, i - j]``; cells of *block* outside the band or above the
+    diagonal (the mirrored half of diagonal tiles — same value for
+    symmetric stats) are ignored. This is the shared translation between
+    the engine's ``(i0, j0, block)`` sink protocol and the ``(n, W+1)``
+    layout :class:`BandedLDMatrix` defines.
+    """
+    rows, cols = block.shape
+    for b in range(cols):
+        j = j0 + b
+        lo = max(i0, j)
+        hi = min(i0 + rows - 1, j + window)
+        if hi < lo:
+            continue
+        d0 = lo - j
+        values[j, d0 : d0 + hi - lo + 1] = block[lo - i0 : hi - i0 + 1, b]
+
+
 def banded_ld(
     data: BitMatrix | np.ndarray,
     window: int,
@@ -100,10 +122,14 @@ def banded_ld(
 ) -> BandedLDMatrix:
     """LD for all pairs within *window* SNPs of each other.
 
-    The band is tiled with rectangular GEMMs: rows ``[s, s+B)`` against
-    columns ``[s, s+B+window)`` for block starts ``s`` (``B`` =
-    *block_snps*), so every in-band pair is computed by exactly one
-    kernel-efficient GEMM call and total work stays O(n·window).
+    A thin wrapper over the band-aware tiled engine
+    (:func:`repro.core.engine.run_engine` with ``band=window``): the band
+    is covered by square lower-triangle tiles whose fully-outside members
+    are never enumerated, so every in-band pair is computed by exactly
+    one kernel-efficient GEMM call and total work stays O(n·window). The
+    results are bit-identical to a dense engine run's band slice —
+    callers needing resume, multi-worker executors, out-of-core panels,
+    or fault injection use ``run_engine(band=...)`` directly.
 
     Parameters
     ----------
@@ -115,10 +141,10 @@ def banded_ld(
     stat:
         ``"r2"``, ``"D"``, or ``"H"``.
     block_snps:
-        Row-block size of the tiling; per-block work is
-        ``block_snps × (block_snps + window)`` pairs, so the default
-        (``max(window, 128)``) keeps total work O(n·window) while the
-        rectangles stay large enough for kernel efficiency.
+        Tile size of the engine tiling; the default (``max(window,
+        128)``) keeps each block row to a handful of tiles, so total
+        work stays O(n·window) while the tiles remain large enough for
+        kernel efficiency.
     """
     if window < 1:
         raise ValueError(f"window must be >= 1 SNP, got {window}")
@@ -127,34 +153,28 @@ def banded_ld(
     matrix = as_bitmatrix(data)
     if matrix.n_samples == 0:
         raise ValueError("LD undefined for zero samples")
-    n = matrix.n_snps
-    inv_n = 1.0 / matrix.n_samples
-    freqs = matrix.allele_frequencies()
-    values = np.full((n, window + 1), np.nan, dtype=np.float64)
-
     block = block_snps if block_snps is not None else max(window, 128)
     if block < 1:
         raise ValueError(f"block_snps must be >= 1, got {block}")
-    for start in range(0, n, block):
-        stop = min(start + block, n)
-        right = min(stop + window, n)
-        counts = popcount_gemm(
-            matrix.words[start:stop],
-            matrix.words[start:right],
-            params=params,
-            kernel=kernel,
-        )
-        h = counts * inv_n
-        p = freqs[start:stop]
-        q = freqs[start:right]
-        if stat == "H":
-            block_vals = h
-        elif stat == "D":
-            block_vals = h - np.outer(p, q)
-        else:
-            block_vals = r_squared_matrix(h, p, q, undefined=undefined)
-        for local_i in range(stop - start):
-            i = start + local_i
-            width = min(window, n - 1 - i) + 1
-            values[i, :width] = block_vals[local_i, local_i : local_i + width]
+    # Engine imported lazily: this module defines the banded *layout* and
+    # is imported by sinks the engine's callers use.
+    from repro.core.engine import run_engine
+
+    n = matrix.n_snps
+    values = np.full((n, window + 1), np.nan, dtype=np.float64)
+
+    def sink(i0: int, j0: int, tile_block: np.ndarray) -> None:
+        write_banded_block(values, window, i0, j0, tile_block)
+
+    run_engine(
+        matrix,
+        sink,
+        stat=stat,
+        block_snps=block,
+        engine="serial",
+        band=window,
+        params=params,
+        kernel=kernel,
+        undefined=undefined,
+    )
     return BandedLDMatrix(values=values, window=window, stat=stat)

@@ -161,9 +161,22 @@ def _find_anomalies(
     profiler,
     stall_seconds: float = 0.0,
     wall_seconds: float = 0.0,
+    workload: dict | None = None,
 ) -> list[dict]:
     """Flag the run's attribution smells, worst first by convention."""
     out: list[dict] = []
+    band = (workload or {}).get("band") or {}
+    band_width = band.get("window") or band.get("index_width") or 0
+    n_snps = int((workload or {}).get("n_snps") or 0)
+    if band_width and n_snps and band_width >= n_snps:
+        out.append({
+            "kind": "band_wasteful",
+            "detail": (
+                f"band window {band_width} covers the whole "
+                f"{n_snps}-SNP triangle — no tiles can be pruned; "
+                "drop --window/--window-kb and run dense"
+            ),
+        })
     if wall_seconds > 0 and stall_seconds > STALL_THRESHOLD * wall_seconds:
         out.append({
             "kind": "io_bound",
@@ -352,6 +365,7 @@ def build_profile_payload(
         roofline, timeline, tiles, report, profiler,
         stall_seconds=stall_hist.total if stall_hist is not None else 0.0,
         wall_seconds=wall_seconds,
+        workload=workload,
     )
     return payload
 
@@ -375,12 +389,18 @@ def _fmt_ratio(ratio: float | None) -> str:
 
 def _render_profile(payload: dict) -> str:
     work = payload.get("workload", {})
+    band = work.get("band") or {}
+    band_note = ""
+    if band.get("window"):
+        band_note = f" | band {band['window']} SNPs"
+    elif band.get("window_kb") is not None:
+        band_note = f" | band {band['window_kb']:g} kb"
     lines = [
         f"profile ({payload['schema']}): engine={payload.get('engine', '?')} "
         f"workers={payload.get('workers', '?')} "
         f"stat={work.get('stat', '?')} "
         f"{work.get('n_snps', '?')} SNPs x {work.get('n_samples', '?')} "
-        f"samples ({work.get('k_words', '?')} words/SNP)",
+        f"samples ({work.get('k_words', '?')} words/SNP)" + band_note,
     ]
     tiles = payload.get("tiles", {})
     coverage = tiles.get("phase_coverage")
@@ -492,6 +512,27 @@ def _render_metrics(payload: dict) -> str:
                 f"{_fmt_seconds(summary.get('p95')):>9} "
                 f"{_fmt_seconds(summary.get('p99')):>9}"
             )
+    band = payload.get("band")
+    if band is not None:
+        if band.get("window"):
+            extent = f"window {band['window']} SNPs"
+        else:
+            extent = (
+                f"window {band.get('max_distance', 0.0):g} bp "
+                f"(index width {band.get('index_width', '?')})"
+            )
+        speedup = band.get("predicted_speedup")
+        lines.append("")
+        lines.append(
+            f"band: {extent} | tiles {band.get('tiles_pruned', 0)} pruned / "
+            f"{band.get('tiles_partial', 0)} partial / "
+            f"{band.get('tiles_full', 0)} full of "
+            f"{band.get('tiles_dense', '?')} dense | "
+            f"{band.get('pairs_in_band', 0):,} of "
+            f"{band.get('pairs_dense', 0):,} pair cells "
+            f"(predicted speedup "
+            f"{'--' if speedup is None else format(speedup, '.2f') + 'x'})"
+        )
     model = payload.get("model")
     if model is not None:
         lines.append("")
@@ -558,6 +599,24 @@ def _render_bench_gemm(payload: dict) -> str:
     return "\n".join(lines)
 
 
+def _render_bench_banded(payload: dict) -> str:
+    lines = [
+        f"bench ({payload['schema']}): {payload.get('model', '')}",
+        f"  {'snps':>6} | {'window':>6} | {'mode':>6} | {'seconds':>8} | "
+        f"{'Gword/s':>8} | {'tiles':>6} | {'pruned':>6} | {'speedup':>7}",
+    ]
+    for row in payload.get("results", []):
+        speedup = row.get("speedup_vs_dense")
+        lines.append(
+            f"  {row['n_snps']:>6} | {row['window']:>6} | "
+            f"{row['mode']:>6} | {row['seconds']:>8.3f} | "
+            f"{row['words_per_second'] / 1e9:>8.2f} | "
+            f"{row['n_tiles']:>6} | {row.get('tiles_pruned', 0):>6} | "
+            f"{'--' if speedup is None else format(speedup, '.2f') + 'x':>7}"
+        )
+    return "\n".join(lines)
+
+
 def _render_bench_engine(payload: dict) -> str:
     lines = [
         f"bench ({payload['schema']}): {payload.get('model', '')}",
@@ -578,6 +637,7 @@ _RENDERERS = {
     "repro-profile/1": _render_profile,
     "repro-ld-metrics/1": _render_metrics,
     "repro-bench-gemm/1": _render_bench_gemm,
+    "repro-bench-banded/1": _render_bench_banded,
     "repro-bench-engine/1": _render_bench_engine,
 }
 

@@ -194,15 +194,19 @@ class TestLdEngineOption:
                 "--out", str(tmp_path / "ld.tsv"),
             ])
 
-    def test_engine_rejects_dprime_and_window(self, ms_panel, tmp_path):
+    def test_engine_rejects_dprime_and_band_conflicts(
+        self, ms_panel, tmp_path
+    ):
         path, _ = ms_panel
         out = str(tmp_path / "ld.npy")
         with pytest.raises(SystemExit, match="r2/D/H"):
             main(["ld", str(path), "--engine", "serial", "--stat", "Dprime",
                   "--out", out])
-        with pytest.raises(SystemExit, match="window"):
+        # --window now runs banded through the engine; what is rejected
+        # is combining the two band flavours in one run.
+        with pytest.raises(SystemExit, match="not both"):
             main(["ld", str(path), "--engine", "serial", "--window", "5",
-                  "--out", out])
+                  "--window-kb", "2.5", "--out", out])
 
     def test_engine_rejects_threads_option(self, ms_panel, tmp_path):
         """Regression: --threads used to be silently ignored with --engine."""

@@ -105,13 +105,13 @@ class TestBuildProfilePayload:
 
 class TestAnomalies:
     def _payload(self, *, recorder=None, profiler=None, report=None,
-                 wall=1.0):
+                 wall=1.0, workload=None):
         return build_profile_payload(
             recorder=recorder or MetricsRecorder(keep_events=True),
             profiler=profiler or SpanProfiler(),
             report=report or EngineReport("threads", 2, 4, 4, 0, 0),
             wall_seconds=wall,
-            workload={"n_snps": 64, "k_words": 1},
+            workload=workload or {"n_snps": 64, "k_words": 1},
         )
 
     def _kinds(self, payload):
@@ -170,6 +170,25 @@ class TestAnomalies:
         kinds = self._kinds(self._payload(report=report))
         assert {"tile_retries", "tiles_quarantined",
                 "executor_degraded"} <= kinds
+
+    def test_band_covering_whole_triangle_flagged(self):
+        # W >= n prunes nothing: the banded run does dense work plus
+        # masking overhead, which the operator should know about.
+        payload = self._payload(workload={
+            "n_snps": 64, "k_words": 1, "band": {"window": 64},
+        })
+        kinds = self._kinds(payload)
+        assert "band_wasteful" in kinds
+        wasteful = [a for a in payload["anomalies"]
+                    if a["kind"] == "band_wasteful"]
+        assert "no tiles can be pruned" in wasteful[0]["detail"]
+
+    def test_narrow_band_is_not_flagged(self):
+        for band in ({"window": 16}, {"window_kb": 2.5, "index_width": 16}):
+            payload = self._payload(workload={
+                "n_snps": 64, "k_words": 1, "band": band,
+            })
+            assert "band_wasteful" not in self._kinds(payload)
 
     def test_dropped_spans_flagged(self):
         profiler = SpanProfiler(capacity=1)
@@ -252,8 +271,23 @@ class TestRenderReport:
                          "words_per_second": 1e9,
                          "measured_percent_of_peak": 1.0}],
         }
+        banded_payload = {
+            "schema": "repro-bench-banded/1", "model": "m",
+            "results": [
+                {"n_snps": 2048, "window": 256, "mode": "dense",
+                 "seconds": 0.4, "words_per_second": 5e8, "n_tiles": 2080,
+                 "tiles_pruned": 0, "speedup_vs_dense": None},
+                {"n_snps": 2048, "window": 256, "mode": "banded",
+                 "seconds": 0.1, "words_per_second": 1e9, "n_tiles": 540,
+                 "tiles_pruned": 1540, "speedup_vs_dense": 3.5},
+            ],
+        }
         assert "serial" in render_report(engine_payload)
         assert "fused" in render_report(gemm_payload)
+        banded_text = render_report(banded_payload)
+        assert "banded" in banded_text
+        assert "1540" in banded_text and "3.50x" in banded_text
+        assert "--" in banded_text  # the dense row has no speedup
         history = tmp_path / "BENCH_history.jsonl"
         with history.open("w") as fh:
             for _ in range(2):
