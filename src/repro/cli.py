@@ -236,13 +236,35 @@ def _cmd_ld_engine(
         except ValueError as exc:
             raise SystemExit(str(exc))
 
+    live_path = args.live or os.environ.get("REPRO_LIVE") or None
     recorder: MetricsRecorder | None = None
-    if args.metrics_out or args.trace_out or args.profile_out:
+    if args.metrics_out or args.trace_out or args.profile_out or live_path:
         trace = JsonlTraceSink(args.trace_out) if args.trace_out else None
         # The profile's worker timeline is reconstructed from retained
         # tile_computed events, so --profile-out implies keep_events.
+        # --live rides on a recorder too: the snapshot pulls prefetch
+        # and phase state from it at publish time.
         recorder = MetricsRecorder(
             trace=trace, keep_events=bool(args.profile_out)
+        )
+    live = None
+    if live_path:
+        from repro.observe.live import LivePublisher
+
+        live = LivePublisher(
+            Path(live_path),
+            config={
+                "engine": args.engine,
+                "workers": args.workers,
+                "stat": args.stat,
+                "n_snps": panel.n_snps,
+                "n_samples": panel.n_samples,
+                "k_words": panel.n_words,
+                "block_snps": args.block_snps,
+                "band": band.describe() if band is not None else None,
+                "memory_budget": args.memory_budget,
+            },
+            recorder=recorder,
         )
     profiler: SpanProfiler | None = None
     if args.profile_out:
@@ -285,6 +307,7 @@ def _cmd_ld_engine(
                 recorder=recorder,
                 progress=progress,
                 profiler=profiler,
+                live=live,
             )
     finally:
         if progress is not None:
@@ -293,6 +316,11 @@ def _cmd_ld_engine(
             recorder.close()
     wall = time.perf_counter() - start
 
+    _append_run_record(
+        args, panel, report, recorder, wall,
+        band=band, live=live, live_path=live_path, out=out,
+        manifest=manifest,
+    )
     if args.metrics_out:
         _write_engine_metrics(
             args, panel, report, recorder, wall,
@@ -323,6 +351,105 @@ def _cmd_ld_engine(
               file=sys.stderr)
         return 3
     return 0
+
+
+def _append_run_record(
+    args: argparse.Namespace,
+    panel: BitMatrix,
+    report,
+    recorder: MetricsRecorder | None,
+    wall_seconds: float,
+    *,
+    band: BandSpec | None,
+    live,
+    live_path: str | None,
+    out: Path,
+    manifest: Path,
+) -> None:
+    """Append this run's ``repro-run/1`` summary to the cross-run ledger.
+
+    Best-effort by design: a read-only cache directory must not fail the
+    run that just computed a matrix — the warning goes to stderr and the
+    matrix still lands.
+    """
+    import socket
+
+    from repro.observe.live import new_run_id
+    from repro.observe.registry import (
+        RUN_SCHEMA, append_run, shape_fingerprint,
+    )
+
+    if recorder is not None:
+        pairs_computed = recorder.counters.get("engine.pairs_computed", 0)
+    else:
+        # No recorder: estimate delivered pairs from the tile counts (the
+        # exact counter only exists on instrumented runs).
+        total = (
+            report.band_pairs if band is not None
+            else dense_pair_cells(panel.n_snps, args.block_snps)
+        )
+        pairs_computed = (
+            round(total * report.n_computed / report.n_tiles)
+            if report.n_tiles else 0
+        )
+    percent_of_peak = None
+    if (band is None and report.n_computed == report.n_tiles
+            and wall_seconds > 0):
+        percent_of_peak = compare_to_model(
+            panel.n_snps, panel.n_snps, panel.n_words, wall_seconds,
+            params=DEFAULT_BLOCKING, symmetric=True,
+        ).measured_percent_of_peak
+    band_desc = band.describe() if band is not None else None
+    record = {
+        "schema": RUN_SCHEMA,
+        "run_id": live.run_id if live is not None else new_run_id(),
+        "timestamp_unix": time.time(),
+        "host": socket.gethostname(),
+        "fingerprint": shape_fingerprint(
+            stat=args.stat, n_snps=panel.n_snps, n_samples=panel.n_samples,
+            block_snps=args.block_snps, band=band_desc,
+        ),
+        "config": {
+            "engine": report.engine_used or report.engine,
+            "workers": report.n_workers,
+            "stat": args.stat,
+            "n_snps": panel.n_snps,
+            "n_samples": panel.n_samples,
+            "block_snps": args.block_snps,
+            "band": band_desc,
+            "memory_budget": args.memory_budget,
+        },
+        "wall_seconds": wall_seconds,
+        "pairs_computed": pairs_computed,
+        "pairs_per_second": (
+            pairs_computed / wall_seconds if wall_seconds > 0 else 0.0
+        ),
+        "percent_of_peak": percent_of_peak,
+        "tiles": {
+            "total": report.n_tiles,
+            "computed": report.n_computed,
+            "skipped": report.n_skipped,
+            "pruned": report.n_pruned,
+            "quarantined": report.n_quarantined,
+            "retries": report.n_retries,
+        },
+        "anomalies": sorted(
+            {a["kind"] for a in live.last_anomalies}
+        ) if live is not None else [],
+        "artifacts": {
+            "out": str(out),
+            "manifest": str(manifest),
+            "metrics": args.metrics_out,
+            "trace": args.trace_out,
+            "profile": args.profile_out,
+            "live": live_path,
+        },
+    }
+    try:
+        append_run(record)
+    except OSError as exc:
+        print(f"ld: WARNING could not append to the run registry: {exc}",
+              file=sys.stderr)
 
 
 def _write_engine_metrics(
@@ -511,10 +638,11 @@ def _cmd_ld(args: argparse.Namespace) -> int:
             "(or use --window for an in-memory SNP-index band)"
         )
     if (args.progress or args.metrics_out or args.trace_out
-            or args.profile_out):
+            or args.profile_out or args.live):
         raise SystemExit(
-            "--progress/--metrics-out/--trace-out/--profile-out instrument "
-            "the tiled engine; add --engine serial|threads|processes"
+            "--progress/--metrics-out/--trace-out/--profile-out/--live "
+            "instrument the tiled engine; add --engine "
+            "serial|threads|processes"
         )
     if (args.fault_plan or args.tile_timeout is not None
             or args.max_retries is not None or args.allow_quarantine
@@ -709,12 +837,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render metrics/trace/profile/bench artifacts as text."""
-    from repro.observe.report import render_file
+    from repro.observe.report import UnknownSchemaError, render_file
 
     status = 0
     for path in args.files:
         try:
             text = render_file(path)
+        except UnknownSchemaError as exc:
+            # Version skew between writer and reader gets its own,
+            # scriptable exit code.
+            print(f"report: {exc}", file=sys.stderr)
+            return 2
         except (OSError, ValueError) as exc:
             print(f"report: {exc}", file=sys.stderr)
             status = 1
@@ -732,6 +865,120 @@ def _cmd_report(args: argparse.Namespace) -> int:
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
             return status
     return status
+
+
+def _resolve_live_path(args: argparse.Namespace) -> Path:
+    """Snapshot path from the positional argument or ``REPRO_LIVE``."""
+    path = args.snapshot or os.environ.get("REPRO_LIVE")
+    if not path:
+        raise SystemExit(
+            "no snapshot path: pass one or set REPRO_LIVE (the engine run "
+            "must be started with `ld --engine ... --live PATH`)"
+        )
+    return Path(path)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Render the live dashboard from a ``repro-live/1`` snapshot."""
+    from repro.observe.live import read_snapshot, render_top
+
+    path = _resolve_live_path(args)
+    if not args.watch:
+        snapshot = read_snapshot(path)
+        if snapshot is None:
+            print(f"top: no snapshot at {path} (run not started, or started "
+                  "without --live)", file=sys.stderr)
+            return 1
+        print(render_top(snapshot))
+        return 0
+    try:
+        while True:
+            snapshot = read_snapshot(path)
+            # ANSI clear + home, like watch(1); harmless on a pipe.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            if snapshot is None:
+                print(f"top: waiting for a snapshot at {path} ...")
+            else:
+                print(render_top(snapshot))
+            sys.stdout.flush()
+            if snapshot is not None and snapshot.get("phase") == "done":
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Expose a live snapshot in Prometheus text format."""
+    from repro.observe.live import (
+        prometheus_text, read_snapshot, serve_prometheus,
+    )
+
+    if not args.prometheus:
+        raise SystemExit(
+            "repro export needs an output format; pass --prometheus"
+        )
+    path = _resolve_live_path(args)
+    if args.serve is not None:
+        server = serve_prometheus(path, args.serve, host=args.host)
+        host, port = server.server_address[:2]
+        print(f"export: serving {path} at http://{host}:{port}/metrics "
+              "(Ctrl-C to stop)", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
+    snapshot = read_snapshot(path)
+    if snapshot is None:
+        print(f"export: no snapshot at {path}", file=sys.stderr)
+        return 1
+    sys.stdout.write(prometheus_text(snapshot))
+    return 0
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    """List the cross-run registry ledger."""
+    from repro.observe.registry import load_runs, render_runs_list
+
+    try:
+        records, n_torn = load_runs(args.registry)
+    except ValueError as exc:
+        raise SystemExit(f"runs: {exc}")
+    print(render_runs_list(records, n_torn=n_torn))
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    """Show one registry record in full."""
+    from repro.observe.registry import find_run, load_runs, render_run
+
+    try:
+        records, _n_torn = load_runs(args.registry)
+        record = find_run(records, args.run)
+    except ValueError as exc:
+        raise SystemExit(f"runs: {exc}")
+    print(render_run(record))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    """Diff two registry records; exit 1 on a flagged regression."""
+    from repro.observe.registry import (
+        diff_runs, find_run, load_runs, render_diff,
+    )
+
+    try:
+        records, _n_torn = load_runs(args.registry)
+        baseline = find_run(records, args.baseline)
+        candidate = find_run(records, args.candidate)
+        diff = diff_runs(baseline, candidate, threshold=args.threshold)
+    except ValueError as exc:
+        raise SystemExit(f"runs: {exc}")
+    print(render_diff(diff))
+    return 1 if diff["flagged"] else 0
 
 
 def _cmd_pool_list(args: argparse.Namespace) -> int:
@@ -882,6 +1129,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the repro-profile/1 phase-attribution payload "
                         "here, enabling span profiling for the run "
                         "(--engine only)")
+    p.add_argument("--live", default=None, metavar="JSON",
+                   help="publish a repro-live/1 status snapshot here on a "
+                        "throttled cadence for `repro top`/`repro export` "
+                        "(--engine only; also honoured via $REPRO_LIVE)")
     p.add_argument("--batch-tiles", type=int, default=None, metavar="N",
                    help="tiles dispatched per worker submission "
                         "(--engine threads/processes; default: auto)")
@@ -978,6 +1229,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dry-run", action="store_true",
                    help="print the timing table without writing the profile")
     p.set_defaults(func=_cmd_tune)
+
+    p = sub.add_parser(
+        "top",
+        help="live dashboard over a repro-live/1 snapshot file",
+    )
+    p.add_argument("snapshot", nargs="?", default=None,
+                   help="snapshot path (default: $REPRO_LIVE)")
+    p.add_argument("--watch", action="store_true",
+                   help="refresh until the run reports done (Ctrl-C stops)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                   help="refresh cadence for --watch (default: 1.0)")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "export",
+        help="export a live snapshot as Prometheus text format",
+    )
+    p.add_argument("snapshot", nargs="?", default=None,
+                   help="snapshot path (default: $REPRO_LIVE)")
+    p.add_argument("--prometheus", action="store_true",
+                   help="text exposition format 0.0.4 (required; the only "
+                        "format so far)")
+    p.add_argument("--serve", type=int, default=None, metavar="PORT",
+                   help="serve /metrics over HTTP instead of printing once "
+                        "(re-reads the snapshot per scrape; port 0 picks a "
+                        "free one)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for --serve (default: 127.0.0.1)")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser(
+        "runs",
+        help="cross-run registry: list, show, and diff recorded engine runs",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    rp = runs_sub.add_parser("list", help="table of recorded runs")
+    rp.add_argument("--registry", default=None, metavar="JSONL",
+                    help="ledger path (default: $REPRO_RUNS_PATH or "
+                         "~/.cache/repro/runs.jsonl)")
+    rp.set_defaults(func=_cmd_runs_list)
+    rp = runs_sub.add_parser("show", help="one recorded run in full")
+    rp.add_argument("run", help="run index from `runs list` (negative from "
+                                "the end) or a run-id prefix")
+    rp.add_argument("--registry", default=None, metavar="JSONL")
+    rp.set_defaults(func=_cmd_runs_show)
+    rp = runs_sub.add_parser(
+        "diff",
+        help="compare two runs; exit 1 when a throughput regression is "
+             "flagged",
+    )
+    rp.add_argument("baseline", help="baseline run (index or run-id prefix)")
+    rp.add_argument("candidate", help="candidate run (index or run-id prefix)")
+    rp.add_argument("--threshold", type=float, default=0.30, metavar="FRAC",
+                    help="flag when candidate pairs/s drops by at least this "
+                         "fraction vs baseline (default: 0.30)")
+    rp.add_argument("--registry", default=None, metavar="JSONL")
+    rp.set_defaults(func=_cmd_runs_diff)
 
     p = sub.add_parser(
         "pool",

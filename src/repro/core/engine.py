@@ -69,6 +69,7 @@ from repro.observe.spans import (
 
 if TYPE_CHECKING:  # recorder/progress typing only (observe.metrics pulls in
     # nothing from core; spans resolves eagerly above without a cycle)
+    from repro.observe.live import LivePublisher
     from repro.observe.metrics import MetricsRecorder
     from repro.observe.progress import ProgressReporter
 
@@ -582,6 +583,7 @@ def run_engine(
     recorder: "MetricsRecorder | None" = None,
     progress: "ProgressReporter | None" = None,
     profiler: SpanProfiler | None = None,
+    live: "LivePublisher | None" = None,
 ) -> EngineReport:
     """Compute the lower-triangle LD matrix tile by tile into *sink*.
 
@@ -698,6 +700,15 @@ def run_engine(
         (surfacing as ``phase.*`` timers and the ``phases`` field of
         ``tile_computed`` events when a recorder is attached). The
         default ``None`` leaves the no-op profiler active.
+    live:
+        Optional :class:`repro.observe.live.LivePublisher`. When set,
+        the run publishes a crash-safe ``repro-live/1`` status snapshot
+        (atomic tmp-rename) on a throttled cadence from the generic
+        drive loop — tile/pair progress, per-worker heartbeats,
+        retries/respawns, prefetch state, live anomaly flags — which
+        ``repro top`` and ``repro export --prometheus`` consume while
+        the run is still in flight. The default ``None`` costs one
+        pointer comparison per hook, same as *recorder*.
 
     Returns
     -------
@@ -828,6 +839,12 @@ def run_engine(
         quarantined: list[tuple[TileTask, str]] = []
         done_keys: set[tuple[int, int]] = set()
 
+        if live is not None:
+            live.begin(
+                n_tiles=len(tiles),
+                pairs_total=sum(tile_pairs(t) for t in tiles),
+                n_pruned=n_pruned,
+            )
         if recorder is not None:
             band_extra = {}
             if band_spec is not None:
@@ -850,7 +867,9 @@ def run_engine(
                 n_todo=len(todo),
                 **band_extra,
             )
-        if (recorder is not None or progress is not None) and n_skipped:
+        if (
+            recorder is not None or progress is not None or live is not None
+        ) and n_skipped:
             for tile in tiles:
                 if tile.key in manifest.completed:
                     pairs = tile_pairs(tile)
@@ -864,6 +883,8 @@ def run_engine(
                         )
                     if progress is not None:
                         progress.advance(pairs, skipped=True)
+                    if live is not None:
+                        live.tile_skipped(pairs)
 
         def deliver(tile: TileTask, result: TileResult) -> None:
             nonlocal n_computed
@@ -930,6 +951,12 @@ def run_engine(
                 )
             if progress is not None:
                 progress.advance(tile_pairs(tile))
+            if live is not None:
+                live.tile_done(
+                    worker=result.worker,
+                    pairs=tile_pairs(tile),
+                    compute_s=result.compute_seconds,
+                )
 
         def quarantine_tile(tile: TileTask, error: BaseException) -> None:
             quarantined.append((tile, repr(error)))
@@ -943,6 +970,8 @@ def run_engine(
                     tile=[tile.i0, tile.j0],
                     error=repr(error),
                 )
+            if live is not None:
+                live.tile_quarantined()
 
         ctx = _ex.RetryContext(
             max_retries=max_retries,
@@ -953,6 +982,7 @@ def run_engine(
             deliver=deliver,
             quarantine=quarantine_tile,
             recorder=recorder,
+            live=live,
         )
 
         def local_task(tile: TileTask, epoch: int) -> TileResult:
@@ -1174,6 +1204,8 @@ def run_engine(
             # PanelStore instances stay open (the caller owns them).
             store.close()
 
+    if live is not None:
+        live.finish()
     if recorder is not None:
         run_seconds = time.perf_counter() - run_start
         recorder.observe_time("engine.run_seconds", run_seconds)

@@ -86,6 +86,7 @@ from repro.observe.spans import (
 )
 
 if TYPE_CHECKING:
+    from repro.observe.live import LivePublisher
     from repro.observe.metrics import MetricsRecorder
 
 __all__ = [
@@ -588,6 +589,7 @@ class RetryContext:
     deliver: Callable[[TileTask, TileResult], None]
     quarantine: Callable[[TileTask, BaseException], None]
     recorder: "MetricsRecorder | None" = None
+    live: "LivePublisher | None" = None
 
     def verify(self, tile: TileTask, result: TileResult) -> None:
         """Check the payload CRC taken in the worker; raise on mismatch."""
@@ -612,6 +614,8 @@ class RetryContext:
         return base * (0.5 + jitter)
 
     def note_failure(self, tile: TileTask, error: BaseException) -> None:
+        if self.live is not None:
+            self.live.tile_retry()
         if self.recorder is None:
             return
         self.recorder.inc("engine.retries")
@@ -629,6 +633,8 @@ class RetryContext:
             )
 
     def note_restart(self, error: BaseException) -> None:
+        if self.live is not None:
+            self.live.pool_restart()
         if self.recorder is not None:
             self.recorder.inc("engine.pool_restarts")
             self.recorder.event("pool_restart", error=repr(error))
@@ -644,6 +650,8 @@ class RetryContext:
             self.recorder.event("pool_spawn", backend=backend)
 
     def note_worker_respawn(self, worker: int) -> None:
+        if self.live is not None:
+            self.live.worker_respawn(worker)
         if self.recorder is not None:
             self.recorder.inc("engine.worker_respawns")
             self.recorder.event("worker_respawn", worker=worker)
@@ -2132,6 +2140,8 @@ def drive(
                             pending.discard(tile)
                     backend.release(handle)
                     pump()
+                if ctx.live is not None:
+                    ctx.live.maybe_publish()
         except _WorkersLost as lost:
             resets += 1
             for handle in lost.charged:

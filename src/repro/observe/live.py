@@ -1,0 +1,661 @@
+"""Live run-status bus: a crash-safe snapshot file the engine publishes.
+
+Post-hoc artifacts (metrics/trace/profile) answer *what happened*; this
+module answers *what is happening* — the sustained-throughput monitoring
+the out-of-core GEMM literature treats as table stakes ("Computing
+Petaflops over Terabytes of Data"; "Streaming Data from HDD to GPUs for
+Sustained Peak Performance": a 2-hour sweep that went I/O-bound at
+minute 3 must say so at minute 3, not in the post-mortem).
+
+The design is a single-writer status file, not a socket:
+
+- :class:`LivePublisher` holds the run's mutable state (tile/pair
+  progress, per-worker heartbeats, respawn/retry accounting) fed by the
+  engine's delivery hooks, and serializes it as one versioned JSON blob
+  (``repro-live/1``) on a throttled cadence (~2 Hz by default).
+- Every publish is an **atomic replace**: the blob is written to a
+  sibling temp file and ``os.replace``-d over the target, so a reader
+  polling concurrently — ``repro top``, the Prometheus exporter, a
+  human with ``watch cat`` — always sees a complete JSON document,
+  never a torn write. A crash leaves the last good snapshot behind.
+- Disabled is free: the engine guards every hook with
+  ``if live is not None`` (the same discipline as ``recorder`` and
+  ``NULL_PROFILER``), so a run without ``--live`` pays one pointer
+  comparison per tile.
+
+Reader-side helpers live here too: :func:`read_snapshot` (tolerant
+load), :func:`render_top` (the ``repro top`` terminal dashboard with
+per-worker rows and a throughput sparkline), :func:`prometheus_text`
+(text-format exposition mapping the snapshot to gauges/counters — the
+metric surface the future LD query service daemon will reuse), and
+:func:`serve_prometheus` (a stdlib HTTP exporter for ``repro export
+--serve``).
+
+Live anomaly flags reuse :mod:`repro.observe.report`'s thresholds
+(``io_bound``, ``worker_idle``, ``packing_heavy``) so the dashboard and
+the post-hoc report never disagree about what counts as a smell; the
+imports resolve lazily because report/modelcheck pull in
+:mod:`repro.core` (the cycle :mod:`repro.observe`'s ``__init__``
+documents).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from collections import deque
+from pathlib import Path
+
+__all__ = [
+    "LIVE_SCHEMA",
+    "LivePublisher",
+    "new_run_id",
+    "prometheus_text",
+    "read_snapshot",
+    "render_top",
+    "serve_prometheus",
+]
+
+LIVE_SCHEMA = "repro-live/1"
+
+#: Minimum seconds between published snapshots (~2 Hz).
+DEFAULT_INTERVAL = 0.5
+
+#: Published rate samples retained for the dashboard sparkline.
+RATE_HISTORY = 32
+
+#: A worker whose last heartbeat is older than this many publish
+#: intervals renders as idle (heartbeats arrive on tile delivery, so
+#: the scale is tiles, not milliseconds).
+_IDLE_AFTER_INTERVALS = 4.0
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def new_run_id() -> str:
+    """A sortable, collision-resistant run identifier."""
+    return time.strftime("%Y%m%d-%H%M%S") + "-" + os.urandom(3).hex()
+
+
+class LivePublisher:
+    """Single-writer publisher of the ``repro-live/1`` snapshot file.
+
+    Parameters
+    ----------
+    path:
+        Snapshot target. Each publish atomically replaces it.
+    run_id:
+        Identity shared with the run-registry record (default: a fresh
+        :func:`new_run_id`).
+    config:
+        Static run description carried verbatim into every snapshot
+        (engine, stat, shape, band, memory budget, ...). When it names
+        ``n_snps``/``k_words`` and no band, snapshots include a running
+        %-of-peak estimate from the perfmodel.
+    recorder:
+        Optional :class:`~repro.observe.metrics.MetricsRecorder` to pull
+        prefetch/phase/counter state from at publish time. The
+        publisher never writes to it.
+    interval:
+        Throttle for :meth:`maybe_publish` (seconds; ~2 Hz default).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        run_id: str | None = None,
+        config: dict | None = None,
+        recorder=None,
+        interval: float = DEFAULT_INTERVAL,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.path = Path(path)
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.config = dict(config) if config else {}
+        self.recorder = recorder
+        self.interval = float(interval)
+        self.phase = "starting"
+        self.n_published = 0
+        # Progress state, fed by the engine hooks.
+        self.tiles_total = 0
+        self.tiles_done = 0
+        self.tiles_skipped = 0
+        self.tiles_pruned = 0
+        self.tiles_quarantined = 0
+        self.pairs_total = 0
+        self.pairs_done = 0
+        self.pairs_skipped = 0
+        self.retries = 0
+        self.pool_restarts = 0
+        self.worker_respawns = 0
+        self.workers: dict[str, dict] = {}
+        self._respawn_log: deque[dict] = deque(maxlen=8)
+        self._t0 = time.monotonic()
+        self._started_unix = time.time()
+        self._next_due = 0.0  # first maybe_publish always fires
+        # (monotonic ts, pairs_done) samples taken at publish time; the
+        # window rate spans the deque, so ~8 s at the default cadence.
+        self._rate_samples: deque[tuple[float, int]] = deque(maxlen=16)
+        self._rate_history: deque[float] = deque(maxlen=RATE_HISTORY)
+        self.last_anomalies: list[dict] = []
+
+    # -- engine-facing hooks (cheap; no I/O) ------------------------------
+
+    def begin(
+        self, *, n_tiles: int, pairs_total: int, n_pruned: int = 0
+    ) -> None:
+        """Record the run's totals and force the first snapshot out."""
+        self.tiles_total = n_tiles
+        self.pairs_total = pairs_total
+        self.tiles_pruned = n_pruned
+        self.phase = "running"
+        self._t0 = time.monotonic()
+        self._started_unix = time.time()
+        self.publish()
+
+    def tile_done(
+        self, *, worker: str, pairs: int, compute_s: float = 0.0
+    ) -> None:
+        """One tile delivered: progress plus the worker's heartbeat."""
+        self.tiles_done += 1
+        self.pairs_done += pairs
+        row = self.workers.get(worker)
+        if row is None:
+            row = self.workers[worker] = {
+                "worker": worker, "n_tiles": 0, "busy_seconds": 0.0,
+                "last_seen": 0.0,
+            }
+        row["n_tiles"] += 1
+        row["busy_seconds"] += float(compute_s)
+        row["last_seen"] = time.monotonic()
+
+    def tile_skipped(self, pairs: int) -> None:
+        self.tiles_skipped += 1
+        self.pairs_skipped += pairs
+
+    def tile_quarantined(self) -> None:
+        self.tiles_quarantined += 1
+
+    def tile_retry(self) -> None:
+        self.retries += 1
+
+    def pool_restart(self) -> None:
+        self.pool_restarts += 1
+
+    def worker_respawn(self, worker: int) -> None:
+        self.worker_respawns += 1
+        self._respawn_log.append({
+            "worker": int(worker),
+            "elapsed_seconds": time.monotonic() - self._t0,
+        })
+
+    def finish(self) -> None:
+        """Mark the run done and force the final snapshot out."""
+        self.phase = "done"
+        self.publish()
+
+    # -- publication ------------------------------------------------------
+
+    def maybe_publish(self) -> bool:
+        """Publish if the throttle interval elapsed; the engine hot path.
+
+        One monotonic-clock read and a comparison when throttled — cheap
+        enough for the drive loop to call once per drain round.
+        """
+        now = time.monotonic()
+        if now < self._next_due:
+            return False
+        self.publish(now=now)
+        return True
+
+    def publish(self, *, now: float | None = None) -> None:
+        """Assemble and atomically replace the snapshot file."""
+        if now is None:
+            now = time.monotonic()
+        self._next_due = now + self.interval
+        snapshot = self._snapshot(now)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(snapshot, separators=(",", ":"), default=repr) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.path)
+        self.n_published += 1
+
+    def _snapshot(self, now: float) -> dict:
+        elapsed = max(now - self._t0, 1e-9)
+        self._rate_samples.append((now, self.pairs_done))
+        t_old, pairs_old = self._rate_samples[0]
+        window = (
+            (self.pairs_done - pairs_old) / (now - t_old)
+            if now > t_old else 0.0
+        )
+        self._rate_history.append(window)
+        idle_after = max(2.0, _IDLE_AFTER_INTERVALS * self.interval)
+        worker_rows = []
+        for row in sorted(self.workers.values(), key=lambda r: r["worker"]):
+            age = now - row["last_seen"]
+            worker_rows.append({
+                "worker": row["worker"],
+                "n_tiles": row["n_tiles"],
+                "busy_seconds": row["busy_seconds"],
+                "last_seen_seconds": age,
+                "state": (
+                    "busy" if (self.phase == "running" and age < idle_after)
+                    else "idle"
+                ),
+            })
+        prefetch = {"bytes_read": 0, "stall_seconds": 0.0}
+        if self.recorder is not None:
+            prefetch["bytes_read"] = self.recorder.counters.get(
+                "prefetch.bytes_read", 0
+            )
+            stall = self.recorder.timers.get("prefetch.stall_seconds")
+            if stall is not None:
+                prefetch["stall_seconds"] = stall.total
+        percent_of_peak = self._percent_of_peak(elapsed)
+        self.last_anomalies = self._anomalies(
+            elapsed, worker_rows, prefetch["stall_seconds"]
+        )
+        return {
+            "schema": LIVE_SCHEMA,
+            "run_id": self.run_id,
+            "pid": os.getpid(),
+            "seq": self.n_published,
+            "phase": self.phase,
+            "updated_unix": time.time(),
+            "started_unix": self._started_unix,
+            "elapsed_seconds": elapsed,
+            "config": self.config,
+            "tiles": {
+                "total": self.tiles_total,
+                "done": self.tiles_done,
+                "skipped": self.tiles_skipped,
+                "pruned": self.tiles_pruned,
+                "quarantined": self.tiles_quarantined,
+            },
+            "pairs": {
+                "total": self.pairs_total,
+                "done": self.pairs_done,
+                "skipped": self.pairs_skipped,
+                "per_second": self.pairs_done / elapsed,
+                "window_per_second": window,
+            },
+            "percent_of_peak": percent_of_peak,
+            "workers": worker_rows,
+            "worker_respawns": self.worker_respawns,
+            "recent_respawns": list(self._respawn_log),
+            "retries": self.retries,
+            "pool_restarts": self.pool_restarts,
+            "prefetch": prefetch,
+            "anomalies": self.last_anomalies,
+            "rate_history": [round(r, 3) for r in self._rate_history],
+        }
+
+    def _percent_of_peak(self, elapsed: float) -> float | None:
+        """Running %-of-peak estimate from the perfmodel hooks.
+
+        Projects the run's end-to-end time at the current average rate
+        and scores the *whole* problem at that pace — the same currency
+        as the post-hoc metrics artifact. Banded runs are skipped (the
+        model prices the dense triangle) and so are runs whose config
+        does not carry the GEMM shape.
+        """
+        n_snps = self.config.get("n_snps")
+        k_words = self.config.get("k_words")
+        if (
+            not n_snps or not k_words or self.config.get("band")
+            or self.pairs_done <= 0 or self.pairs_total <= 0
+        ):
+            return None
+        projected = elapsed * self.pairs_total / self.pairs_done
+        from repro.observe.modelcheck import compare_to_model
+
+        return compare_to_model(
+            int(n_snps), int(n_snps), int(k_words), projected, symmetric=True
+        ).measured_percent_of_peak
+
+    def _anomalies(
+        self, elapsed: float, worker_rows: list[dict], stall_seconds: float
+    ) -> list[dict]:
+        """Live smells, judged by report.py's thresholds."""
+        from repro.observe import report as _report
+
+        out: list[dict] = []
+        if (
+            elapsed > 0
+            and stall_seconds > _report.STALL_THRESHOLD * elapsed
+        ):
+            out.append({
+                "kind": "io_bound",
+                "detail": (
+                    f"compute stalled {stall_seconds:.3g} s on panel "
+                    f"prefetch ({stall_seconds / elapsed:.0%} of elapsed, "
+                    f"threshold {_report.STALL_THRESHOLD:.0%}) — raise "
+                    "--memory-budget"
+                ),
+            })
+        if self.phase == "running" and len(worker_rows) > 1 and elapsed > 2.0:
+            for row in worker_rows:
+                idle = max(0.0, 1.0 - row["busy_seconds"] / elapsed)
+                if idle > _report.IDLE_THRESHOLD and row["state"] == "idle":
+                    out.append({
+                        "kind": "worker_idle",
+                        "detail": (
+                            f"worker {row['worker']} idle {idle:.0%} of the "
+                            f"run so far (threshold "
+                            f"{_report.IDLE_THRESHOLD:.0%})"
+                        ),
+                    })
+        out.extend(self._packing_anomaly())
+        return out
+
+    def _packing_anomaly(self) -> list[dict]:
+        n_snps = self.config.get("n_snps")
+        k_words = self.config.get("k_words")
+        if self.recorder is None or not n_snps or not k_words:
+            return []
+        measured = {
+            key[len("phase."):]: hist.total
+            for key, hist in self.recorder.timers.items()
+            if key.startswith("phase.")
+        }
+        if not any(name in measured for name in ("pack_a", "pack_b")):
+            return []
+        from repro.observe import report as _report
+        from repro.observe.modelcheck import compare_phases_to_model
+
+        rows = {
+            cmp.name: cmp
+            for cmp in compare_phases_to_model(
+                measured, int(n_snps), int(n_snps), int(k_words),
+                symmetric=True,
+            )
+        }
+        packing = [rows[n] for n in ("pack_a", "pack_b") if n in rows]
+        pack_measured = sum(r.measured_share or 0.0 for r in packing)
+        pack_modeled = sum(r.modeled_share for r in packing)
+        if (
+            pack_modeled > 0
+            and pack_measured > _report.PACKING_RATIO * pack_modeled
+        ):
+            return [{
+                "kind": "packing_heavy",
+                "detail": (
+                    f"operand packing at {pack_measured:.0%} of measured "
+                    f"phase time vs {pack_modeled:.0%} modelled "
+                    f"(>{_report.PACKING_RATIO:.0f}x)"
+                ),
+            }]
+        return []
+
+
+# ---------------------------------------------------------------------------
+# Reader side: repro top, the Prometheus exporter.
+# ---------------------------------------------------------------------------
+
+
+def read_snapshot(path: str | Path) -> dict | None:
+    """Load a live snapshot; ``None`` when the file does not exist yet.
+
+    The writer's atomic replace means a present file is always one
+    complete JSON document — a parse error here is a real corruption
+    (or not a snapshot file at all) and raises.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None
+    payload = json.loads(text)
+    if payload.get("schema") != LIVE_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {payload.get('schema')!r} is not {LIVE_SCHEMA!r}"
+        )
+    return payload
+
+
+def sparkline(values: list[float]) -> str:
+    """Unicode block sparkline of *values* (empty string when empty)."""
+    if not values:
+        return ""
+    top = max(values)
+    if top <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    steps = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[min(steps, int(v / top * steps + 0.5))] for v in values
+    )
+
+
+def _fmt_age(seconds: float) -> str:
+    if seconds < 60.0:
+        return f"{seconds:.1f}s ago"
+    return f"{seconds / 60.0:.1f}m ago"
+
+
+def render_top(snapshot: dict) -> str:
+    """Render one live snapshot as the ``repro top`` dashboard."""
+    cfg = snapshot.get("config", {})
+    tiles = snapshot.get("tiles", {})
+    pairs = snapshot.get("pairs", {})
+    bits = [
+        f"run {snapshot.get('run_id', '?')} [{snapshot.get('phase', '?')}]",
+        f"engine={cfg.get('engine', '?')}",
+    ]
+    if cfg.get("workers"):
+        bits.append(f"workers={cfg['workers']}")
+    bits.append(
+        f"{cfg.get('stat', '?')} {cfg.get('n_snps', '?')} SNPs x "
+        f"{cfg.get('n_samples', '?')} samples"
+    )
+    if cfg.get("band"):
+        bits.append(f"band {cfg['band']}")
+    if cfg.get("memory_budget"):
+        bits.append(f"budget {cfg['memory_budget']}")
+    lines = [" | ".join(bits)]
+    lines.append(
+        f"tiles {tiles.get('done', 0)}/{tiles.get('total', 0)} done "
+        f"({tiles.get('skipped', 0)} skipped, {tiles.get('pruned', 0)} "
+        f"pruned, {tiles.get('quarantined', 0)} quarantined) | "
+        f"elapsed {snapshot.get('elapsed_seconds', 0.0):.1f} s"
+    )
+    peak = snapshot.get("percent_of_peak")
+    lines.append(
+        f"pairs {pairs.get('done', 0):,}/{pairs.get('total', 0):,} | "
+        f"{pairs.get('window_per_second', 0.0):,.0f} pairs/s now, "
+        f"{pairs.get('per_second', 0.0):,.0f} avg"
+        + (f" | {peak:.1f}% of peak" if peak is not None else "")
+    )
+    history = snapshot.get("rate_history", [])
+    if history:
+        lines.append(f"rate {sparkline(history)}")
+    prefetch = snapshot.get("prefetch", {})
+    if prefetch.get("bytes_read"):
+        lines.append(
+            f"prefetch {prefetch['bytes_read'] / 1e6:.1f} MB read, "
+            f"{prefetch.get('stall_seconds', 0.0):.3g} s stalled"
+        )
+    workers = snapshot.get("workers", [])
+    n_busy = sum(1 for w in workers if w.get("state") == "busy")
+    lines.append("")
+    lines.append(
+        f"workers: {n_busy} busy, {len(workers) - n_busy} idle | "
+        f"{snapshot.get('worker_respawns', 0)} respawns, "
+        f"{snapshot.get('retries', 0)} retries, "
+        f"{snapshot.get('pool_restarts', 0)} pool restarts"
+    )
+    if workers:
+        lines.append(f"  {'worker':<20} {'state':>6} {'tiles':>6} "
+                     f"{'busy s':>9} {'last seen':>12}")
+        for row in workers:
+            lines.append(
+                f"  {row.get('worker', '?'):<20} {row.get('state', '?'):>6} "
+                f"{row.get('n_tiles', 0):>6} "
+                f"{row.get('busy_seconds', 0.0):>9.4g} "
+                f"{_fmt_age(row.get('last_seen_seconds', 0.0)):>12}"
+            )
+    for event in snapshot.get("recent_respawns", []):
+        lines.append(
+            f"  respawned worker slot {event.get('worker')} at "
+            f"{event.get('elapsed_seconds', 0.0):.1f} s"
+        )
+    anomalies = snapshot.get("anomalies", [])
+    lines.append("")
+    if anomalies:
+        lines.append(f"anomalies ({len(anomalies)}):")
+        for anomaly in anomalies:
+            lines.append(f"  - {anomaly['kind']}: {anomaly['detail']}")
+    else:
+        lines.append("anomalies: none")
+    return "\n".join(lines)
+
+
+def _prom_escape(value: str) -> str:
+    return (
+        str(value).replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+    )
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Map one snapshot to Prometheus text exposition format (0.0.4).
+
+    Progress quantities export as gauges (a resumed run restarts them),
+    monotone totals as counters. Every series carries the ``run_id``
+    label so a long-lived scraper can tell runs apart.
+    """
+    run = _prom_escape(snapshot.get("run_id", "unknown"))
+    label = f'{{run_id="{run}"}}'
+    tiles = snapshot.get("tiles", {})
+    pairs = snapshot.get("pairs", {})
+    prefetch = snapshot.get("prefetch", {})
+
+    def num(value: object) -> str:
+        if value is None:
+            return "NaN"
+        value = float(value)
+        if math.isnan(value):
+            return "NaN"
+        return format(value, ".10g")
+
+    lines: list[str] = []
+
+    def gauge(name: str, help_: str, value: object, labels: str = "") -> None:
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{labels or label} {num(value)}")
+
+    def counter(name: str, help_: str, value: object) -> None:
+        lines.append(f"# HELP {name} {help_}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}{label} {num(value)}")
+
+    gauge("repro_live_up",
+          "1 while the engine run is publishing (0 once done)",
+          1.0 if snapshot.get("phase") == "running" else 0.0)
+    gauge("repro_elapsed_seconds", "Wall-clock seconds since run start",
+          snapshot.get("elapsed_seconds"))
+    for key in ("total", "done", "skipped", "pruned", "quarantined"):
+        gauge(f"repro_tiles_{key}", f"Tiles {key} in the current run",
+              tiles.get(key, 0))
+    gauge("repro_pairs_total", "Pair cells the run will deliver",
+          pairs.get("total", 0))
+    gauge("repro_pairs_done", "Pair cells delivered so far",
+          pairs.get("done", 0))
+    gauge("repro_pairs_per_second",
+          "Average delivered pair throughput since run start",
+          pairs.get("per_second", 0.0))
+    gauge("repro_pairs_per_second_window",
+          "Delivered pair throughput over the recent sample window",
+          pairs.get("window_per_second", 0.0))
+    gauge("repro_percent_of_peak",
+          "Running %-of-peak estimate vs the machine model (NaN if n/a)",
+          snapshot.get("percent_of_peak"))
+    counter("repro_retries_total", "Tile retries", snapshot.get("retries", 0))
+    counter("repro_worker_respawns_total", "Workers respawned in place",
+            snapshot.get("worker_respawns", 0))
+    counter("repro_pool_restarts_total", "Full worker-pool restarts",
+            snapshot.get("pool_restarts", 0))
+    counter("repro_prefetch_bytes_read_total",
+            "Panel bytes staged by the prefetcher",
+            prefetch.get("bytes_read", 0))
+    counter("repro_prefetch_stall_seconds_total",
+            "Seconds compute spent blocked on prefetch",
+            prefetch.get("stall_seconds", 0.0))
+    workers = snapshot.get("workers", [])
+    if workers:
+        lines.append("# HELP repro_worker_busy 1 if the worker heartbeat is "
+                     "fresh, 0 if idle")
+        lines.append("# TYPE repro_worker_busy gauge")
+        for row in workers:
+            wlabel = (f'{{run_id="{run}",'
+                      f'worker="{_prom_escape(row.get("worker", "?"))}"}}')
+            busy = 1.0 if row.get("state") == "busy" else 0.0
+            lines.append(f"repro_worker_busy{wlabel} {num(busy)}")
+        lines.append("# HELP repro_worker_tiles_total Tiles delivered per "
+                     "worker")
+        lines.append("# TYPE repro_worker_tiles_total counter")
+        for row in workers:
+            wlabel = (f'{{run_id="{run}",'
+                      f'worker="{_prom_escape(row.get("worker", "?"))}"}}')
+            lines.append(
+                f"repro_worker_tiles_total{wlabel} "
+                f"{num(row.get('n_tiles', 0))}"
+            )
+    anomalies = snapshot.get("anomalies", [])
+    lines.append("# HELP repro_anomaly 1 per live anomaly flag currently "
+                 "raised")
+    lines.append("# TYPE repro_anomaly gauge")
+    if anomalies:
+        for anomaly in anomalies:
+            alabel = (f'{{run_id="{run}",'
+                      f'kind="{_prom_escape(anomaly.get("kind", "?"))}"}}')
+            lines.append(f"repro_anomaly{alabel} 1")
+    else:
+        lines.append(f'repro_anomaly{{run_id="{run}",kind="none"}} 0')
+    return "\n".join(lines) + "\n"
+
+
+def serve_prometheus(
+    snapshot_path: str | Path, port: int, *, host: str = "127.0.0.1"
+):
+    """An HTTP server exposing the snapshot at ``/metrics`` (stdlib only).
+
+    Returns the configured :class:`http.server.ThreadingHTTPServer`
+    without starting it — the caller owns ``serve_forever()`` (the CLI
+    blocks on it; tests drive it from a thread and ``shutdown()`` it).
+    The snapshot file is re-read per scrape, so a long-lived exporter
+    follows the run without restarting.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    target = Path(snapshot_path)
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                self.send_error(404)
+                return
+            try:
+                snapshot = read_snapshot(target)
+            except (OSError, ValueError, json.JSONDecodeError):
+                snapshot = None
+            if snapshot is None:
+                self.send_error(503, "no live snapshot")
+                return
+            body = prometheus_text(snapshot).encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args: object) -> None:  # quiet by default
+            pass
+
+    return ThreadingHTTPServer((host, port), _Handler)

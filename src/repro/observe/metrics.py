@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -192,12 +193,20 @@ class JsonlTraceSink:
     Interpretation (which kinds exist, which fields they carry) belongs
     to the emitters; ``docs/TUTORIAL.md`` documents the engine's event
     vocabulary.
+
+    Durability: with ``flush_on_write`` every line reaches the OS as it
+    is written (a crashed run loses at most the torn final line, which
+    ``repro report`` tolerates); either way ``close`` flushes and
+    fsyncs so a completed run's trace is durable on disk.
     """
 
     SCHEMA = "repro-trace/1"
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self, path: str | Path, *, flush_on_write: bool = False
+    ) -> None:
         self.path = Path(path)
+        self.flush_on_write = flush_on_write
         self._fh = self.path.open("w", encoding="utf-8")
         self.n_written = 0
 
@@ -209,10 +218,14 @@ class JsonlTraceSink:
         self._fh.write(
             json.dumps(record, separators=(",", ":"), default=repr) + "\n"
         )
+        if self.flush_on_write:
+            self._fh.flush()
         self.n_written += 1
 
     def close(self) -> None:
         if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
             self._fh.close()
             self._fh = None
 

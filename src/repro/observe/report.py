@@ -37,6 +37,7 @@ from repro.observe.modelcheck import compare_phases_to_model, compare_to_model
 
 __all__ = [
     "PROFILE_SCHEMA",
+    "UnknownSchemaError",
     "build_profile_payload",
     "load_report_payload",
     "render_file",
@@ -44,6 +45,16 @@ __all__ = [
 ]
 
 PROFILE_SCHEMA = "repro-profile/1"
+
+
+class UnknownSchemaError(ValueError):
+    """An artifact carries a schema tag no renderer understands.
+
+    Distinguished from plain :class:`ValueError` (malformed file,
+    empty document) so the CLI can map it to its own exit code: an
+    unknown tag usually means a version skew between the writer and
+    this reader, which deserves a distinct, scriptable signal.
+    """
 
 #: A worker idle more than this fraction of the run is flagged.
 IDLE_THRESHOLD = 0.15
@@ -548,6 +559,7 @@ def _render_trace(records: list[dict]) -> str:
     kinds: dict[str, int] = {}
     last_ts = 0.0
     seq_gap = False
+    n_torn = getattr(records, "n_torn", 0)
     for i, record in enumerate(records):
         kinds[str(record.get("kind", "?"))] = (
             kinds.get(str(record.get("kind", "?")), 0) + 1
@@ -559,7 +571,9 @@ def _render_trace(records: list[dict]) -> str:
     lines = [
         f"trace ({schema}): {len(records)} events over {last_ts:.3f} s"
         + (" | WARNING: seq gaps (truncated or interleaved trace)"
-           if seq_gap else ""),
+           if seq_gap else "")
+        + (f" | WARNING: {n_torn} torn final line dropped (crashed or "
+           "still-running writer)" if n_torn else ""),
         "",
         "event counts:",
     ]
@@ -633,12 +647,27 @@ def _render_bench_engine(payload: dict) -> str:
     return "\n".join(lines)
 
 
+def _render_live(payload: dict) -> str:
+    # Lazy: live.py is importable without report.py and vice versa.
+    from repro.observe.live import render_top
+
+    return render_top(payload)
+
+
+def _render_run(payload: dict) -> str:
+    from repro.observe.registry import render_run
+
+    return render_run(payload)
+
+
 _RENDERERS = {
     "repro-profile/1": _render_profile,
     "repro-ld-metrics/1": _render_metrics,
     "repro-bench-gemm/1": _render_bench_gemm,
     "repro-bench-banded/1": _render_bench_banded,
     "repro-bench-engine/1": _render_bench_engine,
+    "repro-live/1": _render_live,
+    "repro-run/1": _render_run,
 }
 
 
@@ -662,6 +691,12 @@ def render_report(payload: dict | list) -> str:
             )
         if first.get("schema") == "repro-trace/1" or "kind" in first:
             return _render_trace(payload)
+        if first.get("schema") == "repro-run/1":
+            from repro.observe.registry import render_runs_list
+
+            return render_runs_list(
+                payload, n_torn=getattr(payload, "n_torn", 0)
+            )
         parts = [f"history: {len(payload)} entries", ""]
         for record in payload:
             stamp = record.get("timestamp")
@@ -679,27 +714,48 @@ def render_report(payload: dict | list) -> str:
     renderer = _RENDERERS.get(schema)
     if renderer is None:
         known = ", ".join(sorted(_RENDERERS) + ["repro-trace/1"])
-        raise ValueError(
+        raise UnknownSchemaError(
             f"unknown schema {schema!r}; renderable schemas: {known}"
         )
     return renderer(payload)
 
 
+class _JsonlRecords(list):
+    """JSONL records plus how many torn trailing lines were dropped."""
+
+    n_torn: int = 0
+
+
 def load_report_payload(path: str | Path) -> dict | list:
-    """Load *path* as one JSON payload, falling back to JSONL records."""
+    """Load *path* as one JSON payload, falling back to JSONL records.
+
+    A torn *final* line (the writer crashed or is still mid-write) is
+    dropped and counted on the returned list's ``n_torn`` attribute —
+    the same tolerance the tile manifest extends to its own tail.
+    Corruption anywhere else still raises: an interior bad line means
+    the file is damaged, not merely unfinished.
+    """
     text = Path(path).read_text(encoding="utf-8")
     try:
         return json.loads(text)
     except json.JSONDecodeError:
         pass
-    records: list = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    records = _JsonlRecords()
+    lines = text.splitlines()
+    last_lineno = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()),
+        default=0,
+    )
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError as exc:
+            if lineno == last_lineno and not text.endswith("\n"):
+                records.n_torn += 1
+                continue
             raise ValueError(
                 f"{path}: line {lineno} is neither part of a JSON document "
                 f"nor a JSONL record ({exc})"

@@ -11,6 +11,13 @@ import numpy as np
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_registry(tmp_path, monkeypatch) -> None:
+    """Point the cross-run registry at scratch: every ``ld --engine`` run
+    appends a record, and tests must not write into ``~/.cache``."""
+    monkeypatch.setenv("REPRO_RUNS_PATH", str(tmp_path / "runs.jsonl"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic per-test random generator."""

@@ -217,6 +217,46 @@ class TestPersistentChaos:
         assert report.n_pool_spawns == 1
         np.testing.assert_array_equal(np.load(out), clean_matrix)
 
+    def test_kill_mid_batch_surfaces_in_live_snapshot(
+        self, chaos_panel, clean_matrix, tmp_path
+    ):
+        """The live bus reflects a mid-batch SIGKILL: the respawn count,
+        the recent-respawn log, and the `repro top` render all show it."""
+        from repro.observe.live import (
+            LivePublisher, read_snapshot, render_top,
+        )
+
+        n = chaos_panel.shape[1]
+        plan = FaultPlan(seed=7, specs=(
+            FaultSpec(site="tile_compute", action="kill", tile=(14, 0),
+                      attempts_below=1),
+        ))
+        live = LivePublisher(
+            tmp_path / "live.json", interval=0.01,
+            config={"engine": "persistent", "stat": "r2"},
+        )
+        out = tmp_path / "killed.npy"
+        with NpyMemmapSink(out, n) as sink:
+            report = run_engine(
+                chaos_panel, sink, engine="persistent", block_snps=7,
+                n_workers=2, max_retries=MAX_RETRIES, retry_backoff=0.0,
+                faults=plan, live=live,
+            )
+        assert report.complete and report.n_worker_respawns >= 1
+        snapshot = read_snapshot(live.path)
+        assert snapshot["phase"] == "done"
+        assert snapshot["worker_respawns"] >= 1
+        assert snapshot["retries"] >= 1
+        assert snapshot["recent_respawns"], "respawn log empty"
+        assert snapshot["tiles"]["done"] == report.n_computed
+        # Worker rows are keyed by pid: the killed worker's row stays
+        # (stale heartbeat) alongside its replacement's fresh one.
+        assert len(snapshot["workers"]) >= 2
+        text = render_top(snapshot)
+        assert "1 respawns" in text or "respawns" in text
+        assert "respawned worker slot" in text
+        np.testing.assert_array_equal(np.load(out), clean_matrix)
+
     def test_kill_between_runs_respawns_on_next_start(
         self, chaos_panel, clean_matrix, tmp_path
     ):

@@ -514,3 +514,108 @@ class TestProfileAndReportCommands:
         bad.write_text("not json\n")
         assert main(["report", str(bad)]) == 1
         assert "bad.txt" in capsys.readouterr().err
+
+
+class TestLiveCli:
+    """The --live flag, `repro top`, and `repro export`."""
+
+    def _run_live(self, ms_panel, tmp_path, extra=()):
+        path, _ = ms_panel
+        live = tmp_path / "live.json"
+        assert main([
+            "ld", str(path), "--engine", "serial", "--block-snps", "16",
+            "--out", str(tmp_path / "ld.npy"), "--live", str(live), *extra,
+        ]) == 0
+        return live
+
+    def test_live_flag_requires_engine(self, ms_panel, tmp_path):
+        path, _ = ms_panel
+        with pytest.raises(SystemExit, match="add --engine"):
+            main(["ld", str(path), "--out", str(tmp_path / "ld.npy"),
+                  "--live", str(tmp_path / "live.json")])
+
+    def test_live_run_publishes_final_snapshot(self, ms_panel, tmp_path):
+        live = self._run_live(ms_panel, tmp_path)
+        snapshot = json.loads(live.read_text())
+        assert snapshot["schema"] == "repro-live/1"
+        assert snapshot["phase"] == "done"
+        assert snapshot["tiles"]["done"] == snapshot["tiles"]["total"] > 0
+        assert snapshot["config"]["engine"] == "serial"
+        assert snapshot["config"]["n_snps"] == 60
+
+    def test_repro_live_env_activates_without_flag(
+        self, ms_panel, tmp_path, monkeypatch
+    ):
+        path, _ = ms_panel
+        live = tmp_path / "env-live.json"
+        monkeypatch.setenv("REPRO_LIVE", str(live))
+        assert main([
+            "ld", str(path), "--engine", "serial", "--block-snps", "16",
+            "--out", str(tmp_path / "ld.npy"),
+        ]) == 0
+        assert json.loads(live.read_text())["phase"] == "done"
+
+    def test_top_renders_snapshot(self, ms_panel, tmp_path, capsys):
+        live = self._run_live(ms_panel, tmp_path)
+        capsys.readouterr()
+        assert main(["top", str(live)]) == 0
+        out = capsys.readouterr().out
+        assert "engine=serial" in out and "tiles" in out
+
+    def test_top_missing_snapshot_is_exit_1(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "absent.json")]) == 1
+        assert "no snapshot" in capsys.readouterr().err
+
+    def test_top_requires_a_path(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LIVE", raising=False)
+        with pytest.raises(SystemExit, match="REPRO_LIVE"):
+            main(["top"])
+
+    def test_export_prometheus_one_shot(self, ms_panel, tmp_path, capsys):
+        live = self._run_live(ms_panel, tmp_path)
+        capsys.readouterr()
+        assert main(["export", str(live), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_tiles_done gauge" in out
+        assert "repro_pairs_per_second{" in out
+
+    def test_export_requires_format_flag(self, tmp_path):
+        with pytest.raises(SystemExit, match="--prometheus"):
+            main(["export", str(tmp_path / "live.json")])
+
+    def test_report_renders_live_snapshot(self, ms_panel, tmp_path, capsys):
+        live = self._run_live(ms_panel, tmp_path)
+        capsys.readouterr()
+        assert main(["report", str(live)]) == 0
+        assert "engine=serial" in capsys.readouterr().out
+
+
+class TestReportExitCodes:
+    def test_unknown_schema_is_exit_2_with_one_line(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "repro-mystery/7"}\n')
+        assert main(["report", str(bogus)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "repro-mystery/7" in err
+        assert "repro-trace/1" in err  # names the supported tags
+
+    def test_torn_final_trace_line_tolerated(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            '{"schema":"repro-trace/1","seq":0,"kind":"run_start","ts":0.0}\n'
+            '{"schema":"repro-trace/1","seq":1,"kind":"tile_comp'
+        )
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "1 events" in out
+        assert "torn final line" in out
+
+    def test_interior_trace_corruption_still_fails(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            'garbage here\n'
+            '{"schema":"repro-trace/1","seq":0,"kind":"run_start","ts":0.0}\n'
+        )
+        assert main(["report", str(trace)]) == 1
+        assert "line 1" in capsys.readouterr().err

@@ -160,6 +160,31 @@ class TestJsonlTraceSink:
         assert record["error"] == repr(RuntimeError("boom"))
         assert "1" in record["where"] and "2" in record["where"]
 
+    def test_flush_on_write_makes_lines_visible_immediately(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path, flush_on_write=True)
+        try:
+            sink.write({"kind": "tick"})
+            # Visible to a concurrent reader before close: the flush
+            # happened at write time, not at close.
+            lines = path.read_text().splitlines()
+            assert len(lines) == 1
+            assert json.loads(lines[0])["kind"] == "tick"
+        finally:
+            sink.close()
+
+    def test_buffered_by_default_but_durable_on_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.write({"kind": "tick", "pad": "x" * 64})
+        buffered = path.read_text()
+        sink.close()
+        # close() flushes + fsyncs whatever write() buffered.
+        final = path.read_text().splitlines()
+        assert len(final) == 1
+        assert len(buffered.splitlines()) <= 1
+        assert json.loads(final[0])["kind"] == "tick"
+
 
 class TestProgressReporter:
     def test_accounting_and_snapshot(self):
